@@ -1,0 +1,113 @@
+// Ablation for the cost-aware rewriting extension (DESIGN.md): on the
+// Fig. 9 workload, compare always-rewrite (the paper's policy) against
+// selectivity-gated admission. The gate should keep the wins and remove
+// most of the losses — turning Table 4's post-hoc observation into an
+// admission rule.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/experiment_lib.h"
+#include "catalog/catalog.h"
+#include "engine/cost_aware_rewriter.h"
+#include "engine/executor.h"
+#include "engine/runner.h"
+#include "engine/tpch_gen.h"
+#include "workload/querygen.h"
+
+using namespace sia;  // NOLINT: single-binary harness
+
+int main() {
+  bench::PrintHeader("Ablation: cost-aware rewrite admission "
+                     "(always-rewrite vs selectivity gate)");
+
+  const Catalog catalog = Catalog::TpchCatalog();
+  const double sf = bench::EnvInt("SIA_BENCH_SF_MILLI", 100) / 1000.0;
+  const TpchData data = GenerateTpch(sf);
+  Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+
+  const size_t count =
+      static_cast<size_t>(bench::EnvInt("SIA_BENCH_QUERIES", 12));
+  auto queries = GenerateWorkload(catalog, count);
+  if (!queries.ok()) {
+    std::cerr << queries.status().ToString() << "\n";
+    return 1;
+  }
+
+  CostAwareOptions opts;
+  opts.rewrite.target_table = "lineitem";
+  // The profitable-selectivity crossover is engine-specific: ~0.95 on the
+  // paper's Postgres (expensive per-probe joins), ~0.5 on this in-memory
+  // engine (cheap hash probes). Default to the engine-calibrated value;
+  // override with SIA_BENCH_GATE_PERCENT.
+  opts.max_selectivity =
+      static_cast<double>(bench::EnvInt("SIA_BENCH_GATE_PERCENT", 50)) /
+      100.0;
+
+  struct Totals {
+    double ms = 0;
+    int slower = 0;
+    int faster = 0;
+  } always, gated, baseline;
+  int admitted = 0, rejected = 0;
+
+  std::printf("engine SF %.2f, %zu queries, gate at selectivity <= %.2f\n\n",
+              sf, queries->size(), opts.max_selectivity);
+  std::printf("%-5s | %-11s | %-10s | %-10s | %-10s | %s\n", "query",
+              "selectivity", "orig ms", "rewrite ms", "gated ms", "gate");
+  for (size_t qi = 0; qi < queries->size(); ++qi) {
+    const ParsedQuery& original = (*queries)[qi].query;
+    auto outcome = RewriteQueryCostAware(original, catalog, data.lineitem,
+                                         opts);
+    if (!outcome.ok()) {
+      std::cerr << outcome.status().ToString() << "\n";
+      return 1;
+    }
+    auto run = [&](const ParsedQuery& q) {
+      double best = 1e300;
+      for (int r = 0; r < 3; ++r) {
+        auto out = RunQuery(q, catalog, executor);
+        if (out.ok()) best = std::min(best, out->elapsed_ms);
+      }
+      return best;
+    };
+    const double orig_ms = run(original);
+    const double rewritten_ms =
+        outcome->base.changed() ? run(outcome->base.rewritten) : orig_ms;
+    const bool admit = outcome->base.changed() && !outcome->rejected_by_cost;
+    const double gated_ms = admit ? rewritten_ms : orig_ms;
+
+    baseline.ms += orig_ms;
+    always.ms += rewritten_ms;
+    gated.ms += gated_ms;
+    if (outcome->base.changed()) {
+      (rewritten_ms > orig_ms ? always.slower : always.faster)++;
+      if (admit) {
+        (gated_ms > orig_ms ? gated.slower : gated.faster)++;
+        ++admitted;
+      } else {
+        ++rejected;
+      }
+    }
+    std::printf("%-5zu | %-11.3f | %-10.2f | %-10.2f | %-10.2f | %s\n", qi,
+                outcome->base.changed() ? outcome->estimate.selectivity : -1,
+                orig_ms, rewritten_ms, gated_ms,
+                !outcome->base.changed() ? "no rewrite"
+                : admit                  ? "admitted"
+                                         : "REJECTED");
+  }
+
+  std::printf("\ntotals: original %.0f ms | always-rewrite %.0f ms "
+              "(%d faster / %d slower) | gated %.0f ms (%d faster / %d "
+              "slower, %d rejected)\n",
+              baseline.ms, always.ms, always.faster, always.slower, gated.ms,
+              gated.faster, gated.slower, rejected);
+  std::printf(
+      "\nExpected shape: gated total <= always-rewrite total, with the\n"
+      "gated 'slower' count at or near zero — the gate trades a few small\n"
+      "wins for removing the regressions (paper Table 4's slower classes\n"
+      "all have selectivity >= 0.94).\n");
+  (void)admitted;
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 6: the Alibaba MaxCompute case study —
+// execution-time / CPU / memory CDFs for syntax-based-prospective vs
+// symbolically-relevant queries, plus the headline counts. Production
+// traces are unavailable; see DESIGN.md (substitution 3) for how the
+// population is simulated and which part exercises the real Sia probe.
+#include <cstdio>
+#include <iostream>
+
+#include "bench/experiment_lib.h"
+#include "catalog/catalog.h"
+#include "workload/casestudy.h"
+
+using sia::CaseStudyOptions;
+using sia::CaseStudyRecord;
+using sia::Catalog;
+using sia::MetricPercentiles;
+using sia::bench::EnvInt;
+using sia::bench::PrintHeader;
+
+namespace {
+
+void PrintCdf(const char* title, const std::vector<CaseStudyRecord>& records,
+              double (*metric)(const CaseStudyRecord&), const char* unit) {
+  const std::vector<double> pct = {10, 25, 50, 75, 90, 99};
+  const auto all = MetricPercentiles(records, false, metric, pct);
+  const auto rel = MetricPercentiles(records, true, metric, pct);
+  std::printf("\n%s (%s)\n%-24s", title, unit, "percentile");
+  for (const double p : pct) std::printf(" | p%-6.0f", p);
+  std::printf("\n%-24s", "all prospective");
+  for (const double v : all) std::printf(" | %-7.1f", v);
+  std::printf("\n%-24s", "symbolically relevant");
+  for (const double v : rel) std::printf(" | %-7.1f", v);
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const Catalog catalog = Catalog::TpchCatalog();
+  CaseStudyOptions opts;
+  // The case-study CDFs need a population in the hundreds regardless of
+  // the workload-size knob the synthesis benches share.
+  opts.query_count =
+      static_cast<size_t>(EnvInt("SIA_BENCH_CASESTUDY_QUERIES", 400));
+
+  PrintHeader("Fig. 6: MaxCompute case study (simulated; population=" +
+              std::to_string(opts.query_count) + ")");
+
+  auto report = sia::SimulateCaseStudy(catalog, opts);
+  if (!report.ok()) {
+    std::cerr << "simulation failed: " << report.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::printf("syntax-based prospective queries: %zu\n",
+              report->prospective_count);
+  std::printf("symbolically relevant queries:    %zu (%.1f%%)\n",
+              report->relevant_count,
+              100.0 * report->relevant_count / report->prospective_count);
+  std::printf("fraction of queries over 10 s:    %.2f%%\n",
+              100.0 * report->frac_over_10s);
+
+  PrintCdf("(a) execution time", report->records,
+           +[](const CaseStudyRecord& r) { return r.exec_time_s; }, "s");
+  PrintCdf("(b) CPU consumption", report->records,
+           +[](const CaseStudyRecord& r) { return r.cpu_s; }, "cpu-s");
+  PrintCdf("(c) memory footprint", report->records,
+           +[](const CaseStudyRecord& r) { return r.mem_gb; }, "GB");
+
+  std::printf(
+      "\nPaper: 204,287 prospective / 26,104 relevant (12.8%%); 74.63%% of\n"
+      "the queries run longer than 10 s. Expected shape here: a relevant\n"
+      "minority around 10-20%%, ~75%% over 10 s, heavy-tailed CDFs with the\n"
+      "relevant class skewing slightly heavier.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces paper Fig. 7: "Efficiency of Learning Loop" — for the
+// SIA-synthesized predicates, a histogram of the number of learning-loop
+// iterations taken to converge to an optimal predicate, per column-subset
+// size. Runs that do not reach optimality within the iteration budget
+// are reported in the rightmost bucket.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench/experiment_lib.h"
+
+using sia::bench::AttemptRecord;
+using sia::bench::EfficacyConfig;
+using sia::bench::PrintHeader;
+using sia::bench::Technique;
+
+int main() {
+  EfficacyConfig config = EfficacyConfig::FromEnv();
+  config.techniques = {Technique::kSia};
+  PrintHeader("Fig. 7: learning-loop iterations to converge (SIA, queries=" +
+              std::to_string(config.query_count) + ")");
+
+  auto run = sia::bench::RunEfficacyExperiment(config);
+  if (!run.ok()) {
+    std::cerr << "experiment failed: " << run.status().ToString() << "\n";
+    return 1;
+  }
+
+  const std::vector<std::pair<int, const char*>> buckets = {
+      {10, "<=10"}, {20, "<=20"}, {30, "<=30"}, {41, "<=41"}};
+  // [subset_size][bucket] -> count of optimal runs; plus non-converged.
+  std::map<size_t, std::vector<int>> optimal_hist;
+  std::map<size_t, int> not_optimal;
+  std::map<size_t, int> generated;
+
+  for (const AttemptRecord& a : run->attempts) {
+    if (!a.valid) continue;
+    ++generated[a.subset_size];
+    if (!a.optimal) {
+      ++not_optimal[a.subset_size];
+      continue;
+    }
+    auto& hist = optimal_hist[a.subset_size];
+    hist.resize(buckets.size(), 0);
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (a.stats.iterations <= buckets[b].first) {
+        ++hist[b];
+        break;
+      }
+    }
+  }
+
+  std::printf("%-8s | %-9s", "# cols", "# valid");
+  for (const auto& [limit, label] : buckets) std::printf(" | %-6s", label);
+  std::printf(" | %-12s\n", "not optimal");
+  for (const size_t size : {size_t{1}, size_t{2}, size_t{3}}) {
+    std::printf("%-8zu | %-9d", size, generated[size]);
+    auto& hist = optimal_hist[size];
+    hist.resize(buckets.size(), 0);
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      std::printf(" | %-6d", hist[b]);
+    }
+    std::printf(" | %-12d\n", not_optimal[size]);
+  }
+
+  std::printf(
+      "\nPaper: 109 of 182 one-column predicates converge to optimal within\n"
+      "10 iterations; two- and three-column predicates frequently exhaust\n"
+      "the 41-iteration budget without an optimality certificate.\n"
+      "Expected shape: one-column runs certify optimality in the small\n"
+      "buckets (our bisection needs ~log2(date range) ~ 13 iterations,\n"
+      "so mass sits in <=10 and <=20); the 'not optimal' column grows\n"
+      "with subset size.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Reproduces paper Fig. 8: "Sample Distribution" — the distribution of
+// the number of TRUE and FALSE training samples present at the final
+// iteration of SIA's learning loop, per column-subset size.
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "bench/experiment_lib.h"
+
+using sia::bench::AttemptRecord;
+using sia::bench::EfficacyConfig;
+using sia::bench::PrintHeader;
+using sia::bench::Technique;
+
+namespace {
+
+void PrintHistogram(const char* title,
+                    const std::map<size_t, std::vector<size_t>>& counts) {
+  const std::vector<std::pair<size_t, const char*>> buckets = {
+      {25, "<=25"},  {50, "<=50"},   {100, "<=100"},
+      {150, "<=150"}, {220, "<=220"}, {SIZE_MAX, ">220"}};
+  std::printf("\n%s\n%-8s", title, "# cols");
+  for (const auto& [limit, label] : buckets) std::printf(" | %-6s", label);
+  std::printf("\n");
+  for (const size_t size : {size_t{1}, size_t{2}, size_t{3}}) {
+    std::printf("%-8zu", size);
+    const auto it = counts.find(size);
+    std::vector<int> hist(buckets.size(), 0);
+    if (it != counts.end()) {
+      for (const size_t n : it->second) {
+        for (size_t b = 0; b < buckets.size(); ++b) {
+          if (n <= buckets[b].first) {
+            ++hist[b];
+            break;
+          }
+        }
+      }
+    }
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      std::printf(" | %-6d", hist[b]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  EfficacyConfig config = EfficacyConfig::FromEnv();
+  config.techniques = {Technique::kSia};
+  PrintHeader("Fig. 8: training-sample counts at the final iteration (SIA, "
+              "queries=" + std::to_string(config.query_count) + ")");
+
+  auto run = sia::bench::RunEfficacyExperiment(config);
+  if (!run.ok()) {
+    std::cerr << "experiment failed: " << run.status().ToString() << "\n";
+    return 1;
+  }
+
+  std::map<size_t, std::vector<size_t>> true_counts;
+  std::map<size_t, std::vector<size_t>> false_counts;
+  for (const AttemptRecord& a : run->attempts) {
+    if (!a.valid) continue;
+    true_counts[a.subset_size].push_back(a.stats.true_samples);
+    false_counts[a.subset_size].push_back(a.stats.false_samples);
+  }
+
+  PrintHistogram("(a) TRUE samples", true_counts);
+  PrintHistogram("(b) FALSE samples", false_counts);
+
+  std::printf(
+      "\nPaper: 178 of 182 successful one-column predicates needed fewer\n"
+      "than 50 TRUE samples; 118 of 158 optimal one-column predicates\n"
+      "needed fewer than 100 FALSE samples; multi-column predicates\n"
+      "consume more of both.\n"
+      "Expected shape: one-column mass concentrated in the small buckets,\n"
+      "shifting right as the subset size grows.\n");
+  return 0;
+}

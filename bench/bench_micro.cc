@@ -1,0 +1,208 @@
+// Google-benchmark micro-suite for the building blocks: parser, binder,
+// compiled predicate evaluation, SVM training, SMT sample generation,
+// verification, and the engine operators. These are the components whose
+// costs Table 3 aggregates; the micro numbers let regressions be
+// localized.
+#include <benchmark/benchmark.h>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "engine/exec_expr.h"
+#include "ir/evaluator.h"
+#include "engine/executor.h"
+#include "engine/runner.h"
+#include "engine/tpch_gen.h"
+#include "ir/binder.h"
+#include "ir/builder.h"
+#include "learn/learner.h"
+#include "learn/svm.h"
+#include "parser/parser.h"
+#include "synth/sample_generator.h"
+#include "synth/synthesizer.h"
+#include "synth/verifier.h"
+
+namespace sia {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+const char* kSql =
+    "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+    "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01' "
+    "AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10";
+
+Schema Abc() {
+  Schema s;
+  s.AddColumn({"t", "a1", DataType::kInteger, false});
+  s.AddColumn({"t", "a2", DataType::kInteger, false});
+  s.AddColumn({"t", "b1", DataType::kInteger, false});
+  return s;
+}
+
+ExprPtr MotivatingPredicate(const Schema& s) {
+  return Bind((Col("a2") - Col("b1") < Lit(20)) &&
+                  (Col("a1") - Col("a2") < Col("a2") - Col("b1") + Lit(10)) &&
+                  (Col("b1") < Lit(0)),
+              s)
+      .value();
+}
+
+void BM_ParseQuery(benchmark::State& state) {
+  for (auto _ : state) {
+    auto q = ParseQuery(kSql);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_ParseQuery);
+
+void BM_BindPredicate(benchmark::State& state) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const Schema joint = catalog.JointSchema({"lineitem", "orders"}).value();
+  const ParsedQuery q = ParseQuery(kSql).value();
+  for (auto _ : state) {
+    auto bound = Bind(q.where, joint);
+    benchmark::DoNotOptimize(bound);
+  }
+}
+BENCHMARK(BM_BindPredicate);
+
+void BM_CompiledPredicateEval(benchmark::State& state) {
+  const Schema s = Abc();
+  const ExprPtr p = MotivatingPredicate(s);
+  const CompiledExpr compiled = CompiledExpr::Compile(p).value();
+
+  class Row : public RowAccessor {
+   public:
+    int64_t v[3] = {-10, -20, -5};
+    int64_t IntAt(size_t c) const override { return v[c]; }
+    double DoubleAt(size_t) const override { return 0; }
+    bool IsNull(size_t) const override { return false; }
+  } row;
+
+  for (auto _ : state) {
+    row.v[0] = (row.v[0] + 7) % 100 - 50;
+    benchmark::DoNotOptimize(compiled.EvalPredicate(row));
+  }
+}
+BENCHMARK(BM_CompiledPredicateEval);
+
+void BM_TreeWalkingEval(benchmark::State& state) {
+  const Schema s = Abc();
+  const ExprPtr p = MotivatingPredicate(s);
+  Tuple t({Value::Integer(-10), Value::Integer(-20), Value::Integer(-5)});
+  for (auto _ : state) {
+    auto r = Satisfies(*p, t);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TreeWalkingEval);
+
+void BM_SvmTrain(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  Rng rng(3);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.Uniform(-100, 100);
+    const double b = rng.Uniform(-100, 100);
+    points.push_back({a, b});
+    labels.push_back(a - b - 10 > 0 ? 1 : -1);
+  }
+  for (auto _ : state) {
+    auto m = TrainLinearSvm(points, labels);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_SvmTrain)->Arg(20)->Arg(110)->Arg(440);
+
+void BM_GenerateTrueSamples(benchmark::State& state) {
+  const Schema s = Abc();
+  const ExprPtr p = MotivatingPredicate(s);
+  for (auto _ : state) {
+    SampleGenerator gen(p, s, {0, 1});
+    auto samples = gen.GenerateTrue(static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(samples);
+  }
+}
+BENCHMARK(BM_GenerateTrueSamples)->Arg(10)->Arg(50);
+
+void BM_GenerateFalseSamples(benchmark::State& state) {
+  const Schema s = Abc();
+  const ExprPtr p = MotivatingPredicate(s);
+  for (auto _ : state) {
+    SampleGenerator gen(p, s, {0, 1});
+    auto samples = gen.GenerateFalse(static_cast<size_t>(state.range(0)));
+    benchmark::DoNotOptimize(samples);
+  }
+}
+BENCHMARK(BM_GenerateFalseSamples)->Arg(10)->Arg(50);
+
+void BM_Verify(benchmark::State& state) {
+  const Schema s = Abc();
+  const ExprPtr p = MotivatingPredicate(s);
+  const ExprPtr learned =
+      Bind(Col("a1") - Col("a2") < Lit(29), s).value();
+  for (auto _ : state) {
+    auto v = VerifyImplies(p, learned, s);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_Verify);
+
+void BM_FullSynthesis(benchmark::State& state) {
+  const Schema s = Abc();
+  const ExprPtr p = MotivatingPredicate(s);
+  for (auto _ : state) {
+    auto r = Synthesize(p, s, {0, 1});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FullSynthesis)->Unit(benchmark::kMillisecond);
+
+void BM_EngineScanFilter(benchmark::State& state) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  static const TpchData data = GenerateTpch(0.01);
+  Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+  for (auto _ : state) {
+    auto out = RunSql(
+        "SELECT * FROM lineitem WHERE l_shipdate < '1995-01-01'", catalog,
+        executor);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.lineitem.row_count()));
+}
+BENCHMARK(BM_EngineScanFilter)->Unit(benchmark::kMillisecond);
+
+void BM_EngineHashJoin(benchmark::State& state) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  static const TpchData data = GenerateTpch(0.01);
+  Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+  for (auto _ : state) {
+    auto out = RunSql(
+        "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey",
+        catalog, executor);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.lineitem.row_count()));
+}
+BENCHMARK(BM_EngineHashJoin)->Unit(benchmark::kMillisecond);
+
+void BM_TpchGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    auto data = GenerateTpch(0.005);
+    benchmark::DoNotOptimize(data);
+  }
+  state.SetLabel("SF 0.005");
+}
+BENCHMARK(BM_TpchGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sia
+
+BENCHMARK_MAIN();

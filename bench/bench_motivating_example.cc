@@ -1,0 +1,93 @@
+// Reproduces the paper's §2 motivating example end-to-end: the TPC-H
+// ship/commit/order-date query Q1 is rewritten into Q2 by synthesizing
+// lineitem-only predicates, and both are executed to show the speedup
+// and the equality of results. The paper reports Q2 running 2x faster
+// than Q1 on Postgres at SF 10 (94 s -> 50 s).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/experiment_lib.h"
+#include "catalog/catalog.h"
+#include "engine/executor.h"
+#include "engine/runner.h"
+#include "engine/tpch_gen.h"
+#include "parser/parser.h"
+#include "rewrite/planner.h"
+#include "rewrite/sia_rewriter.h"
+
+using namespace sia;  // NOLINT: single-binary harness
+
+int main() {
+  bench::PrintHeader("Motivating example (paper §2): Q1 -> Q2");
+
+  const std::string q1 =
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+      "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01' "
+      "AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10";
+  std::printf("Q1: %s\n\n", q1.c_str());
+
+  const Catalog catalog = Catalog::TpchCatalog();
+  RewriteOptions opts;
+  opts.target_table = "lineitem";
+  auto outcome = RewriteQuery(q1, catalog, opts);
+  if (!outcome.ok()) {
+    std::cerr << "rewrite failed: " << outcome.status().ToString() << "\n";
+    return 1;
+  }
+  if (!outcome->changed()) {
+    std::cerr << "no predicate synthesized (status "
+              << SynthesisStatusName(outcome->synthesis.status) << ")\n";
+    return 1;
+  }
+  std::printf("learned predicate: %s\n", outcome->learned->ToString().c_str());
+  std::printf("Q2: %s\n\n", outcome->rewritten.ToString().c_str());
+  std::printf("synthesis: status=%s iterations=%d gen=%.0fms learn=%.0fms "
+              "verify=%.0fms\n\n",
+              SynthesisStatusName(outcome->synthesis.status),
+              outcome->synthesis.stats.iterations,
+              outcome->synthesis.stats.generation_ms,
+              outcome->synthesis.stats.learning_ms,
+              outcome->synthesis.stats.validation_ms);
+  std::printf("paper reference predicates: l_shipdate < '1993-06-20', "
+              "l_commitdate < '1993-07-18',\n"
+              "l_commitdate - l_shipdate < 29\n\n");
+
+  const double sf =
+      bench::EnvInt("SIA_BENCH_SF_MILLI", 200) / 1000.0;
+  const TpchData data = GenerateTpch(sf);
+  Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+  std::printf("engine: SF %.2f (%zu lineitem rows, %zu orders rows)\n", sf,
+              data.lineitem.row_count(), data.orders.row_count());
+
+  auto run = [&](const ParsedQuery& q) {
+    double best = 1e300;
+    Result<QueryOutput> out(Status::OK());
+    for (int r = 0; r < 3; ++r) {
+      out = RunQuery(q, catalog, executor);
+      if (!out.ok()) break;
+      best = std::min(best, out->elapsed_ms);
+    }
+    return std::make_pair(best, std::move(out));
+  };
+
+  auto q1_parsed = ParseQuery(q1);
+  auto [t1, out1] = run(*q1_parsed);
+  auto [t2, out2] = run(outcome->rewritten);
+  if (!out1.ok() || !out2.ok()) {
+    std::cerr << "execution failed\n";
+    return 1;
+  }
+  std::printf("\nQ1: %8.2f ms   (%zu rows)\n", t1, out1->row_count);
+  std::printf("Q2: %8.2f ms   (%zu rows)\n", t2, out2->row_count);
+  std::printf("speedup: %.2fx   results %s\n", t1 / t2,
+              out1->content_hash == out2->content_hash ? "IDENTICAL"
+                                                       : "DIFFER (BUG)");
+  std::printf("join probe rows: Q1=%zu Q2=%zu\n",
+              out1->stats.join_probe_rows, out2->stats.join_probe_rows);
+  std::printf("\nPaper: 2x speedup on Postgres SF10 (94 s -> 50 s). Expected "
+              "shape:\nQ2 faster with a materially smaller join probe input "
+              "and identical\nresults.\n");
+  return out1->content_hash == out2->content_hash ? 0 : 1;
+}

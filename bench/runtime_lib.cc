@@ -1,0 +1,130 @@
+#include "bench/runtime_lib.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "bench/experiment_lib.h"
+#include "catalog/catalog.h"
+#include "engine/executor.h"
+#include "engine/runner.h"
+#include "engine/tpch_gen.h"
+#include "rewrite/sia_rewriter.h"
+#include "workload/querygen.h"
+
+namespace sia::bench {
+
+RuntimeConfig RuntimeConfig::FromEnv(double default_sf) {
+  RuntimeConfig c;
+  c.scale_factor = default_sf;
+  c.query_count = static_cast<size_t>(
+      EnvInt("SIA_BENCH_QUERIES", static_cast<int64_t>(c.query_count)));
+  const int64_t sf_milli = EnvInt("SIA_BENCH_SF_MILLI", 0);
+  if (sf_milli > 0) c.scale_factor = static_cast<double>(sf_milli) / 1000.0;
+  return c;
+}
+
+namespace {
+
+double BestOf(int reps, const std::function<Result<QueryOutput>()>& run,
+              Result<QueryOutput>* last) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    *last = run();
+    if (!last->ok()) return -1;
+    best = std::min(best, (*last)->elapsed_ms);
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<std::vector<RuntimeRecord>> RunRuntimeExperiment(
+    const RuntimeConfig& config) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const TpchData data = GenerateTpch(config.scale_factor);
+  Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+
+  QueryGenOptions gen_opts;
+  gen_opts.seed = config.seed;
+  SIA_ASSIGN_OR_RETURN(
+      std::vector<GeneratedQuery> queries,
+      GenerateWorkload(catalog, config.query_count, gen_opts));
+
+  RewriteOptions rw;
+  rw.target_table = "lineitem";
+
+  std::vector<RuntimeRecord> records;
+  records.reserve(queries.size());
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    RuntimeRecord rec;
+    rec.query_index = qi;
+
+    SIA_ASSIGN_OR_RETURN(RewriteOutcome outcome,
+                         RewriteQuery(queries[qi].query, catalog, rw));
+    rec.rewritten = outcome.changed();
+    if (!rec.rewritten) {
+      records.push_back(std::move(rec));
+      continue;
+    }
+    rec.learned = outcome.learned->ToString();
+
+    Result<QueryOutput> original(Status::OK());
+    Result<QueryOutput> rewritten(Status::OK());
+    rec.original_ms = BestOf(
+        config.repetitions,
+        [&] { return RunQuery(queries[qi].query, catalog, executor); },
+        &original);
+    rec.rewritten_ms = BestOf(
+        config.repetitions,
+        [&] { return RunQuery(outcome.rewritten, catalog, executor); },
+        &rewritten);
+    if (!original.ok()) return original.status();
+    if (!rewritten.ok()) return rewritten.status();
+    rec.results_match = original->content_hash == rewritten->content_hash &&
+                        original->row_count == rewritten->row_count;
+
+    // Learned predicate selectivity on lineitem (lineitem occupies the
+    // first columns of the joint schema, so indices line up).
+    SIA_ASSIGN_OR_RETURN(double sel,
+                         MeasureSelectivity(data.lineitem, outcome.learned));
+    rec.selectivity = sel;
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+RuntimeSummary Summarize(const std::vector<RuntimeRecord>& records) {
+  RuntimeSummary s;
+  double sel_f = 0, sel_f2 = 0, sel_s = 0, sel_s2 = 0;
+  int n_f2 = 0, n_s2 = 0;
+  for (const RuntimeRecord& r : records) {
+    if (!r.rewritten) continue;
+    ++s.rewritten;
+    if (r.rewritten_ms < r.original_ms) {
+      ++s.faster;
+      sel_f += r.selectivity;
+      if (r.rewritten_ms * 2 < r.original_ms) {
+        ++s.faster_2x;
+        sel_f2 += r.selectivity;
+        ++n_f2;
+      }
+    } else {
+      ++s.slower;
+      sel_s += r.selectivity;
+      if (r.rewritten_ms > 2 * r.original_ms) {
+        ++s.slower_2x;
+        sel_s2 += r.selectivity;
+        ++n_s2;
+      }
+    }
+  }
+  if (s.faster > 0) s.avg_sel_faster = sel_f / s.faster;
+  if (n_f2 > 0) s.avg_sel_faster_2x = sel_f2 / n_f2;
+  if (s.slower > 0) s.avg_sel_slower = sel_s / s.slower;
+  if (n_s2 > 0) s.avg_sel_slower_2x = sel_s2 / n_s2;
+  return s;
+}
+
+}  // namespace sia::bench

@@ -1,0 +1,74 @@
+// Pushdown tour: shows WHY learned predicates speed queries up, by
+// printing the logical plans and engine execution statistics before and
+// after the rewrite — the Fig. 1 story of the paper, end to end on real
+// (generated) data.
+#include <cstdio>
+#include <iostream>
+
+#include "catalog/catalog.h"
+#include "engine/executor.h"
+#include "engine/runner.h"
+#include "engine/tpch_gen.h"
+#include "parser/parser.h"
+#include "rewrite/planner.h"
+#include "rewrite/sia_rewriter.h"
+
+int main() {
+  const sia::Catalog catalog = sia::Catalog::TpchCatalog();
+
+  const std::string sql =
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+      "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01' "
+      "AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10";
+
+  auto query = sia::ParseQuery(sql);
+  if (!query.ok()) {
+    std::cerr << query.status().ToString() << "\n";
+    return 1;
+  }
+
+  // --- Plan P1: the original query. The only pushable conjunct touches
+  // orders; lineitem is scanned in full.
+  auto p1 = sia::PlanQuery(*query, catalog);
+  std::printf("P1 (original):\n%s\n", (*p1)->ToString().c_str());
+
+  // --- Rewrite with Sia, then re-plan.
+  sia::RewriteOptions options;
+  options.target_table = "lineitem";
+  auto outcome = sia::RewriteQuery(*query, catalog, options);
+  if (!outcome.ok() || !outcome->changed()) {
+    std::cerr << "rewrite produced nothing\n";
+    return 1;
+  }
+  std::printf("learned predicate: %s\n\n",
+              outcome->learned->ToString().c_str());
+  auto p2 = sia::PlanQuery(outcome->rewritten, catalog);
+  std::printf("P2 (rewritten):\n%s\n", (*p2)->ToString().c_str());
+
+  // --- Execute both on generated TPC-H data and compare operator stats.
+  const sia::TpchData data = sia::GenerateTpch(0.05);
+  sia::Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+
+  auto r1 = executor.Execute(*p1);
+  auto r2 = executor.Execute(*p2);
+  if (!r1.ok() || !r2.ok()) {
+    std::cerr << "execution failed\n";
+    return 1;
+  }
+  std::printf("                      %12s %12s\n", "P1", "P2");
+  std::printf("rows scanned        : %12zu %12zu\n", r1->stats.rows_scanned,
+              r2->stats.rows_scanned);
+  std::printf("rows into join probe: %12zu %12zu   <-- the payoff\n",
+              r1->stats.join_probe_rows, r2->stats.join_probe_rows);
+  std::printf("join output rows    : %12zu %12zu\n",
+              r1->stats.join_output_rows, r2->stats.join_output_rows);
+  std::printf("final output rows   : %12zu %12zu\n", r1->row_count,
+              r2->row_count);
+  std::printf("elapsed ms          : %12.2f %12.2f\n", r1->elapsed_ms,
+              r2->elapsed_ms);
+  std::printf("results identical   : %s\n",
+              r1->content_hash == r2->content_hash ? "yes" : "NO (bug!)");
+  return 0;
+}

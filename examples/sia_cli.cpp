@@ -1,0 +1,163 @@
+// sia_cli — command-line driver for the full pipeline: parse a query,
+// synthesize a learned predicate for a target table, optionally EXPLAIN
+// both plans and execute them on generated TPC-H data.
+//
+//   sia_cli [--target TABLE] [--columns a,b,c] [--explain]
+//           [--execute] [--sf MILLI] [--max-iterations N] [SQL]
+//
+// With no SQL argument the paper's §2 motivating query is used. Examples:
+//
+//   sia_cli
+//   sia_cli --explain --execute --sf 50
+//   sia_cli --target lineitem --columns l_shipdate \
+//       "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
+//        AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01'"
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/strings.h"
+#include "engine/executor.h"
+#include "engine/runner.h"
+#include "engine/tpch_gen.h"
+#include "parser/parser.h"
+#include "rewrite/planner.h"
+#include "rewrite/sia_rewriter.h"
+
+namespace {
+
+constexpr const char* kDefaultSql =
+    "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+    "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01' "
+    "AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10";
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--target TABLE] [--columns a,b] [--explain]\n"
+               "          [--execute] [--sf MILLI] [--max-iterations N] "
+               "[SQL]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sql = kDefaultSql;
+  sia::RewriteOptions options;
+  options.target_table = "lineitem";
+  bool explain = false;
+  bool execute = false;
+  int sf_milli = 100;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--target") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.target_table = v;
+    } else if (arg == "--columns") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.target_columns = sia::Split(v, ',');
+    } else if (arg == "--max-iterations") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.synthesis.max_iterations = std::atoi(v);
+    } else if (arg == "--sf") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      sf_milli = std::atoi(v);
+    } else if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--execute") {
+      execute = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      sql = arg;
+    }
+  }
+
+  const sia::Catalog catalog = sia::Catalog::TpchCatalog();
+
+  auto parsed = sia::ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  std::printf("-- original\n%s\n\n", parsed->ToString().c_str());
+
+  auto outcome = sia::RewriteQuery(*parsed, catalog, options);
+  if (!outcome.ok()) {
+    std::cerr << "rewrite error: " << outcome.status().ToString() << "\n";
+    return 1;
+  }
+  if (!outcome->changed()) {
+    std::printf("-- no predicate synthesized (status: %s)\n",
+                sia::SynthesisStatusName(outcome->synthesis.status));
+  } else {
+    std::printf("-- learned (%s, %d iterations, %.0f ms)\n%s\n\n",
+                sia::SynthesisStatusName(outcome->synthesis.status),
+                outcome->synthesis.stats.iterations,
+                outcome->synthesis.stats.generation_ms +
+                    outcome->synthesis.stats.learning_ms +
+                    outcome->synthesis.stats.validation_ms,
+                outcome->learned->ToString().c_str());
+    std::printf("-- rewritten\n%s\n\n",
+                outcome->rewritten.ToString().c_str());
+  }
+
+  if (explain) {
+    auto p1 = sia::PlanQuery(*parsed, catalog);
+    if (p1.ok()) {
+      std::printf("-- plan (original)\n%s\n", (*p1)->ToString().c_str());
+    }
+    if (outcome->changed()) {
+      auto p2 = sia::PlanQuery(outcome->rewritten, catalog);
+      if (p2.ok()) {
+        std::printf("-- plan (rewritten)\n%s\n", (*p2)->ToString().c_str());
+      }
+    }
+  }
+
+  if (execute) {
+    const double sf = sf_milli / 1000.0;
+    std::printf("-- executing on generated TPC-H data, SF %.3f\n", sf);
+    const sia::TpchData data = sia::GenerateTpch(sf);
+    sia::Executor executor;
+    executor.RegisterTable("lineitem", &data.lineitem);
+    executor.RegisterTable("orders", &data.orders);
+    auto r1 = sia::RunQuery(*parsed, catalog, executor);
+    if (!r1.ok()) {
+      std::cerr << "execution error: " << r1.status().ToString() << "\n";
+      return 1;
+    }
+    std::printf("original : %8.2f ms, %zu rows\n", r1->elapsed_ms,
+                r1->row_count);
+    if (outcome->changed()) {
+      auto r2 = sia::RunQuery(outcome->rewritten, catalog, executor);
+      if (!r2.ok()) {
+        std::cerr << "execution error: " << r2.status().ToString() << "\n";
+        return 1;
+      }
+      std::printf("rewritten: %8.2f ms, %zu rows  (results %s, %.2fx)\n",
+                  r2->elapsed_ms, r2->row_count,
+                  r1->content_hash == r2->content_hash ? "identical"
+                                                       : "DIFFER",
+                  r1->elapsed_ms / r2->elapsed_ms);
+      if (r1->content_hash != r2->content_hash) return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "catalog/catalog.h"
+
+#include "common/strings.h"
+
+namespace sia {
+
+void Catalog::RegisterTable(const std::string& name, Schema schema) {
+  tables_[ToLower(name)] = std::move(schema);
+}
+
+Result<Schema> Catalog::GetTable(const std::string& name) const {
+  const auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table not found: '" + name + "'");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.contains(ToLower(name));
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, schema] : tables_) out.push_back(name);
+  return out;
+}
+
+Result<Schema> Catalog::JointSchema(
+    const std::vector<std::string>& tables) const {
+  Schema joint;
+  for (const std::string& t : tables) {
+    SIA_ASSIGN_OR_RETURN(Schema s, GetTable(t));
+    for (const ColumnDef& c : s.columns()) joint.AddColumn(c);
+  }
+  return joint;
+}
+
+Catalog Catalog::TpchCatalog() {
+  Catalog catalog;
+
+  Schema lineitem;
+  auto add = [](Schema* s, const char* table, const char* name, DataType t,
+                bool nullable = false) {
+    s->AddColumn(ColumnDef{table, name, t, nullable});
+  };
+  add(&lineitem, "lineitem", "l_orderkey", DataType::kInteger);
+  add(&lineitem, "lineitem", "l_partkey", DataType::kInteger);
+  add(&lineitem, "lineitem", "l_linenumber", DataType::kInteger);
+  add(&lineitem, "lineitem", "l_quantity", DataType::kInteger);
+  add(&lineitem, "lineitem", "l_extendedprice", DataType::kDouble);
+  add(&lineitem, "lineitem", "l_discount", DataType::kDouble);
+  add(&lineitem, "lineitem", "l_tax", DataType::kDouble);
+  add(&lineitem, "lineitem", "l_shipdate", DataType::kDate);
+  add(&lineitem, "lineitem", "l_commitdate", DataType::kDate);
+  add(&lineitem, "lineitem", "l_receiptdate", DataType::kDate);
+  catalog.RegisterTable("lineitem", std::move(lineitem));
+
+  Schema orders;
+  add(&orders, "orders", "o_orderkey", DataType::kInteger);
+  add(&orders, "orders", "o_custkey", DataType::kInteger);
+  add(&orders, "orders", "o_totalprice", DataType::kDouble);
+  add(&orders, "orders", "o_orderdate", DataType::kDate);
+  add(&orders, "orders", "o_shippriority", DataType::kInteger);
+  catalog.RegisterTable("orders", std::move(orders));
+
+  return catalog;
+}
+
+}  // namespace sia

@@ -1,0 +1,45 @@
+#ifndef SIA_CATALOG_CATALOG_H_
+#define SIA_CATALOG_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/schema.h"
+
+namespace sia {
+
+// Table metadata registry. Sia binds SQL queries against a catalog; the
+// execution engine attaches storage to the same table names.
+class Catalog {
+ public:
+  // Registers `schema` under `name` (case-insensitive). Overwrites any
+  // existing definition.
+  void RegisterTable(const std::string& name, Schema schema);
+
+  // Returns the schema for `name`, or NotFound.
+  Result<Schema> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  // Registered table names, sorted.
+  std::vector<std::string> TableNames() const;
+
+  // Builds the joint schema for a FROM list: the concatenation of the
+  // tables' schemas in order, with column `table` fields set so that
+  // qualified lookup works.
+  Result<Schema> JointSchema(const std::vector<std::string>& tables) const;
+
+  // A catalog pre-populated with the TPC-H `lineitem` and `orders`
+  // tables (the subset of columns Sia's evaluation uses, plus the join
+  // keys and a few measure columns for realistic row widths).
+  static Catalog TpchCatalog();
+
+ private:
+  std::map<std::string, Schema> tables_;  // keys lowercased
+};
+
+}  // namespace sia
+
+#endif  // SIA_CATALOG_CATALOG_H_

@@ -1,0 +1,82 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+namespace sia {
+
+namespace {
+
+// Days-from-civil algorithm by Howard Hinnant (public domain); shifts the
+// epoch so that day 0 == 1970-01-01.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                 // [0,399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0,365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;  // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+}  // namespace
+
+int64_t CivilToDay(const CivilDate& d) {
+  return DaysFromCivil(d.year, d.month, d.day);
+}
+
+CivilDate DayToCivil(int64_t z) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;                               // [0,146096]
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0,365]
+  const int64_t mp = (5 * doy + 2) / 153;                             // [0,11]
+  const int64_t d = doy - (153 * mp + 2) / 5 + 1;                     // [1,31]
+  const int64_t m = mp + (mp < 10 ? 3 : -9);                          // [1,12]
+  CivilDate out;
+  out.year = static_cast<int32_t>(y + (m <= 2));
+  out.month = static_cast<int32_t>(m);
+  out.day = static_cast<int32_t>(d);
+  return out;
+}
+
+bool IsLeapYear(int32_t year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int32_t DaysInMonth(int32_t year, int32_t month) {
+  static constexpr int32_t kDays[] = {31, 28, 31, 30, 31, 30,
+                                      31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+Result<CivilDate> ParseDate(const std::string& text) {
+  CivilDate d;
+  char extra = 0;
+  if (std::sscanf(text.c_str(), "%d-%d-%d%c", &d.year, &d.month, &d.day,
+                  &extra) != 3) {
+    return Status::ParseError("invalid date literal: '" + text + "'");
+  }
+  if (d.month < 1 || d.month > 12) {
+    return Status::ParseError("month out of range in date: '" + text + "'");
+  }
+  if (d.day < 1 || d.day > DaysInMonth(d.year, d.month)) {
+    return Status::ParseError("day out of range in date: '" + text + "'");
+  }
+  return d;
+}
+
+Result<int64_t> ParseDateToDay(const std::string& text) {
+  SIA_ASSIGN_OR_RETURN(CivilDate d, ParseDate(text));
+  return CivilToDay(d);
+}
+
+std::string FormatDay(int64_t day) {
+  const CivilDate d = DayToCivil(day);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", d.year, d.month, d.day);
+  return buf;
+}
+
+}  // namespace sia

@@ -1,0 +1,50 @@
+#ifndef SIA_COMMON_DATE_H_
+#define SIA_COMMON_DATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace sia {
+
+// Calendar dates are represented throughout Sia as a signed day number:
+// the number of days since the Unix epoch (1970-01-01 is day 0). This
+// matches the paper's DATE -> INTEGER normalization (§3.2): all arithmetic
+// (date - date, date + interval) and comparison relations are preserved.
+//
+// The conversion uses the proleptic Gregorian calendar and is exact for
+// the full int32 year range; TPC-H dates span 1992-1998.
+
+struct CivilDate {
+  int32_t year = 1970;
+  int32_t month = 1;  // 1-12
+  int32_t day = 1;    // 1-31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+// Converts a civil date to its epoch day number.
+int64_t CivilToDay(const CivilDate& d);
+
+// Converts an epoch day number back to a civil date.
+CivilDate DayToCivil(int64_t day);
+
+// Parses "YYYY-MM-DD". Rejects out-of-range months/days.
+Result<CivilDate> ParseDate(const std::string& text);
+
+// Parses "YYYY-MM-DD" directly to an epoch day number.
+Result<int64_t> ParseDateToDay(const std::string& text);
+
+// Formats an epoch day number as "YYYY-MM-DD".
+std::string FormatDay(int64_t day);
+
+// True if `year` is a Gregorian leap year.
+bool IsLeapYear(int32_t year);
+
+// Number of days in `month` of `year` (month in 1-12).
+int32_t DaysInMonth(int32_t year, int32_t month);
+
+}  // namespace sia
+
+#endif  // SIA_COMMON_DATE_H_

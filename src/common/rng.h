@@ -1,0 +1,43 @@
+#ifndef SIA_COMMON_RNG_H_
+#define SIA_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace sia {
+
+// Deterministic, seedable random number generator (xoshiro256**).
+// Used by the data generator and the workload generator so experiments are
+// reproducible across runs and platforms. Not cryptographic.
+class Rng {
+ public:
+  static constexpr uint64_t kDefaultSeed = 0x51A51A51A51AULL;
+
+  explicit Rng(uint64_t seed = kDefaultSeed) { Seed(seed); }
+
+  // Re-seeds the generator via splitmix64 expansion of `seed`.
+  void Seed(uint64_t seed);
+
+  // Next raw 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Standard normal variate (Box-Muller, cached pair).
+  double NextGaussian();
+
+  // Bernoulli trial with probability `p` of returning true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool has_gauss_ = false;
+  double gauss_ = 0.0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_COMMON_RNG_H_

@@ -1,0 +1,121 @@
+#ifndef SIA_COMMON_STATUS_H_
+#define SIA_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace sia {
+
+// Error category for a failed operation. Kept coarse on purpose: callers
+// branch on "did it work", and read the message for diagnostics.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kUnsupported,
+  kParseError,
+  kTypeError,
+  kSolverError,
+  kTimeout,
+  kInternal,
+};
+
+// Returns a short human-readable name for `code` (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+// Status is the result of an operation that can fail but returns no value.
+// It is cheap to copy in the OK case and carries a message otherwise.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status SolverError(std::string msg) {
+    return Status(StatusCode::kSolverError, std::move(msg));
+  }
+  static Status Timeout(std::string msg) {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Result<T> holds either a value or an error Status. The accessors CHECK
+// the state in debug builds; use ok() before dereferencing.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+// Propagates a non-OK Status from an expression to the caller.
+#define SIA_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::sia::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+// Evaluates a Result expression, assigning the value to `lhs` or
+// propagating the error status to the caller.
+#define SIA_ASSIGN_OR_RETURN(lhs, expr)        \
+  SIA_ASSIGN_OR_RETURN_IMPL(                   \
+      SIA_STATUS_CONCAT(_res, __LINE__), lhs, expr)
+
+#define SIA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+#define SIA_STATUS_CONCAT_INNER(a, b) a##b
+#define SIA_STATUS_CONCAT(a, b) SIA_STATUS_CONCAT_INNER(a, b)
+
+}  // namespace sia
+
+#endif  // SIA_COMMON_STATUS_H_

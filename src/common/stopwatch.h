@@ -1,0 +1,36 @@
+#ifndef SIA_COMMON_STOPWATCH_H_
+#define SIA_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sia {
+
+// Monotonic wall-clock stopwatch used by the synthesis-statistics and
+// engine-timing code paths.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  // Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_COMMON_STOPWATCH_H_

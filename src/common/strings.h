@@ -1,0 +1,31 @@
+#ifndef SIA_COMMON_STRINGS_H_
+#define SIA_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sia {
+
+// ASCII-lowercases `s`.
+std::string ToLower(std::string_view s);
+
+// ASCII-uppercases `s`.
+std::string ToUpper(std::string_view s);
+
+// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Splits `s` on `sep`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace sia
+
+#endif  // SIA_COMMON_STRINGS_H_

@@ -1,0 +1,48 @@
+#include "engine/cost_aware_rewriter.h"
+
+#include "common/strings.h"
+#include "ir/analysis.h"
+
+namespace sia {
+
+Result<CostAwareOutcome> RewriteQueryCostAware(
+    const ParsedQuery& query, const Catalog& catalog,
+    const Table& target_storage, const CostAwareOptions& options) {
+  CostAwareOutcome out;
+  SIA_ASSIGN_OR_RETURN(out.base,
+                       RewriteQuery(query, catalog, options.rewrite));
+  if (!out.base.changed()) return out;
+
+  // Rebase the learned predicate from the joint schema onto the target
+  // table's local schema.
+  size_t offset = 0;
+  bool found = false;
+  for (const std::string& t : query.tables) {
+    SIA_ASSIGN_OR_RETURN(Schema s, catalog.GetTable(t));
+    if (EqualsIgnoreCase(t, options.rewrite.target_table)) {
+      found = true;
+      break;
+    }
+    offset += s.size();
+  }
+  if (!found) {
+    return Status::Internal("target table vanished from the FROM list");
+  }
+  std::vector<std::pair<size_t, size_t>> remap;
+  for (const size_t c : CollectColumnIndices(out.base.learned)) {
+    if (c < offset || c - offset >= target_storage.schema().size()) {
+      return Status::Internal(
+          "learned predicate references non-target columns");
+    }
+    remap.emplace_back(c, c - offset);
+  }
+  ExprPtr local = RemapColumnIndices(out.base.learned, remap);
+
+  SIA_ASSIGN_OR_RETURN(
+      out.estimate,
+      EstimateSelectivity(target_storage, local, options.sample_size));
+  out.rejected_by_cost = out.estimate.selectivity > options.max_selectivity;
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,51 @@
+#ifndef SIA_ENGINE_COST_AWARE_REWRITER_H_
+#define SIA_ENGINE_COST_AWARE_REWRITER_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/column_table.h"
+#include "engine/selectivity.h"
+#include "rewrite/sia_rewriter.h"
+
+namespace sia {
+
+// Cost-aware admission for learned predicates (extension; DESIGN.md).
+//
+// The paper's Table 4 shows rewrites backfire exactly when the learned
+// predicate is nearly vacuous (average selectivity 0.94-0.98 in the
+// slower classes): the extra scan-side filter costs more than the join
+// saves. This wrapper estimates the learned predicate's selectivity on a
+// sample of the target table and drops the rewrite when it exceeds
+// `max_selectivity`, keeping the known-beneficial rewrites only.
+struct CostAwareOptions {
+  RewriteOptions rewrite;
+  // Admit the rewrite only when estimated selectivity <= this bound.
+  double max_selectivity = 0.9;
+  // Rows sampled for the estimate (0 = exact full scan).
+  size_t sample_size = 1000;
+};
+
+struct CostAwareOutcome {
+  RewriteOutcome base;     // the underlying Sia outcome
+  bool rejected_by_cost = false;
+  SelectivityEstimate estimate;  // meaningful when a predicate was learned
+
+  // The query to actually run: rewritten when admitted, original
+  // otherwise.
+  const ParsedQuery& FinalQuery(const ParsedQuery& original) const {
+    return (base.changed() && !rejected_by_cost) ? base.rewritten : original;
+  }
+};
+
+// `target_storage` is the data for `options.rewrite.target_table` (the
+// table the learned predicate filters). The learned predicate must use
+// only that table's columns, which occupy a prefix or contiguous span of
+// the joint schema; the estimate remaps indices accordingly.
+Result<CostAwareOutcome> RewriteQueryCostAware(const ParsedQuery& query,
+                                               const Catalog& catalog,
+                                               const Table& target_storage,
+                                               const CostAwareOptions& options);
+
+}  // namespace sia
+
+#endif  // SIA_ENGINE_COST_AWARE_REWRITER_H_

@@ -1,0 +1,163 @@
+#include "engine/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace sia {
+
+namespace {
+
+Result<Value> ParseField(const std::string& raw, const ColumnDef& col) {
+  const std::string text(StripWhitespace(raw));
+  if (text.empty()) {
+    if (!col.nullable) {
+      return Status::ParseError("empty value for non-nullable column " +
+                                col.QualifiedName());
+    }
+    return Value::Null(col.type);
+  }
+  try {
+    switch (col.type) {
+      case DataType::kInteger:
+        return Value::Integer(std::stoll(text));
+      case DataType::kDouble:
+        return Value::Double(std::stod(text));
+      case DataType::kDate: {
+        SIA_ASSIGN_OR_RETURN(int64_t day, ParseDateToDay(text));
+        return Value::Date(day);
+      }
+      case DataType::kTimestamp:
+        return Value::Timestamp(std::stoll(text));
+      case DataType::kBoolean: {
+        if (EqualsIgnoreCase(text, "true") || text == "1") {
+          return Value::Boolean(true);
+        }
+        if (EqualsIgnoreCase(text, "false") || text == "0") {
+          return Value::Boolean(false);
+        }
+        return Status::ParseError("invalid boolean: '" + text + "'");
+      }
+    }
+  } catch (const std::exception&) {
+    return Status::ParseError("invalid " +
+                              std::string(DataTypeName(col.type)) +
+                              " value: '" + text + "'");
+  }
+  return Status::Internal("unreachable data type");
+}
+
+std::string FormatField(const ColumnData& col, size_t row) {
+  if (col.IsNull(row)) return "";
+  switch (col.type()) {
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << col.DoubleAt(row);
+      return os.str();
+    }
+    case DataType::kDate:
+      return FormatDay(col.IntAt(row));
+    case DataType::kBoolean:
+      return col.IntAt(row) != 0 ? "true" : "false";
+    default:
+      return std::to_string(col.IntAt(row));
+  }
+}
+
+}  // namespace
+
+Result<Table> ReadCsv(const Schema& schema, std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError("empty CSV input (missing header)");
+  }
+  if (line.find('"') != std::string::npos) {
+    return Status::Unsupported("quoted CSV fields are not supported");
+  }
+  const std::vector<std::string> header = Split(line, ',');
+  if (header.size() != schema.size()) {
+    return Status::ParseError(
+        "header has " + std::to_string(header.size()) + " columns, schema has " +
+        std::to_string(schema.size()));
+  }
+  for (size_t i = 0; i < header.size(); ++i) {
+    const std::string name(StripWhitespace(header[i]));
+    if (!EqualsIgnoreCase(name, schema.column(i).name)) {
+      return Status::ParseError("header column " + std::to_string(i) +
+                                " is '" + name + "', expected '" +
+                                schema.column(i).name + "'");
+    }
+  }
+
+  Table table(schema);
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (StripWhitespace(line).empty()) continue;
+    if (line.find('"') != std::string::npos) {
+      return Status::Unsupported("quoted CSV fields are not supported (line " +
+                                 std::to_string(line_no) + ")");
+    }
+    const std::vector<std::string> fields = Split(line, ',');
+    if (fields.size() != schema.size()) {
+      return Status::ParseError("line " + std::to_string(line_no) + " has " +
+                                std::to_string(fields.size()) + " fields");
+    }
+    Tuple row;
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto value = ParseField(fields[i], schema.column(i));
+      if (!value.ok()) {
+        return Status::ParseError("line " + std::to_string(line_no) + ": " +
+                                  value.status().message());
+      }
+      row.Append(std::move(value).value());
+    }
+    SIA_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvString(const Schema& schema, const std::string& text) {
+  std::istringstream in(text);
+  return ReadCsv(schema, in);
+}
+
+Result<Table> ReadCsvFile(const Schema& schema, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open CSV file: " + path);
+  return ReadCsv(schema, in);
+}
+
+Status WriteCsv(const Table& table, std::ostream& out) {
+  const Schema& schema = table.schema();
+  for (size_t i = 0; i < schema.size(); ++i) {
+    if (i > 0) out << ',';
+    out << schema.column(i).name;
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.row_count(); ++r) {
+    for (size_t i = 0; i < schema.size(); ++i) {
+      if (i > 0) out << ',';
+      out << FormatField(table.column(i), r);
+    }
+    out << '\n';
+  }
+  if (!out) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Result<std::string> WriteCsvString(const Table& table) {
+  std::ostringstream out;
+  SIA_RETURN_IF_ERROR(WriteCsv(table, out));
+  return out.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open CSV file for write: " + path);
+  return WriteCsv(table, out);
+}
+
+}  // namespace sia

@@ -1,0 +1,35 @@
+#ifndef SIA_ENGINE_CSV_H_
+#define SIA_ENGINE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "engine/column_table.h"
+
+namespace sia {
+
+// CSV import/export for engine tables, so users can run Sia against
+// their own data instead of the TPC-H generator.
+//
+// Format: comma-separated, first line is a header whose names must match
+// the schema's column names (case-insensitive, order defines nothing —
+// the schema's order is authoritative and the header is validated
+// against it). Values: integers, decimals, dates as YYYY-MM-DD, booleans
+// as true/false/0/1, empty field = NULL (only for nullable columns).
+// No quoting/escaping — this is a data-exchange convenience, not a full
+// RFC 4180 implementation (unsupported constructs produce ParseError).
+
+// Parses CSV text into a table with the given schema.
+Result<Table> ReadCsv(const Schema& schema, std::istream& in);
+Result<Table> ReadCsvString(const Schema& schema, const std::string& text);
+Result<Table> ReadCsvFile(const Schema& schema, const std::string& path);
+
+// Writes a table as CSV (header + rows).
+Status WriteCsv(const Table& table, std::ostream& out);
+Result<std::string> WriteCsvString(const Table& table);
+Status WriteCsvFile(const Table& table, const std::string& path);
+
+}  // namespace sia
+
+#endif  // SIA_ENGINE_CSV_H_

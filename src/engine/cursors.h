@@ -1,0 +1,35 @@
+#ifndef SIA_ENGINE_CURSORS_H_
+#define SIA_ENGINE_CURSORS_H_
+
+#include "engine/column_table.h"
+#include "engine/exec_expr.h"
+
+namespace sia {
+
+// Non-virtual row cursor over a base table, for the compiled-expression
+// hot loops (CompiledExpr is templated on the accessor, so these calls
+// inline). Also usable wherever a RowAccessor is required.
+class TableCursor final : public RowAccessor {
+ public:
+  explicit TableCursor(const Table& table) : table_(table) {}
+
+  void set_row(size_t row) { row_ = row; }
+
+  int64_t IntAt(size_t col) const override {
+    return table_.column(col).IntAt(row_);
+  }
+  double DoubleAt(size_t col) const override {
+    return table_.column(col).DoubleAt(row_);
+  }
+  bool IsNull(size_t col) const override {
+    return table_.column(col).IsNull(row_);
+  }
+
+ private:
+  const Table& table_;
+  size_t row_ = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_ENGINE_CURSORS_H_

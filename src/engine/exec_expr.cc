@@ -1,0 +1,137 @@
+#include "engine/exec_expr.h"
+
+#include <algorithm>
+
+namespace sia {
+
+Result<CompiledExpr> CompiledExpr::Compile(const ExprPtr& expr) {
+  CompiledExpr out;
+  SIA_RETURN_IF_ERROR(out.Emit(expr));
+  // Postfix stack depth is bounded by tree depth + 1; compute exactly.
+  size_t depth = 0;
+  size_t max_depth = 0;
+  for (const Op& op : out.ops_) {
+    switch (op.code) {
+      case OpCode::kLoadInt:
+      case OpCode::kLoadDouble:
+      case OpCode::kConstInt:
+      case OpCode::kConstDouble:
+      case OpCode::kConstNull:
+      case OpCode::kConstBool:
+        ++depth;
+        break;
+      case OpCode::kNot:
+        break;  // 1 in, 1 out
+      default:
+        --depth;  // 2 in, 1 out
+        break;
+    }
+    max_depth = std::max(max_depth, depth);
+  }
+  out.max_stack_ = max_depth + 1;
+  if (out.max_stack_ > 64) {
+    return Status::Unsupported("expression too deep for compiled execution");
+  }
+  return out;
+}
+
+Status CompiledExpr::Emit(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      if (!expr->is_bound()) {
+        return Status::Internal("unbound column in CompiledExpr: " +
+                                expr->ToString());
+      }
+      Op op;
+      op.code = expr->type() == DataType::kDouble ? OpCode::kLoadDouble
+                                                  : OpCode::kLoadInt;
+      op.col = static_cast<uint32_t>(expr->index());
+      ops_.push_back(op);
+      return Status::OK();
+    }
+    case ExprKind::kLiteral: {
+      const Value& v = expr->literal();
+      Op op;
+      if (v.is_null()) {
+        op.code = OpCode::kConstNull;
+      } else if (v.type() == DataType::kDouble) {
+        op.code = OpCode::kConstDouble;
+        op.dval = v.AsDouble();
+      } else if (v.type() == DataType::kBoolean) {
+        op.code = OpCode::kConstBool;
+        op.ival = v.AsBool() ? 1 : 0;
+      } else {
+        op.code = OpCode::kConstInt;
+        op.ival = v.AsInt();
+      }
+      ops_.push_back(op);
+      return Status::OK();
+    }
+    case ExprKind::kArith: {
+      SIA_RETURN_IF_ERROR(Emit(expr->left()));
+      SIA_RETURN_IF_ERROR(Emit(expr->right()));
+      Op op;
+      switch (expr->arith_op()) {
+        case ArithOp::kAdd:
+          op.code = OpCode::kAdd;
+          break;
+        case ArithOp::kSub:
+          op.code = OpCode::kSub;
+          break;
+        case ArithOp::kMul:
+          op.code = OpCode::kMul;
+          break;
+        case ArithOp::kDiv:
+          op.code = OpCode::kDiv;
+          break;
+      }
+      ops_.push_back(op);
+      return Status::OK();
+    }
+    case ExprKind::kCompare: {
+      SIA_RETURN_IF_ERROR(Emit(expr->left()));
+      SIA_RETURN_IF_ERROR(Emit(expr->right()));
+      Op op;
+      switch (expr->compare_op()) {
+        case CompareOp::kLt:
+          op.code = OpCode::kCmpLt;
+          break;
+        case CompareOp::kLe:
+          op.code = OpCode::kCmpLe;
+          break;
+        case CompareOp::kGt:
+          op.code = OpCode::kCmpGt;
+          break;
+        case CompareOp::kGe:
+          op.code = OpCode::kCmpGe;
+          break;
+        case CompareOp::kEq:
+          op.code = OpCode::kCmpEq;
+          break;
+        case CompareOp::kNe:
+          op.code = OpCode::kCmpNe;
+          break;
+      }
+      ops_.push_back(op);
+      return Status::OK();
+    }
+    case ExprKind::kLogic: {
+      SIA_RETURN_IF_ERROR(Emit(expr->left()));
+      SIA_RETURN_IF_ERROR(Emit(expr->right()));
+      Op op;
+      op.code = expr->logic_op() == LogicOp::kAnd ? OpCode::kAnd : OpCode::kOr;
+      ops_.push_back(op);
+      return Status::OK();
+    }
+    case ExprKind::kNot: {
+      SIA_RETURN_IF_ERROR(Emit(expr->operand()));
+      Op op;
+      op.code = OpCode::kNot;
+      ops_.push_back(op);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unreachable kind in CompiledExpr::Emit");
+}
+
+}  // namespace sia

@@ -1,0 +1,268 @@
+#ifndef SIA_ENGINE_EXEC_EXPR_H_
+#define SIA_ENGINE_EXEC_EXPR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "ir/expr.h"
+
+namespace sia {
+
+// Row-at-a-time column access used by the compiled predicate interpreter.
+// The interpreter is templated on the accessor type, so concrete `final`
+// implementations are fully devirtualized and inlined in the engine's
+// per-row hot loops; this virtual base exists for generic callers (tests,
+// tooling).
+class RowAccessor {
+ public:
+  virtual ~RowAccessor() = default;
+  virtual int64_t IntAt(size_t col) const = 0;
+  virtual double DoubleAt(size_t col) const = 0;
+  virtual bool IsNull(size_t col) const = 0;
+};
+
+// Predicates compiled to a flat postfix program. This avoids the Value
+// boxing of the tree-walking evaluator in the per-row hot loop of the
+// execution engine; semantics (including three-valued logic and
+// NULL-on-division-by-zero) match ir/evaluator.h exactly, which a
+// property test asserts.
+class CompiledExpr {
+ public:
+  // Compiles a bound expression. Fails on unbound columns.
+  static Result<CompiledExpr> Compile(const ExprPtr& expr);
+
+  // Evaluates a predicate: 0 = FALSE, 1 = TRUE, 2 = UNKNOWN.
+  template <typename Accessor>
+  int EvalPredicate(const Accessor& row) const {
+    const Slot s = Run(row);
+    if (s.null) return 2;
+    return static_cast<int>(s.i);
+  }
+
+  // Evaluates a scalar to int64 (meaningful only for integral results;
+  // `is_null` reports NULL).
+  template <typename Accessor>
+  int64_t EvalScalarInt(const Accessor& row, bool* is_null) const {
+    const Slot s = Run(row);
+    *is_null = s.null;
+    return s.is_double ? static_cast<int64_t>(s.d) : s.i;
+  }
+
+  size_t op_count() const { return ops_.size(); }
+
+ public:
+  // The postfix instruction set. Public so the vectorized filter
+  // (engine/vector_filter.h) can reinterpret the same program
+  // block-at-a-time.
+  enum class OpCode : uint8_t {
+    kLoadInt,     // push column (int64)
+    kLoadDouble,  // push column (double)
+    kConstInt,
+    kConstDouble,
+    kConstNull,
+    kConstBool,
+    kAdd,
+    kSub,
+    kMul,
+    kDiv,
+    kCmpLt,
+    kCmpLe,
+    kCmpGt,
+    kCmpGe,
+    kCmpEq,
+    kCmpNe,
+    kAnd,  // three-valued
+    kOr,
+    kNot,
+  };
+
+  struct Op {
+    OpCode code;
+    uint32_t col = 0;
+    int64_t ival = 0;
+    double dval = 0;
+  };
+
+  const std::vector<Op>& ops() const { return ops_; }
+
+ private:
+  struct Slot {
+    int64_t i = 0;
+    double d = 0;
+    bool is_double = false;
+    bool null = false;
+  };
+
+  Status Emit(const ExprPtr& expr);
+
+  template <typename Accessor>
+  Slot Run(const Accessor& row) const {
+    Slot stack[64];  // Compile() rejects programs deeper than this
+    size_t sp = 0;
+    for (const Op& op : ops_) {
+      switch (op.code) {
+        case OpCode::kLoadInt: {
+          Slot& s = stack[sp++];
+          s.null = row.IsNull(op.col);
+          s.i = s.null ? 0 : row.IntAt(op.col);
+          s.is_double = false;
+          break;
+        }
+        case OpCode::kLoadDouble: {
+          Slot& s = stack[sp++];
+          s.null = row.IsNull(op.col);
+          s.d = s.null ? 0 : row.DoubleAt(op.col);
+          s.is_double = true;
+          break;
+        }
+        case OpCode::kConstInt:
+          stack[sp++] = Slot{op.ival, 0, false, false};
+          break;
+        case OpCode::kConstDouble:
+          stack[sp++] = Slot{0, op.dval, true, false};
+          break;
+        case OpCode::kConstNull:
+          stack[sp++] = Slot{0, 0, false, true};
+          break;
+        case OpCode::kConstBool:
+          stack[sp++] = Slot{op.ival, 0, false, false};
+          break;
+        case OpCode::kAdd:
+        case OpCode::kSub:
+        case OpCode::kMul:
+        case OpCode::kDiv: {
+          Slot r = stack[--sp];
+          Slot& l = stack[sp - 1];
+          if (l.null || r.null) {
+            l.null = true;
+            break;
+          }
+          if (l.is_double || r.is_double) {
+            const double a = l.is_double ? l.d : static_cast<double>(l.i);
+            const double b = r.is_double ? r.d : static_cast<double>(r.i);
+            l.is_double = true;
+            switch (op.code) {
+              case OpCode::kAdd:
+                l.d = a + b;
+                break;
+              case OpCode::kSub:
+                l.d = a - b;
+                break;
+              case OpCode::kMul:
+                l.d = a * b;
+                break;
+              default:
+                if (b == 0) {
+                  l.null = true;
+                } else {
+                  l.d = a / b;
+                }
+                break;
+            }
+          } else {
+            switch (op.code) {
+              case OpCode::kAdd:
+                l.i = l.i + r.i;
+                break;
+              case OpCode::kSub:
+                l.i = l.i - r.i;
+                break;
+              case OpCode::kMul:
+                l.i = l.i * r.i;
+                break;
+              default:
+                if (r.i == 0) {
+                  l.null = true;
+                } else {
+                  l.i = l.i / r.i;  // trunc toward zero, as in the evaluator
+                }
+                break;
+            }
+          }
+          break;
+        }
+        case OpCode::kCmpLt:
+        case OpCode::kCmpLe:
+        case OpCode::kCmpGt:
+        case OpCode::kCmpGe:
+        case OpCode::kCmpEq:
+        case OpCode::kCmpNe: {
+          Slot r = stack[--sp];
+          Slot& l = stack[sp - 1];
+          if (l.null || r.null) {
+            l.i = 2;  // UNKNOWN
+            l.null = false;
+            l.is_double = false;
+            break;
+          }
+          int cmp;
+          if (l.is_double || r.is_double) {
+            const double a = l.is_double ? l.d : static_cast<double>(l.i);
+            const double b = r.is_double ? r.d : static_cast<double>(r.i);
+            cmp = a < b ? -1 : (a > b ? 1 : 0);
+          } else {
+            cmp = l.i < r.i ? -1 : (l.i > r.i ? 1 : 0);
+          }
+          bool v = false;
+          switch (op.code) {
+            case OpCode::kCmpLt:
+              v = cmp < 0;
+              break;
+            case OpCode::kCmpLe:
+              v = cmp <= 0;
+              break;
+            case OpCode::kCmpGt:
+              v = cmp > 0;
+              break;
+            case OpCode::kCmpGe:
+              v = cmp >= 0;
+              break;
+            case OpCode::kCmpEq:
+              v = cmp == 0;
+              break;
+            default:
+              v = cmp != 0;
+              break;
+          }
+          l.i = v ? 1 : 0;
+          l.is_double = false;
+          break;
+        }
+        case OpCode::kAnd: {
+          Slot r = stack[--sp];
+          Slot& l = stack[sp - 1];
+          const int64_t a = l.null ? 2 : l.i;
+          const int64_t b = r.null ? 2 : r.i;
+          l.null = false;
+          l.i = (a == 0 || b == 0) ? 0 : ((a == 2 || b == 2) ? 2 : 1);
+          break;
+        }
+        case OpCode::kOr: {
+          Slot r = stack[--sp];
+          Slot& l = stack[sp - 1];
+          const int64_t a = l.null ? 2 : l.i;
+          const int64_t b = r.null ? 2 : r.i;
+          l.null = false;
+          l.i = (a == 1 || b == 1) ? 1 : ((a == 2 || b == 2) ? 2 : 0);
+          break;
+        }
+        case OpCode::kNot: {
+          Slot& l = stack[sp - 1];
+          const int64_t a = l.null ? 2 : l.i;
+          l.null = false;
+          l.i = (a == 2) ? 2 : (a == 0 ? 1 : 0);
+          break;
+        }
+      }
+    }
+    return stack[0];
+  }
+
+  std::vector<Op> ops_;
+  size_t max_stack_ = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_ENGINE_EXEC_EXPR_H_

@@ -1,0 +1,374 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+#include "engine/cursors.h"
+#include "engine/exec_expr.h"
+#include "engine/vector_filter.h"
+#include "ir/analysis.h"
+
+namespace sia {
+
+size_t Relation::column_count() const {
+  size_t n = 0;
+  for (const Table* t : parts) n += t->schema().size();
+  return n;
+}
+
+std::pair<size_t, size_t> Relation::Resolve(size_t col) const {
+  size_t offset = 0;
+  for (size_t p = 0; p < parts.size(); ++p) {
+    const size_t width = parts[p]->schema().size();
+    if (col < offset + width) return {p, col - offset};
+    offset += width;
+  }
+  return {parts.size(), 0};  // out of range; caller validates
+}
+
+namespace {
+
+// RowAccessor over a Relation with a movable cursor.
+class RelationRow final : public RowAccessor {
+ public:
+  explicit RelationRow(const Relation& rel) : rel_(rel) {
+    const size_t n = rel.column_count();
+    col_data_.reserve(n);
+    col_part_.reserve(n);
+    for (size_t c = 0; c < n; ++c) {
+      const auto [part, local] = rel.Resolve(c);
+      col_data_.push_back(&rel.parts[part]->column(local));
+      col_part_.push_back(part);
+    }
+  }
+
+  void set_row(size_t out_row) { row_ = out_row; }
+
+  int64_t IntAt(size_t col) const override {
+    return col_data_[col]->IntAt(rel_.rows[col_part_[col]][row_]);
+  }
+  double DoubleAt(size_t col) const override {
+    return col_data_[col]->DoubleAt(rel_.rows[col_part_[col]][row_]);
+  }
+  bool IsNull(size_t col) const override {
+    return col_data_[col]->IsNull(rel_.rows[col_part_[col]][row_]);
+  }
+
+ private:
+  const Relation& rel_;
+  std::vector<const ColumnData*> col_data_;
+  std::vector<size_t> col_part_;
+  size_t row_ = 0;
+};
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+uint64_t HashRow(const RelationRow& row, size_t columns,
+                 const std::vector<DataType>& types) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t c = 0; c < columns; ++c) {
+    if (row.IsNull(c)) {
+      h = MixHash(h, 0xDEADBEEFULL);
+      continue;
+    }
+    uint64_t bits;
+    if (types[c] == DataType::kDouble) {
+      const double d = row.DoubleAt(c);
+      static_assert(sizeof(double) == sizeof(uint64_t));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+    } else {
+      bits = static_cast<uint64_t>(row.IntAt(c));
+    }
+    h = MixHash(h, bits);
+  }
+  return h;
+}
+
+std::vector<DataType> ConcatTypes(const Relation& rel) {
+  std::vector<DataType> types;
+  for (const Table* t : rel.parts) {
+    for (const ColumnDef& c : t->schema().columns()) types.push_back(c.type);
+  }
+  return types;
+}
+
+// Filters a relation in place by a compiled predicate.
+void FilterRelation(Relation* rel, const CompiledExpr& pred) {
+  RelationRow row(*rel);
+  const size_t n = rel->row_count();
+  std::vector<uint32_t> keep;
+  keep.reserve(n / 2);
+  for (size_t i = 0; i < n; ++i) {
+    row.set_row(i);
+    if (pred.EvalPredicate(row) == 1) {
+      keep.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<std::vector<uint32_t>> new_rows(rel->rows.size());
+  for (size_t p = 0; p < rel->rows.size(); ++p) {
+    new_rows[p].reserve(keep.size());
+    for (const uint32_t i : keep) new_rows[p].push_back(rel->rows[p][i]);
+  }
+  rel->rows = std::move(new_rows);
+}
+
+}  // namespace
+
+void Executor::RegisterTable(const std::string& name, const Table* table) {
+  tables_[name] = table;
+}
+
+Result<Relation> Executor::ExecuteScan(const PlanPtr& plan,
+                                       ExecStats* stats) {
+  const auto it = tables_.find(plan->table());
+  if (it == tables_.end()) {
+    return Status::NotFound("no storage registered for table '" +
+                            plan->table() + "'");
+  }
+  const Table* table = it->second;
+  Relation rel;
+  rel.parts = {table};
+  rel.rows.resize(1);
+  stats->rows_scanned += table->row_count();
+
+  if (plan->predicate() == nullptr) {
+    rel.rows[0].resize(table->row_count());
+    for (size_t i = 0; i < table->row_count(); ++i) {
+      rel.rows[0][i] = static_cast<uint32_t>(i);
+    }
+  } else {
+    rel.rows[0].reserve(table->row_count() / 2);
+    // Prefer the vectorized kernel; fall back to the row-at-a-time
+    // interpreter for DOUBLE programs or NULL-bearing columns.
+    bool vectorized = false;
+    auto vf = VectorizedFilter::Compile(plan->predicate());
+    if (vf.ok()) {
+      vectorized = vf->FilterTable(*table, &rel.rows[0]).ok();
+      if (!vectorized) rel.rows[0].clear();
+    }
+    if (!vectorized) {
+      SIA_ASSIGN_OR_RETURN(CompiledExpr pred,
+                           CompiledExpr::Compile(plan->predicate()));
+      TableCursor row(*table);
+      for (size_t i = 0; i < table->row_count(); ++i) {
+        row.set_row(i);
+        if (pred.EvalPredicate(row) == 1) {
+          rel.rows[0].push_back(static_cast<uint32_t>(i));
+        }
+      }
+    }
+  }
+  stats->rows_after_scan_filter += rel.row_count();
+  return rel;
+}
+
+Result<Relation> Executor::ExecuteFilter(const PlanPtr& plan,
+                                         ExecStats* stats) {
+  SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan->child(), stats));
+  SIA_ASSIGN_OR_RETURN(CompiledExpr pred,
+                       CompiledExpr::Compile(plan->predicate()));
+  FilterRelation(&rel, pred);
+  return rel;
+}
+
+Result<Relation> Executor::ExecuteJoin(const PlanPtr& plan,
+                                       ExecStats* stats) {
+  SIA_ASSIGN_OR_RETURN(Relation left, ExecuteNode(plan->child(0), stats));
+  SIA_ASSIGN_OR_RETURN(Relation right, ExecuteNode(plan->child(1), stats));
+
+  const size_t left_width = plan->child(0)->output_schema().size();
+
+  // Split the join predicate into equi-key pairs and residual conjuncts.
+  std::vector<std::pair<size_t, size_t>> keys;  // (left col, right col)
+  std::vector<ExprPtr> residual;
+  if (plan->predicate() != nullptr) {
+    for (const ExprPtr& c : SplitConjuncts(plan->predicate())) {
+      bool is_key = false;
+      if (c->kind() == ExprKind::kCompare &&
+          c->compare_op() == CompareOp::kEq &&
+          c->left()->kind() == ExprKind::kColumnRef &&
+          c->right()->kind() == ExprKind::kColumnRef) {
+        const size_t a = c->left()->index();
+        const size_t b = c->right()->index();
+        if (a < left_width && b >= left_width) {
+          keys.emplace_back(a, b - left_width);
+          is_key = true;
+        } else if (b < left_width && a >= left_width) {
+          keys.emplace_back(b, a - left_width);
+          is_key = true;
+        }
+      }
+      if (!is_key) residual.push_back(c);
+    }
+  }
+
+  stats->join_build_rows += right.row_count();
+  stats->join_probe_rows += left.row_count();
+
+  Relation out;
+  out.parts = left.parts;
+  out.parts.insert(out.parts.end(), right.parts.begin(), right.parts.end());
+  out.owned = left.owned;
+  out.owned.insert(out.owned.end(), right.owned.begin(), right.owned.end());
+  out.rows.resize(out.parts.size());
+
+  const size_t lparts = left.parts.size();
+
+  auto emit = [&](size_t lrow, size_t rrow) {
+    for (size_t p = 0; p < lparts; ++p) {
+      out.rows[p].push_back(left.rows[p][lrow]);
+    }
+    for (size_t p = 0; p < right.parts.size(); ++p) {
+      out.rows[lparts + p].push_back(right.rows[p][rrow]);
+    }
+  };
+
+  if (!keys.empty()) {
+    // Hash join: build on the right input.
+    RelationRow rrow(right);
+    RelationRow lrow(left);
+    std::unordered_multimap<uint64_t, uint32_t> build;
+    build.reserve(right.row_count() * 2);
+    auto key_hash = [&](const RelationRow& row, bool is_left) -> uint64_t {
+      uint64_t h = 0x12345678ULL;
+      for (const auto& [lc, rc] : keys) {
+        const size_t col = is_left ? lc : rc;
+        if (row.IsNull(col)) return UINT64_MAX;  // NULL never matches
+        h = MixHash(h, static_cast<uint64_t>(row.IntAt(col)));
+      }
+      return h;
+    };
+    for (size_t i = 0; i < right.row_count(); ++i) {
+      rrow.set_row(i);
+      const uint64_t h = key_hash(rrow, false);
+      if (h != UINT64_MAX) build.emplace(h, static_cast<uint32_t>(i));
+    }
+    auto keys_equal = [&](size_t li, size_t ri) {
+      lrow.set_row(li);
+      rrow.set_row(ri);
+      for (const auto& [lc, rc] : keys) {
+        if (lrow.IntAt(lc) != rrow.IntAt(rc)) return false;
+      }
+      return true;
+    };
+    for (size_t i = 0; i < left.row_count(); ++i) {
+      lrow.set_row(i);
+      const uint64_t h = key_hash(lrow, true);
+      if (h == UINT64_MAX) continue;
+      auto [begin, end] = build.equal_range(h);
+      for (auto it = begin; it != end; ++it) {
+        if (keys_equal(i, it->second)) emit(i, it->second);
+      }
+    }
+  } else {
+    // Nested-loop fallback (no equi conjunct).
+    for (size_t i = 0; i < left.row_count(); ++i) {
+      for (size_t j = 0; j < right.row_count(); ++j) {
+        emit(i, j);
+      }
+    }
+  }
+
+  if (!residual.empty()) {
+    SIA_ASSIGN_OR_RETURN(
+        CompiledExpr pred,
+        CompiledExpr::Compile(CombineConjuncts(residual)));
+    FilterRelation(&out, pred);
+  }
+  stats->join_output_rows += out.row_count();
+  return out;
+}
+
+Result<Relation> Executor::ExecuteNode(const PlanPtr& plan,
+                                       ExecStats* stats) {
+  switch (plan->kind()) {
+    case PlanKind::kScan:
+      return ExecuteScan(plan, stats);
+    case PlanKind::kFilter:
+      return ExecuteFilter(plan, stats);
+    case PlanKind::kJoin:
+      return ExecuteJoin(plan, stats);
+    case PlanKind::kAggregate: {
+      SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan->child(), stats));
+      RelationRow row(rel);
+      std::map<std::vector<int64_t>, int64_t> groups;
+      std::vector<int64_t> key(plan->columns().size());
+      for (size_t i = 0; i < rel.row_count(); ++i) {
+        row.set_row(i);
+        for (size_t k = 0; k < plan->columns().size(); ++k) {
+          const size_t c = plan->columns()[k];
+          key[k] = row.IsNull(c) ? INT64_MIN : row.IntAt(c);
+        }
+        ++groups[key];
+      }
+      // Materialize the group table; the relation keeps it alive.
+      auto out_table = std::make_shared<Table>(plan->output_schema());
+      std::vector<int64_t> out_row(plan->output_schema().size());
+      for (const auto& [k, count] : groups) {
+        for (size_t i = 0; i < k.size(); ++i) out_row[i] = k[i];
+        out_row[k.size()] = count;
+        out_table->AppendIntRow(out_row);
+      }
+      Relation out;
+      out.owned.push_back(out_table);
+      out.parts = {out_table.get()};
+      out.rows.resize(1);
+      out.rows[0].resize(out_table->row_count());
+      for (size_t i = 0; i < out_table->row_count(); ++i) {
+        out.rows[0][i] = static_cast<uint32_t>(i);
+      }
+      return out;
+    }
+    case PlanKind::kProject: {
+      SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan->child(), stats));
+      RelationRow row(rel);
+      auto out_table = std::make_shared<Table>(plan->output_schema());
+      const auto& cols = plan->columns();
+      std::vector<int64_t> out_row(cols.size());
+      for (size_t i = 0; i < rel.row_count(); ++i) {
+        row.set_row(i);
+        for (size_t c = 0; c < cols.size(); ++c) {
+          out_row[c] = row.IntAt(cols[c]);
+        }
+        out_table->AppendIntRow(out_row);
+      }
+      Relation out;
+      out.owned.push_back(out_table);
+      out.parts = {out_table.get()};
+      out.rows.resize(1);
+      out.rows[0].resize(out_table->row_count());
+      for (size_t i = 0; i < out_table->row_count(); ++i) {
+        out.rows[0][i] = static_cast<uint32_t>(i);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+Result<QueryOutput> Executor::Execute(const PlanPtr& plan) {
+  QueryOutput out;
+  Stopwatch sw;
+  SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan, &out.stats));
+  out.row_count = rel.row_count();
+  out.stats.output_rows = out.row_count;
+
+  const std::vector<DataType> types = ConcatTypes(rel);
+  RelationRow row(rel);
+  uint64_t hash = 0;
+  for (size_t i = 0; i < rel.row_count(); ++i) {
+    row.set_row(i);
+    hash += HashRow(row, types.size(), types);  // order-insensitive sum
+  }
+  out.content_hash = hash;
+  out.elapsed_ms = sw.ElapsedMillis();
+  return out;
+}
+
+}  // namespace sia

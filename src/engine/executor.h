@@ -1,0 +1,75 @@
+#ifndef SIA_ENGINE_EXECUTOR_H_
+#define SIA_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/column_table.h"
+#include "rewrite/plan.h"
+
+namespace sia {
+
+// A (possibly multi-part) row view over base tables: the result of a scan
+// or a chain of joins is represented as aligned row-index vectors into
+// the participating base tables rather than a materialized copy. The
+// logical schema is the concatenation of the parts' schemas.
+struct Relation {
+  std::vector<const Table*> parts;
+  // rows[p][i] = row of parts[p] contributing to output row i.
+  std::vector<std::vector<uint32_t>> rows;
+  // Materialized intermediates (aggregate/project outputs) that `parts`
+  // may point into; shared so Relation copies stay valid.
+  std::vector<std::shared_ptr<Table>> owned;
+
+  size_t row_count() const { return rows.empty() ? 0 : rows[0].size(); }
+  size_t column_count() const;
+  // Resolves a concatenated column index to (part, local column).
+  std::pair<size_t, size_t> Resolve(size_t col) const;
+};
+
+// Per-query execution counters, used by the benchmark harnesses.
+struct ExecStats {
+  size_t rows_scanned = 0;
+  size_t rows_after_scan_filter = 0;
+  size_t join_build_rows = 0;
+  size_t join_probe_rows = 0;
+  size_t join_output_rows = 0;
+  size_t output_rows = 0;
+};
+
+struct QueryOutput {
+  size_t row_count = 0;
+  // Order-insensitive content hash over all output columns; two
+  // semantically equivalent queries over the same data produce equal
+  // hashes (used to validate rewrites end-to-end).
+  uint64_t content_hash = 0;
+  double elapsed_ms = 0;
+  ExecStats stats;
+};
+
+// Executes logical plans against registered in-memory tables.
+// Supported nodes: Scan (with filter), Filter, inner hash Join (at least
+// one equi-conjunct required), Aggregate (COUNT(*) per group), Project.
+class Executor {
+ public:
+  // Tables are borrowed; they must outlive the executor.
+  void RegisterTable(const std::string& name, const Table* table);
+
+  Result<QueryOutput> Execute(const PlanPtr& plan);
+
+ private:
+  Result<Relation> ExecuteNode(const PlanPtr& plan, ExecStats* stats);
+  Result<Relation> ExecuteScan(const PlanPtr& plan, ExecStats* stats);
+  Result<Relation> ExecuteFilter(const PlanPtr& plan, ExecStats* stats);
+  Result<Relation> ExecuteJoin(const PlanPtr& plan, ExecStats* stats);
+
+  std::map<std::string, const Table*> tables_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_ENGINE_EXECUTOR_H_

@@ -1,0 +1,33 @@
+#ifndef SIA_ENGINE_RUNNER_H_
+#define SIA_ENGINE_RUNNER_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "engine/executor.h"
+#include "parser/ast.h"
+#include "rewrite/planner.h"
+
+namespace sia {
+
+// Plans and executes a parsed query in one call — the "psql" of this
+// engine. Planner options control whether single-table conjuncts are
+// pushed below the join (the optimization Sia's rewrites unlock).
+Result<QueryOutput> RunQuery(const ParsedQuery& query, const Catalog& catalog,
+                             Executor& executor,
+                             const PlannerOptions& planner_options = {});
+
+// Parses, plans and executes a SQL string.
+Result<QueryOutput> RunSql(const std::string& sql, const Catalog& catalog,
+                           Executor& executor,
+                           const PlannerOptions& planner_options = {});
+
+// Fraction of `table` rows that satisfy `predicate` (bound against the
+// table schema). Used for the paper's Table 4 selectivity analysis.
+Result<double> MeasureSelectivity(const Table& table,
+                                  const ExprPtr& predicate);
+
+}  // namespace sia
+
+#endif  // SIA_ENGINE_RUNNER_H_

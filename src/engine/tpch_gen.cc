@@ -1,0 +1,61 @@
+#include "engine/tpch_gen.h"
+
+#include "catalog/catalog.h"
+#include "common/date.h"
+#include "common/rng.h"
+
+namespace sia {
+
+TpchData GenerateTpch(double scale_factor, uint64_t seed) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  TpchData data;
+  data.orders = Table(catalog.GetTable("orders").value());
+  data.lineitem = Table(catalog.GetTable("lineitem").value());
+
+  Rng rng(seed);
+  const int64_t kStartDay = CivilToDay({1992, 1, 1});
+  const int64_t kEndDay = CivilToDay({1998, 8, 2});
+
+  const auto order_count =
+      static_cast<int64_t>(1'500'000 * scale_factor);
+
+  std::vector<int64_t> order_row(data.orders.schema().size());
+  std::vector<int64_t> line_row(data.lineitem.schema().size());
+
+  for (int64_t o = 0; o < order_count; ++o) {
+    const int64_t orderkey = o + 1;
+    const int64_t orderdate = rng.Uniform(kStartDay, kEndDay);
+    // orders: o_orderkey, o_custkey, o_totalprice, o_orderdate,
+    //         o_shippriority
+    order_row[0] = orderkey;
+    order_row[1] = rng.Uniform(1, 150'000);
+    order_row[2] = rng.Uniform(900, 500'000);  // cents-ish; stored double
+    order_row[3] = orderdate;
+    order_row[4] = rng.Uniform(0, 1);
+    data.orders.AppendIntRow(order_row);
+
+    const int64_t lines = rng.Uniform(1, 7);
+    for (int64_t l = 0; l < lines; ++l) {
+      const int64_t shipdate = orderdate + rng.Uniform(1, 121);
+      const int64_t commitdate = orderdate + rng.Uniform(30, 90);
+      const int64_t receiptdate = shipdate + rng.Uniform(1, 30);
+      // lineitem: l_orderkey, l_partkey, l_linenumber, l_quantity,
+      //           l_extendedprice, l_discount, l_tax, l_shipdate,
+      //           l_commitdate, l_receiptdate
+      line_row[0] = orderkey;
+      line_row[1] = rng.Uniform(1, 200'000);
+      line_row[2] = l + 1;
+      line_row[3] = rng.Uniform(1, 50);
+      line_row[4] = rng.Uniform(900, 100'000);
+      line_row[5] = rng.Uniform(0, 10);  // discount %, stored double
+      line_row[6] = rng.Uniform(0, 8);   // tax %, stored double
+      line_row[7] = shipdate;
+      line_row[8] = commitdate;
+      line_row[9] = receiptdate;
+      data.lineitem.AppendIntRow(line_row);
+    }
+  }
+  return data;
+}
+
+}  // namespace sia

@@ -1,0 +1,34 @@
+#ifndef SIA_ENGINE_TPCH_GEN_H_
+#define SIA_ENGINE_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "engine/column_table.h"
+
+namespace sia {
+
+// Deterministic TPC-H-style data for the `orders` and `lineitem` tables
+// (the columns in Catalog::TpchCatalog). The distributions mirror dbgen's
+// (TPC-H spec 4.2.3):
+//
+//   orders:    1,500,000 * SF rows; o_orderdate uniform over
+//              [1992-01-01, 1998-08-02].
+//   lineitem:  1-7 lines per order (avg ~4);
+//              l_shipdate    = o_orderdate + U[1, 121]
+//              l_commitdate  = o_orderdate + U[30, 90]
+//              l_receiptdate = l_shipdate  + U[1, 30]
+//
+// These are exactly the four date columns the paper's §6.3 workload
+// constrains, so predicate selectivities match the real benchmark.
+struct TpchData {
+  Table orders;
+  Table lineitem;
+};
+
+// Generates both tables at `scale_factor` (fractional SF supported; SF 1
+// is ~1.5M orders / ~6M lineitem). Deterministic for a given seed.
+TpchData GenerateTpch(double scale_factor, uint64_t seed = 42);
+
+}  // namespace sia
+
+#endif  // SIA_ENGINE_TPCH_GEN_H_

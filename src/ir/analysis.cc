@@ -1,0 +1,142 @@
+#include "ir/analysis.h"
+
+#include <algorithm>
+
+namespace sia {
+
+namespace {
+
+void CollectIndicesImpl(const ExprPtr& expr, std::set<size_t>* out) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    if (expr->is_bound()) out->insert(expr->index());
+    return;
+  }
+  for (const auto& c : expr->children()) CollectIndicesImpl(c, out);
+}
+
+}  // namespace
+
+std::vector<size_t> CollectColumnIndices(const ExprPtr& expr) {
+  std::set<size_t> set;
+  CollectIndicesImpl(expr, &set);
+  return {set.begin(), set.end()};
+}
+
+std::set<std::string> CollectTables(const ExprPtr& expr) {
+  std::set<std::string> out;
+  if (expr->kind() == ExprKind::kColumnRef) {
+    if (!expr->table().empty()) out.insert(expr->table());
+    return out;
+  }
+  for (const auto& c : expr->children()) {
+    auto sub = CollectTables(c);
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+bool UsesOnlyColumns(const ExprPtr& expr,
+                     const std::vector<size_t>& allowed) {
+  const std::vector<size_t> used = CollectColumnIndices(expr);
+  return std::all_of(used.begin(), used.end(), [&](size_t i) {
+    return std::find(allowed.begin(), allowed.end(), i) != allowed.end();
+  });
+}
+
+namespace {
+
+void SplitConjunctsImpl(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind() == ExprKind::kLogic &&
+      expr->logic_op() == LogicOp::kAnd) {
+    SplitConjunctsImpl(expr->left(), out);
+    SplitConjunctsImpl(expr->right(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  SplitConjunctsImpl(expr, &out);
+  return out;
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  return Expr::And(conjuncts);
+}
+
+ExprPtr SubstituteColumns(const ExprPtr& expr,
+                          const std::vector<ColumnSubstitution>& mapping) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    if (expr->is_bound()) {
+      for (const auto& m : mapping) {
+        if (m.index == expr->index()) return m.replacement;
+      }
+    }
+    return expr;
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ExprPtr> kids;
+  kids.reserve(expr->children().size());
+  bool changed = false;
+  for (const auto& c : expr->children()) {
+    ExprPtr nc = SubstituteColumns(c, mapping);
+    changed |= (nc.get() != c.get());
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kArith:
+      return Expr::Arith(expr->arith_op(), kids[0], kids[1]);
+    case ExprKind::kCompare:
+      return Expr::Compare(expr->compare_op(), kids[0], kids[1]);
+    case ExprKind::kLogic:
+      return Expr::Logic(expr->logic_op(), kids[0], kids[1]);
+    case ExprKind::kNot:
+      return Expr::Not(kids[0]);
+    default:
+      return expr;
+  }
+}
+
+ExprPtr RemapColumnIndices(
+    const ExprPtr& expr,
+    const std::vector<std::pair<size_t, size_t>>& map) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    if (expr->is_bound()) {
+      for (const auto& [from, to] : map) {
+        if (from == expr->index()) {
+          return Expr::BoundColumn(expr->table(), expr->name(), to,
+                                   expr->type());
+        }
+      }
+    }
+    return expr;
+  }
+  if (expr->children().empty()) return expr;
+  std::vector<ExprPtr> kids;
+  kids.reserve(expr->children().size());
+  bool changed = false;
+  for (const auto& c : expr->children()) {
+    ExprPtr nc = RemapColumnIndices(c, map);
+    changed |= (nc.get() != c.get());
+    kids.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  switch (expr->kind()) {
+    case ExprKind::kArith:
+      return Expr::Arith(expr->arith_op(), kids[0], kids[1]);
+    case ExprKind::kCompare:
+      return Expr::Compare(expr->compare_op(), kids[0], kids[1]);
+    case ExprKind::kLogic:
+      return Expr::Logic(expr->logic_op(), kids[0], kids[1]);
+    case ExprKind::kNot:
+      return Expr::Not(kids[0]);
+    default:
+      return expr;
+  }
+}
+
+}  // namespace sia

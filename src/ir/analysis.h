@@ -1,0 +1,49 @@
+#ifndef SIA_IR_ANALYSIS_H_
+#define SIA_IR_ANALYSIS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace sia {
+
+// Indices (into the bound schema) of all columns referenced by `expr`,
+// sorted ascending. This is the paper's Cols of a predicate (§4.1).
+std::vector<size_t> CollectColumnIndices(const ExprPtr& expr);
+
+// Names of all tables whose columns appear in `expr`.
+std::set<std::string> CollectTables(const ExprPtr& expr);
+
+// True iff every column referenced by `expr` is in `allowed` (the paper's
+// "p is a predicate over columns Cols'").
+bool UsesOnlyColumns(const ExprPtr& expr, const std::vector<size_t>& allowed);
+
+// Splits a predicate into its top-level conjuncts: `a AND (b AND c)` ->
+// {a, b, c}. Non-AND predicates yield a single element.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& expr);
+
+// Inverse of SplitConjuncts (TRUE for empty input).
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+// Replaces each bound column reference whose index appears in `mapping`
+// with the paired expression. Used for the date-origin shift during
+// synthesis and for re-basing predicates onto new schemas.
+struct ColumnSubstitution {
+  size_t index;
+  ExprPtr replacement;
+};
+ExprPtr SubstituteColumns(const ExprPtr& expr,
+                          const std::vector<ColumnSubstitution>& mapping);
+
+// Rebinds bound column indices: each column ref with index i gets index
+// new_index[i]; refs whose index is not a key are left untouched.
+// Used when a predicate moves between plan schemas (e.g. join output ->
+// single-table scan).
+ExprPtr RemapColumnIndices(const ExprPtr& expr,
+                           const std::vector<std::pair<size_t, size_t>>& map);
+
+}  // namespace sia
+
+#endif  // SIA_IR_ANALYSIS_H_

@@ -1,0 +1,60 @@
+#include "ir/binder.h"
+
+namespace sia {
+
+Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      const std::string qualified = expr->table().empty()
+                                        ? expr->name()
+                                        : expr->table() + "." + expr->name();
+      const auto idx = schema.FindColumn(qualified);
+      if (!idx.has_value()) {
+        return Status::NotFound("column not found or ambiguous: '" +
+                                qualified + "'");
+      }
+      const ColumnDef& col = schema.column(*idx);
+      return Expr::BoundColumn(col.table, col.name, *idx, col.type);
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kArith: {
+      SIA_ASSIGN_OR_RETURN(ExprPtr l, Bind(expr->left(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr r, Bind(expr->right(), schema));
+      if (!IsNumericLike(l->type()) || !IsNumericLike(r->type())) {
+        return Status::TypeError("arithmetic on non-numeric operand in: " +
+                                 expr->ToString());
+      }
+      return Expr::Arith(expr->arith_op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kCompare: {
+      SIA_ASSIGN_OR_RETURN(ExprPtr l, Bind(expr->left(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr r, Bind(expr->right(), schema));
+      if (!IsNumericLike(l->type()) || !IsNumericLike(r->type())) {
+        return Status::TypeError("comparison on non-numeric operand in: " +
+                                 expr->ToString());
+      }
+      return Expr::Compare(expr->compare_op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kLogic: {
+      SIA_ASSIGN_OR_RETURN(ExprPtr l, Bind(expr->left(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr r, Bind(expr->right(), schema));
+      if (l->type() != DataType::kBoolean || r->type() != DataType::kBoolean) {
+        return Status::TypeError("logical operator on non-boolean in: " +
+                                 expr->ToString());
+      }
+      return Expr::Logic(expr->logic_op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kNot: {
+      SIA_ASSIGN_OR_RETURN(ExprPtr v, Bind(expr->operand(), schema));
+      if (v->type() != DataType::kBoolean) {
+        return Status::TypeError("NOT on non-boolean in: " +
+                                 expr->ToString());
+      }
+      return Expr::Not(std::move(v));
+    }
+  }
+  return Status::Internal("unreachable expression kind in Bind");
+}
+
+}  // namespace sia

@@ -1,0 +1,21 @@
+#ifndef SIA_IR_BINDER_H_
+#define SIA_IR_BINDER_H_
+
+#include "common/status.h"
+#include "ir/expr.h"
+#include "types/schema.h"
+
+namespace sia {
+
+// Resolves the column references in `expr` against `schema`, producing a
+// new tree whose kColumnRef nodes carry a valid index and the column's
+// DataType, and whose operator nodes have correct inferred result types.
+//
+// Also type-checks: predicates may only combine boolean subexpressions
+// with AND/OR/NOT, comparisons require numeric-like operands, and
+// arithmetic rejects boolean operands.
+Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema);
+
+}  // namespace sia
+
+#endif  // SIA_IR_BINDER_H_

@@ -1,0 +1,68 @@
+#ifndef SIA_IR_BUILDER_H_
+#define SIA_IR_BUILDER_H_
+
+#include <string>
+
+#include "ir/expr.h"
+
+// Terse expression-building DSL for tests and examples:
+//
+//   using namespace sia::dsl;
+//   ExprPtr p = (Col("a") - Col("b") < Lit(20)) && (Col("b") < Lit(0));
+//
+// The operators build *unbound* trees; run sia::Bind before evaluating.
+
+namespace sia::dsl {
+
+inline ExprPtr Col(std::string name) { return Expr::Column("", std::move(name)); }
+inline ExprPtr Col(std::string table, std::string name) {
+  return Expr::Column(std::move(table), std::move(name));
+}
+inline ExprPtr Lit(int64_t v) { return Expr::IntLit(v); }
+inline ExprPtr Lit(int v) { return Expr::IntLit(v); }
+inline ExprPtr Lit(double v) { return Expr::DoubleLit(v); }
+inline ExprPtr DateL(int64_t epoch_day) { return Expr::DateLit(epoch_day); }
+
+inline ExprPtr operator+(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kAdd, std::move(a), std::move(b));
+}
+inline ExprPtr operator-(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kSub, std::move(a), std::move(b));
+}
+inline ExprPtr operator*(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kMul, std::move(a), std::move(b));
+}
+inline ExprPtr operator/(ExprPtr a, ExprPtr b) {
+  return Expr::Arith(ArithOp::kDiv, std::move(a), std::move(b));
+}
+
+inline ExprPtr operator<(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kLt, std::move(a), std::move(b));
+}
+inline ExprPtr operator<=(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kLe, std::move(a), std::move(b));
+}
+inline ExprPtr operator>(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kGt, std::move(a), std::move(b));
+}
+inline ExprPtr operator>=(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kGe, std::move(a), std::move(b));
+}
+inline ExprPtr operator==(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kEq, std::move(a), std::move(b));
+}
+inline ExprPtr operator!=(ExprPtr a, ExprPtr b) {
+  return Expr::Compare(CompareOp::kNe, std::move(a), std::move(b));
+}
+
+inline ExprPtr operator&&(ExprPtr a, ExprPtr b) {
+  return Expr::Logic(LogicOp::kAnd, std::move(a), std::move(b));
+}
+inline ExprPtr operator||(ExprPtr a, ExprPtr b) {
+  return Expr::Logic(LogicOp::kOr, std::move(a), std::move(b));
+}
+inline ExprPtr operator!(ExprPtr a) { return Expr::Not(std::move(a)); }
+
+}  // namespace sia::dsl
+
+#endif  // SIA_IR_BUILDER_H_

@@ -1,0 +1,307 @@
+#include "ir/expr.h"
+
+#include <utility>
+
+namespace sia {
+
+namespace {
+
+// Operator precedence used for minimal parenthesization when printing.
+// Higher binds tighter.
+constexpr int kPrecOr = 1;
+constexpr int kPrecAnd = 2;
+constexpr int kPrecNot = 3;
+constexpr int kPrecCompare = 4;
+constexpr int kPrecAddSub = 5;
+constexpr int kPrecMulDiv = 6;
+constexpr int kPrecAtom = 7;
+
+int ArithPrec(ArithOp op) {
+  return (op == ArithOp::kAdd || op == ArithOp::kSub) ? kPrecAddSub
+                                                      : kPrecMulDiv;
+}
+
+// Result type of a binary arithmetic expression. Dates interact with
+// integers naturally: DATE - DATE = INTEGER (days), DATE +/- INTEGER =
+// DATE; anything involving DOUBLE is DOUBLE.
+DataType ArithResultType(ArithOp op, DataType l, DataType r) {
+  if (l == DataType::kDouble || r == DataType::kDouble) {
+    return DataType::kDouble;
+  }
+  const bool l_date = (l == DataType::kDate || l == DataType::kTimestamp);
+  const bool r_date = (r == DataType::kDate || r == DataType::kTimestamp);
+  if (op == ArithOp::kSub && l_date && r_date) return DataType::kInteger;
+  if (l_date && !r_date) return l;
+  if (r_date && !l_date && op == ArithOp::kAdd) return r;
+  if (l_date && r_date) return DataType::kInteger;
+  return DataType::kInteger;
+}
+
+}  // namespace
+
+const char* ArithOpName(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+  }
+  return "?";
+}
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+const char* LogicOpName(LogicOp op) {
+  return op == LogicOp::kAnd ? "AND" : "OR";
+}
+
+CompareOp SwapCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;
+  }
+}
+
+CompareOp NegateCompare(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+  }
+  return op;
+}
+
+ExprPtr Expr::Column(std::string table, std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->table_ = std::move(table);
+  e->name_ = std::move(name);
+  e->type_ = DataType::kInteger;  // placeholder until bound
+  return e;
+}
+
+ExprPtr Expr::BoundColumn(std::string table, std::string name, size_t index,
+                          DataType type) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kColumnRef;
+  e->table_ = std::move(table);
+  e->name_ = std::move(name);
+  e->index_ = static_cast<int64_t>(index);
+  e->type_ = type;
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLiteral;
+  e->type_ = v.type();
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kArith;
+  e->arith_op_ = op;
+  e->type_ = ArithResultType(op, lhs->type(), rhs->type());
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kCompare;
+  e->compare_op_ = op;
+  e->type_ = DataType::kBoolean;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Logic(LogicOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kLogic;
+  e->logic_op_ = op;
+  e->type_ = DataType::kBoolean;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = ExprKind::kNot;
+  e->type_ = DataType::kBoolean;
+  e->children_ = {std::move(operand)};
+  return e;
+}
+
+ExprPtr Expr::And(const std::vector<ExprPtr>& terms) {
+  if (terms.empty()) return BoolLit(true);
+  ExprPtr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    acc = Logic(LogicOp::kAnd, acc, terms[i]);
+  }
+  return acc;
+}
+
+ExprPtr Expr::Or(const std::vector<ExprPtr>& terms) {
+  if (terms.empty()) return BoolLit(false);
+  ExprPtr acc = terms[0];
+  for (size_t i = 1; i < terms.size(); ++i) {
+    acc = Logic(LogicOp::kOr, acc, terms[i]);
+  }
+  return acc;
+}
+
+bool Expr::IsTrueLiteral() const {
+  return kind_ == ExprKind::kLiteral && !literal_.is_null() &&
+         literal_.type() == DataType::kBoolean && literal_.AsBool();
+}
+
+bool Expr::IsFalseLiteral() const {
+  return kind_ == ExprKind::kLiteral && !literal_.is_null() &&
+         literal_.type() == DataType::kBoolean && !literal_.AsBool();
+}
+
+void Expr::AppendTo(std::string* out, int parent_prec) const {
+  int prec = kPrecAtom;
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      prec = kPrecAtom;
+      break;
+    case ExprKind::kArith:
+      prec = ArithPrec(arith_op_);
+      break;
+    case ExprKind::kCompare:
+      prec = kPrecCompare;
+      break;
+    case ExprKind::kNot:
+      prec = kPrecNot;
+      break;
+    case ExprKind::kLogic:
+      prec = logic_op_ == LogicOp::kAnd ? kPrecAnd : kPrecOr;
+      break;
+  }
+  const bool parens = prec < parent_prec;
+  if (parens) *out += "(";
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      if (!table_.empty()) {
+        *out += table_;
+        *out += ".";
+      }
+      *out += name_;
+      break;
+    case ExprKind::kLiteral:
+      *out += literal_.ToString();
+      break;
+    case ExprKind::kArith:
+      children_[0]->AppendTo(out, prec);
+      *out += " ";
+      *out += ArithOpName(arith_op_);
+      *out += " ";
+      // Subtraction and division are left-associative: parenthesize a
+      // same-precedence right child.
+      children_[1]->AppendTo(out, prec + 1);
+      break;
+    case ExprKind::kCompare:
+      children_[0]->AppendTo(out, prec + 1);
+      *out += " ";
+      *out += CompareOpName(compare_op_);
+      *out += " ";
+      children_[1]->AppendTo(out, prec + 1);
+      break;
+    case ExprKind::kNot:
+      *out += "NOT ";
+      children_[0]->AppendTo(out, prec);
+      break;
+    case ExprKind::kLogic:
+      children_[0]->AppendTo(out, prec);
+      *out += " ";
+      *out += LogicOpName(logic_op_);
+      *out += " ";
+      children_[1]->AppendTo(out, prec + 1);
+      break;
+  }
+  if (parens) *out += ")";
+}
+
+std::string Expr::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+bool Expr::Equal(const ExprPtr& a, const ExprPtr& b) {
+  if (a.get() == b.get()) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind_ != b->kind_) return false;
+  switch (a->kind_) {
+    case ExprKind::kColumnRef:
+      return a->index_ == b->index_ && a->name_ == b->name_ &&
+             a->table_ == b->table_;
+    case ExprKind::kLiteral:
+      return a->literal_ == b->literal_ && a->type_ == b->type_;
+    case ExprKind::kArith:
+      if (a->arith_op_ != b->arith_op_) return false;
+      break;
+    case ExprKind::kCompare:
+      if (a->compare_op_ != b->compare_op_) return false;
+      break;
+    case ExprKind::kLogic:
+      if (a->logic_op_ != b->logic_op_) return false;
+      break;
+    case ExprKind::kNot:
+      break;
+  }
+  if (a->children_.size() != b->children_.size()) return false;
+  for (size_t i = 0; i < a->children_.size(); ++i) {
+    if (!Equal(a->children_[i], b->children_[i])) return false;
+  }
+  return true;
+}
+
+size_t Expr::TreeSize() const {
+  size_t n = 1;
+  for (const auto& c : children_) n += c->TreeSize();
+  return n;
+}
+
+}  // namespace sia

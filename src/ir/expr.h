@@ -1,0 +1,139 @@
+#ifndef SIA_IR_EXPR_H_
+#define SIA_IR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+#include "types/value.h"
+
+namespace sia {
+
+// Expression IR implementing the predicate grammar of paper §4.1:
+//
+//   P  := E CP E | P L P | NOT P
+//   E  := Column | Const | E OP E
+//   CP := > | < | = | <= | >= | <>
+//   OP := + | - | * | /
+//   L  := AND | OR
+//
+// Nodes are immutable and shared via ExprPtr; rewrites build new trees.
+
+enum class ExprKind {
+  kColumnRef,  // reference to a column, bound to a schema slot
+  kLiteral,    // constant Value (possibly NULL)
+  kArith,      // binary arithmetic
+  kCompare,    // binary comparison (predicate leaf)
+  kLogic,      // AND / OR
+  kNot,        // negation
+};
+
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+enum class CompareOp { kLt, kLe, kGt, kGe, kEq, kNe };
+enum class LogicOp { kAnd, kOr };
+
+// SQL token for each operator ("+", "<=", "AND", ...).
+const char* ArithOpName(ArithOp op);
+const char* CompareOpName(CompareOp op);
+const char* LogicOpName(LogicOp op);
+
+// The comparison with operands swapped (a < b  ==  b > a).
+CompareOp SwapCompare(CompareOp op);
+// The logical negation (NOT (a < b)  ==  a >= b), two-valued.
+CompareOp NegateCompare(CompareOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class Expr {
+ public:
+  // --- Factories ------------------------------------------------------
+
+  // Unbound column reference; the binder resolves `table`/`name` to an
+  // index and fills in the type.
+  static ExprPtr Column(std::string table, std::string name);
+
+  // Bound column reference (index into the relevant Schema).
+  static ExprPtr BoundColumn(std::string table, std::string name,
+                             size_t index, DataType type);
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr IntLit(int64_t v) { return Literal(Value::Integer(v)); }
+  static ExprPtr DateLit(int64_t epoch_day) {
+    return Literal(Value::Date(epoch_day));
+  }
+  static ExprPtr DoubleLit(double v) { return Literal(Value::Double(v)); }
+  static ExprPtr BoolLit(bool v) { return Literal(Value::Boolean(v)); }
+
+  static ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Logic(LogicOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Not(ExprPtr operand);
+
+  // Conjunction of `terms` (TRUE literal when empty).
+  static ExprPtr And(const std::vector<ExprPtr>& terms);
+  // Disjunction of `terms` (FALSE literal when empty).
+  static ExprPtr Or(const std::vector<ExprPtr>& terms);
+
+  // --- Accessors ------------------------------------------------------
+
+  ExprKind kind() const { return kind_; }
+  DataType type() const { return type_; }
+
+  // Column-ref fields.
+  const std::string& table() const { return table_; }
+  const std::string& name() const { return name_; }
+  bool is_bound() const { return index_ >= 0; }
+  size_t index() const { return static_cast<size_t>(index_); }
+
+  // Literal field.
+  const Value& literal() const { return literal_; }
+
+  // Operator fields.
+  ArithOp arith_op() const { return arith_op_; }
+  CompareOp compare_op() const { return compare_op_; }
+  LogicOp logic_op() const { return logic_op_; }
+
+  const ExprPtr& left() const { return children_[0]; }
+  const ExprPtr& right() const { return children_[1]; }
+  const ExprPtr& operand() const { return children_[0]; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+  // True for TRUE/FALSE literals.
+  bool IsTrueLiteral() const;
+  bool IsFalseLiteral() const;
+
+  // SQL-ish rendering, fully parenthesized only where needed.
+  std::string ToString() const;
+
+  // Structural equality (same shape, ops, literals, column indices).
+  static bool Equal(const ExprPtr& a, const ExprPtr& b);
+
+  // Number of nodes in the tree (used by tests and stats).
+  size_t TreeSize() const;
+
+ private:
+  Expr() = default;
+
+  void AppendTo(std::string* out, int parent_prec) const;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  DataType type_ = DataType::kBoolean;
+
+  std::string table_;
+  std::string name_;
+  int64_t index_ = -1;
+
+  Value literal_;
+
+  ArithOp arith_op_ = ArithOp::kAdd;
+  CompareOp compare_op_ = CompareOp::kLt;
+  LogicOp logic_op_ = LogicOp::kAnd;
+
+  std::vector<ExprPtr> children_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_IR_EXPR_H_

@@ -1,0 +1,113 @@
+#include "ir/simplify.h"
+
+#include "ir/evaluator.h"
+#include "types/tuple.h"
+
+namespace sia {
+
+namespace {
+
+bool IsIntLiteral(const ExprPtr& e, int64_t v) {
+  return e->kind() == ExprKind::kLiteral && !e->literal().is_null() &&
+         IsIntegral(e->literal().type()) &&
+         e->literal().type() != DataType::kBoolean &&
+         e->literal().AsInt() == v;
+}
+
+bool IsLiteral(const ExprPtr& e) { return e->kind() == ExprKind::kLiteral; }
+
+// Evaluates a literal-only subtree (no columns) to a constant.
+ExprPtr FoldConstant(const ExprPtr& e) {
+  static const Tuple kEmpty;
+  auto value = EvalScalar(*e, kEmpty);
+  if (!value.ok()) return e;
+  return Expr::Literal(std::move(value).value());
+}
+
+}  // namespace
+
+ExprPtr Simplify(const ExprPtr& expr) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return expr;
+    case ExprKind::kArith: {
+      ExprPtr l = Simplify(expr->left());
+      ExprPtr r = Simplify(expr->right());
+      if (IsLiteral(l) && IsLiteral(r)) {
+        return FoldConstant(Expr::Arith(expr->arith_op(), l, r));
+      }
+      switch (expr->arith_op()) {
+        case ArithOp::kAdd:
+          if (IsIntLiteral(r, 0)) return l;
+          if (IsIntLiteral(l, 0)) return r;
+          break;
+        case ArithOp::kSub:
+          if (IsIntLiteral(r, 0)) return l;
+          break;
+        case ArithOp::kMul:
+          if (IsIntLiteral(r, 1)) return l;
+          if (IsIntLiteral(l, 1)) return r;
+          break;
+        case ArithOp::kDiv:
+          if (IsIntLiteral(r, 1)) return l;
+          break;
+      }
+      if (l.get() == expr->left().get() && r.get() == expr->right().get()) {
+        return expr;
+      }
+      return Expr::Arith(expr->arith_op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kCompare: {
+      ExprPtr l = Simplify(expr->left());
+      ExprPtr r = Simplify(expr->right());
+      if (IsLiteral(l) && IsLiteral(r) && !l->literal().is_null() &&
+          !r->literal().is_null()) {
+        return FoldConstant(Expr::Compare(expr->compare_op(), l, r));
+      }
+      if (l.get() == expr->left().get() && r.get() == expr->right().get()) {
+        return expr;
+      }
+      return Expr::Compare(expr->compare_op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kLogic: {
+      ExprPtr l = Simplify(expr->left());
+      ExprPtr r = Simplify(expr->right());
+      if (expr->logic_op() == LogicOp::kAnd) {
+        if (l->IsFalseLiteral() || r->IsFalseLiteral()) {
+          return Expr::BoolLit(false);
+        }
+        if (l->IsTrueLiteral()) return r;
+        if (r->IsTrueLiteral()) return l;
+      } else {
+        if (l->IsTrueLiteral() || r->IsTrueLiteral()) {
+          return Expr::BoolLit(true);
+        }
+        if (l->IsFalseLiteral()) return r;
+        if (r->IsFalseLiteral()) return l;
+      }
+      if (l.get() == expr->left().get() && r.get() == expr->right().get()) {
+        return expr;
+      }
+      return Expr::Logic(expr->logic_op(), std::move(l), std::move(r));
+    }
+    case ExprKind::kNot: {
+      ExprPtr v = Simplify(expr->operand());
+      if (v->IsTrueLiteral()) return Expr::BoolLit(false);
+      if (v->IsFalseLiteral()) return Expr::BoolLit(true);
+      if (v->kind() == ExprKind::kNot) return v->operand();
+      // NOT (a CP b) -> a !CP b is only 2VL-sound in general; under 3VL
+      // both sides are UNKNOWN exactly when an operand is NULL, so the
+      // rewrite is also 3VL-sound for comparisons.
+      if (v->kind() == ExprKind::kCompare) {
+        return Expr::Compare(NegateCompare(v->compare_op()), v->left(),
+                             v->right());
+      }
+      if (v.get() == expr->operand().get()) return expr;
+      return Expr::Not(std::move(v));
+    }
+  }
+  return expr;
+}
+
+}  // namespace sia

@@ -1,0 +1,24 @@
+#ifndef SIA_IR_SIMPLIFY_H_
+#define SIA_IR_SIMPLIFY_H_
+
+#include "ir/expr.h"
+
+namespace sia {
+
+// Bottom-up simplification that is sound under SQL three-valued logic:
+//  - folds arithmetic and comparisons on literals,
+//  - applies the 3VL-safe logic identities
+//      TRUE AND p -> p      FALSE AND p -> FALSE
+//      TRUE OR p  -> TRUE   FALSE OR p  -> p
+//      NOT NOT p  -> p      NOT (a CP b) -> a !CP b
+//  - normalizes "x + 0", "x - 0", "x * 1", "1 * x", "0 + x",
+//    "x * 0" (only when x is a column/literal, as 0 * NULL is NULL —
+//    columns declared NOT NULL are safe).
+//
+// The simplifier is used to clean up synthesized predicates before they
+// are printed or inserted into a rewritten query.
+ExprPtr Simplify(const ExprPtr& expr);
+
+}  // namespace sia
+
+#endif  // SIA_IR_SIMPLIFY_H_

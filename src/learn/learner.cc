@@ -1,0 +1,295 @@
+#include "learn/learner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "learn/rational.h"
+
+namespace sia {
+
+namespace {
+
+std::vector<double> ToFeatures(const Tuple& t) {
+  std::vector<double> out(t.size());
+  for (size_t i = 0; i < t.size(); ++i) {
+    out[i] = t.at(i).is_null() ? 0.0 : t.at(i).AsDouble();
+  }
+  return out;
+}
+
+// Picks the integer threshold for direction `coeffs` that maximizes
+// training accuracy, preferring thresholds that misclassify fewer TRUE
+// samples on ties and — among equally accurate boundaries — the
+// MAX-MARGIN one (gap midpoint). The margin tie-break matters for the
+// CEGIS loop's convergence: a boundary hugging the FALSE samples invites
+// a counter-example just past it, inching forward by one batch per
+// iteration, whereas the midpoint bisects the unknown gap.
+// Returns the LinearForm constant c so that the predicate is
+// coeff·x + c > 0.
+// A direction candidate scored on the training data. Ordering:
+// higher accuracy, then fewer misclassified TRUE samples, then larger
+// normalized margin (margin in projection units divided by the
+// direction's Euclidean norm, so different directions compare fairly).
+struct ScoredDirection {
+  std::vector<int64_t> coeffs;
+  int64_t constant = 0;
+  int64_t correct = std::numeric_limits<int64_t>::min();
+  size_t true_miss = 0;
+  double norm_margin = -1;
+
+  bool BetterThan(const ScoredDirection& other) const {
+    if (correct != other.correct) return correct > other.correct;
+    if (true_miss != other.true_miss) return true_miss < other.true_miss;
+    return norm_margin > other.norm_margin;
+  }
+};
+
+ScoredDirection EvaluateDirection(const std::vector<int64_t>& coeffs,
+                                  const std::vector<size_t>& columns,
+                                  const std::vector<Tuple>& true_samples,
+                                  const std::vector<Tuple>& false_samples) {
+  LinearForm probe;
+  probe.columns = columns;
+  probe.coeffs = coeffs;
+  probe.constant = 0;
+
+  ScoredDirection scored;
+  scored.coeffs = coeffs;
+  double norm_sq = 0;
+  for (const int64_t c : coeffs) norm_sq += static_cast<double>(c) * c;
+  const double norm = std::sqrt(std::max(norm_sq, 1e-12));
+
+  std::vector<int64_t> t_proj;
+  t_proj.reserve(true_samples.size());
+  for (const Tuple& t : true_samples) t_proj.push_back(probe.Project(t));
+  std::vector<int64_t> f_proj;
+  f_proj.reserve(false_samples.size());
+  for (const Tuple& t : false_samples) f_proj.push_back(probe.Project(t));
+  if (t_proj.empty() && f_proj.empty()) {
+    scored.constant = 1;
+    scored.correct = 0;
+    return scored;
+  }
+
+  // Distinct projection values; the classifier "keep iff proj > b" is
+  // constant for b within [v_i, v_{i+1}-1], so evaluate one candidate per
+  // gap (its midpoint, for max margin) plus the two extremes.
+  std::vector<int64_t> values;
+  values.reserve(t_proj.size() + f_proj.size());
+  values.insert(values.end(), t_proj.begin(), t_proj.end());
+  values.insert(values.end(), f_proj.begin(), f_proj.end());
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+
+  std::vector<std::pair<int64_t, int64_t>> candidates;  // (b, margin)
+  candidates.emplace_back(values.front() - 1,
+                          1);  // accept everything
+  candidates.emplace_back(values.back(), 1);  // reject everything
+  for (size_t i = 0; i + 1 < values.size(); ++i) {
+    const int64_t lo = values[i];
+    const int64_t hi = values[i + 1];
+    const int64_t mid = lo + (hi - 1 - lo) / 2;
+    candidates.emplace_back(mid, std::min(mid - lo + 1, hi - mid));
+  }
+
+  int64_t best_b = candidates.front().first;
+  int64_t best_score = std::numeric_limits<int64_t>::min();
+  size_t best_true_miss = true_samples.size() + 1;
+  int64_t best_margin = -1;
+  for (const auto& [b, margin] : candidates) {
+    int64_t correct = 0;
+    size_t true_miss = 0;
+    for (const int64_t v : t_proj) {
+      if (v > b) {
+        ++correct;
+      } else {
+        ++true_miss;
+      }
+    }
+    for (const int64_t v : f_proj) {
+      if (v <= b) ++correct;
+    }
+    if (correct > best_score ||
+        (correct == best_score && true_miss < best_true_miss) ||
+        (correct == best_score && true_miss == best_true_miss &&
+         margin > best_margin)) {
+      best_score = correct;
+      best_true_miss = true_miss;
+      best_margin = margin;
+      best_b = b;
+    }
+  }
+  scored.constant = -best_b;  // proj > b  ==  proj + (-b) > 0
+  scored.correct = best_score;
+  scored.true_miss = best_true_miss;
+  scored.norm_margin = static_cast<double>(best_margin) / norm;
+  return scored;
+}
+
+// Enumerates the candidate directions for one Learn round: the snapped
+// SVM normal plus the axis-aligned bounds (±e_i) and pairwise differences
+// (±(e_i − e_j)) that dominate real predicates (column bounds and
+// column-difference windows). The SVM direction is geometry-driven and
+// wins on genuinely sloped boundaries; the structured candidates win when
+// integer snapping would destroy a near-axis SVM normal (their ability to
+// separate is evaluated on the exact integer projections, not on the
+// float geometry).
+std::vector<std::vector<int64_t>> CandidateDirections(
+    const std::vector<int64_t>& svm_snapped, size_t dims) {
+  std::vector<std::vector<int64_t>> out;
+  const bool svm_nonzero =
+      std::any_of(svm_snapped.begin(), svm_snapped.end(),
+                  [](int64_t c) { return c != 0; });
+  if (svm_nonzero) out.push_back(svm_snapped);
+  for (size_t i = 0; i < dims; ++i) {
+    std::vector<int64_t> plus(dims, 0);
+    plus[i] = 1;
+    out.push_back(plus);
+    std::vector<int64_t> minus(dims, 0);
+    minus[i] = -1;
+    out.push_back(std::move(minus));
+    for (size_t j = i + 1; j < dims; ++j) {
+      std::vector<int64_t> diff(dims, 0);
+      diff[i] = 1;
+      diff[j] = -1;
+      out.push_back(diff);
+      diff[i] = -1;
+      diff[j] = 1;
+      out.push_back(std::move(diff));
+    }
+  }
+  if (out.empty()) {
+    std::vector<int64_t> fallback(dims, 0);
+    if (dims > 0) fallback[0] = 1;
+    out.push_back(std::move(fallback));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<LearnedPredicate> Learn(const TrainingSet& data,
+                               const std::vector<size_t>& columns,
+                               const LearnOptions& options) {
+  if (data.true_samples.empty()) {
+    return Status::InvalidArgument("Learn requires at least one TRUE sample");
+  }
+  for (const Tuple& t : data.true_samples) {
+    if (t.size() != columns.size()) {
+      return Status::InvalidArgument("TRUE sample arity mismatch");
+    }
+  }
+  for (const Tuple& t : data.false_samples) {
+    if (t.size() != columns.size()) {
+      return Status::InvalidArgument("FALSE sample arity mismatch");
+    }
+  }
+
+  LearnedPredicate out;
+  std::vector<Tuple> remaining_true = data.true_samples;
+
+  while (!remaining_true.empty() && out.models.size() < options.max_models) {
+    // Assemble the SVM problem: remaining TRUE (+1) vs all FALSE (-1).
+    std::vector<std::vector<double>> points;
+    std::vector<int> labels;
+    points.reserve(remaining_true.size() + data.false_samples.size());
+    for (const Tuple& t : remaining_true) {
+      points.push_back(ToFeatures(t));
+      labels.push_back(+1);
+    }
+    for (const Tuple& t : data.false_samples) {
+      points.push_back(ToFeatures(t));
+      labels.push_back(-1);
+    }
+
+    SvmModel svm = TrainLinearSvm(points, labels, options.svm);
+
+    // Suppress noise dimensions before integer snapping. The decision on
+    // which coefficients matter must use the SCALED weights: in the
+    // original space a negligible direction can carry a large-looking
+    // weight purely because its data spread is small, and snapping the
+    // distorted ratio produces junk separators.
+    if (!svm.scaled_weights.empty()) {
+      double max_contrib = 0;
+      for (const double w : svm.scaled_weights) {
+        max_contrib = std::max(max_contrib, std::abs(w));
+      }
+      for (size_t j = 0; j < svm.weights.size(); ++j) {
+        if (std::abs(svm.scaled_weights[j]) < 0.05 * max_contrib) {
+          svm.weights[j] = 0;
+        }
+      }
+    }
+
+    std::vector<int64_t> svm_coeffs;
+    if (options.snap_to_integers) {
+      svm_coeffs = SnapToIntegers(svm.weights, options.max_denominator);
+    } else {
+      // Ablation mode: round scaled weights directly.
+      svm_coeffs.resize(svm.weights.size());
+      double max_abs = 0;
+      for (double w : svm.weights) max_abs = std::max(max_abs, std::abs(w));
+      const double s = max_abs > 0 ? 1024.0 / max_abs : 0.0;
+      for (size_t i = 0; i < svm.weights.size(); ++i) {
+        svm_coeffs[i] = static_cast<int64_t>(std::llround(svm.weights[i] * s));
+      }
+    }
+
+    // Score the SVM direction against the structured candidates on the
+    // exact integer projections; the best (accuracy, TRUE-miss, margin)
+    // wins. The integer threshold is re-derived per direction (the SVM
+    // bias is a float in a scaled space).
+    ScoredDirection best;
+    for (const auto& dir :
+         CandidateDirections(svm_coeffs, columns.size())) {
+      const ScoredDirection scored = EvaluateDirection(
+          dir, columns, remaining_true, data.false_samples);
+      if (scored.BetterThan(best)) best = scored;
+    }
+
+    LinearForm form;
+    form.columns = columns;
+    form.coeffs = best.coeffs;
+    form.constant = best.constant;
+
+    std::vector<Tuple> misclassified;
+    for (const Tuple& t : remaining_true) {
+      if (!form.Accepts(t)) misclassified.push_back(t);
+    }
+
+    if (misclassified.size() == remaining_true.size()) {
+      // No progress: relax the threshold so every residual TRUE sample is
+      // covered, ending the loop. (May admit FALSE samples; Verify and
+      // CounterF handle that downstream, per §6.7.)
+      int64_t min_proj = std::numeric_limits<int64_t>::max();
+      LinearForm probe = form;
+      probe.constant = 0;
+      for (const Tuple& t : remaining_true) {
+        min_proj = std::min(min_proj, probe.Project(t));
+      }
+      form.constant = 1 - min_proj;  // proj + c > 0 for all residual TRUE
+      misclassified.clear();
+    }
+
+    out.models.push_back(std::move(form));
+    remaining_true = std::move(misclassified);
+  }
+
+  if (!remaining_true.empty()) {
+    // Hit the model cap without covering everything; relax the last model
+    // to absorb the rest (same fallback as above).
+    LinearForm& last = out.models.back();
+    LinearForm probe = last;
+    probe.constant = 0;
+    int64_t min_proj = std::numeric_limits<int64_t>::max();
+    for (const Tuple& t : remaining_true) {
+      min_proj = std::min(min_proj, probe.Project(t));
+    }
+    last.constant = std::max(last.constant, 1 - min_proj);
+  }
+
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,59 @@
+#ifndef SIA_LEARN_LEARNER_H_
+#define SIA_LEARN_LEARNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "learn/linear_form.h"
+#include "learn/svm.h"
+#include "types/tuple.h"
+
+namespace sia {
+
+// Training samples over an ordered column set Cols'. TRUE samples are
+// feasible restrictions of the original predicate; FALSE samples are
+// unsatisfaction tuples (paper §4.2). All values are non-NULL integers
+// (dates arrive as day numbers).
+struct TrainingSet {
+  std::vector<Tuple> true_samples;
+  std::vector<Tuple> false_samples;
+};
+
+struct LearnOptions {
+  SvmOptions svm;
+  int64_t max_denominator = 12;  // rational-snapping bound
+  size_t max_models = 8;         // cap on the Alg. 2 disjunction length
+  bool snap_to_integers = true;  // ablation switch: raw-float vs snapped
+};
+
+// Result of one Learn call: a disjunction of halfplanes that classifies
+// every TRUE sample as TRUE (Alg. 2's contract).
+struct LearnedPredicate {
+  std::vector<LinearForm> models;
+
+  bool Accepts(const Tuple& sample) const {
+    for (const LinearForm& m : models) {
+      if (m.Accepts(sample)) return true;
+    }
+    return false;
+  }
+};
+
+// The paper's Learn procedure (Alg. 2): trains a linear SVM, peels off
+// the TRUE samples the (integer-snapped) model misclassifies, retrains on
+// just those plus all FALSE samples, and returns the disjunction.
+//
+// Guarantees: every TRUE sample is accepted by the returned disjunction.
+// When the SVM makes no progress on a residual TRUE set (possible with
+// non-separable data, §6.7), the final model's threshold is relaxed until
+// the residual TRUE samples are covered, which may admit FALSE samples —
+// exactly the failure mode the paper notes is later discarded by Verify.
+//
+// `columns` gives the schema indices of the sample dimensions, in order.
+Result<LearnedPredicate> Learn(const TrainingSet& data,
+                               const std::vector<size_t>& columns,
+                               const LearnOptions& options = LearnOptions());
+
+}  // namespace sia
+
+#endif  // SIA_LEARN_LEARNER_H_

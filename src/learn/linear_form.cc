@@ -1,0 +1,63 @@
+#include "learn/linear_form.h"
+
+namespace sia {
+
+int64_t LinearForm::Project(const Tuple& sample) const {
+  int64_t acc = constant;
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    acc += coeffs[i] * sample.at(i).AsInt();
+  }
+  return acc;
+}
+
+bool LinearForm::Accepts(const Tuple& sample) const {
+  return Project(sample) > 0;
+}
+
+size_t LinearForm::UsedColumnCount() const {
+  size_t n = 0;
+  for (const int64_t c : coeffs) n += (c != 0);
+  return n;
+}
+
+ExprPtr LinearForm::ToExpr(const Schema& schema) const {
+  // Build lhs > rhs with positive terms (and positive constant) on the
+  // left and negated negative terms on the right; this prints naturally
+  // (a1 - a2 + 29 > 0 style comes from keeping a single-sided form when
+  // there is at most one negative term; we use the two-sided canonical
+  // form which is equivalent and equally readable).
+  ExprPtr lhs;
+  ExprPtr rhs;
+  auto add_term = [&](ExprPtr* side, ExprPtr term) {
+    *side = (*side == nullptr)
+                ? std::move(term)
+                : Expr::Arith(ArithOp::kAdd, *side, std::move(term));
+  };
+  for (size_t i = 0; i < coeffs.size(); ++i) {
+    const int64_t c = coeffs[i];
+    if (c == 0) continue;
+    const ColumnDef& col = schema.column(columns[i]);
+    ExprPtr ref = Expr::BoundColumn(col.table, col.name, columns[i], col.type);
+    const int64_t mag = c < 0 ? -c : c;
+    ExprPtr term = (mag == 1)
+                       ? std::move(ref)
+                       : Expr::Arith(ArithOp::kMul, Expr::IntLit(mag),
+                                     std::move(ref));
+    add_term(c > 0 ? &lhs : &rhs, std::move(term));
+  }
+  if (constant > 0) {
+    add_term(&lhs, Expr::IntLit(constant));
+  } else if (constant < 0) {
+    add_term(&rhs, Expr::IntLit(-constant));
+  }
+  if (lhs == nullptr && rhs == nullptr) return Expr::BoolLit(false);  // 0 > 0
+  if (lhs == nullptr) lhs = Expr::IntLit(0);
+  if (rhs == nullptr) rhs = Expr::IntLit(0);
+  return Expr::Compare(CompareOp::kGt, std::move(lhs), std::move(rhs));
+}
+
+std::string LinearForm::ToString(const Schema& schema) const {
+  return ToExpr(schema)->ToString();
+}
+
+}  // namespace sia

@@ -1,0 +1,46 @@
+#ifndef SIA_LEARN_LINEAR_FORM_H_
+#define SIA_LEARN_LINEAR_FORM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace sia {
+
+// A halfplane predicate over a fixed ordered column set Cols':
+//
+//   coeff[0]*col[0] + ... + coeff[k-1]*col[k-1] + constant > 0
+//
+// This is the shape the paper's SVM-derived predicates take (§5.4). All
+// arithmetic is exact int64; the columns carry their schema indices so
+// the form can be rendered back to IR.
+struct LinearForm {
+  std::vector<size_t> columns;     // schema indices, parallel to coeffs
+  std::vector<int64_t> coeffs;
+  int64_t constant = 0;
+
+  // coeff·x + constant, where x is a tuple over `columns` (same order).
+  int64_t Project(const Tuple& sample) const;
+
+  // True iff Project(sample) > 0.
+  bool Accepts(const Tuple& sample) const;
+
+  // Number of columns with a non-zero coefficient.
+  size_t UsedColumnCount() const;
+
+  // Renders to IR against `schema`:
+  //   2*a1 + a2 + 50 > 0   (coefficient 1 omitted; negative terms and a
+  //   negative constant move to the right-hand side, so e.g.
+  //   a1 - a2 + 29 > 0 prints as written).
+  ExprPtr ToExpr(const Schema& schema) const;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+}  // namespace sia
+
+#endif  // SIA_LEARN_LINEAR_FORM_H_

@@ -1,0 +1,83 @@
+#include "learn/rational.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace sia {
+
+Rational ApproximateRational(double x, int64_t max_den) {
+  if (max_den < 1) max_den = 1;
+  const bool neg = x < 0;
+  double v = std::abs(x);
+  // Continued-fraction expansion keeping convergents p/q with q <= max_den.
+  int64_t p0 = 0, q0 = 1;  // previous convergent
+  int64_t p1 = 1, q1 = 0;  // current convergent
+  double frac = v;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double a_f = std::floor(frac);
+    if (a_f > 9.2e18) break;
+    const int64_t a = static_cast<int64_t>(a_f);
+    // Overflow / bound checks before committing the next convergent.
+    if (q1 != 0 && (a > (max_den - q0) / q1)) {
+      // The next denominator would exceed max_den: take the best
+      // semiconvergent.
+      const int64_t k = (max_den - q0) / (q1 == 0 ? 1 : q1);
+      const int64_t p2 = p0 + k * p1;
+      const int64_t q2 = q0 + k * q1;
+      // Choose between p1/q1 and the semiconvergent p2/q2.
+      const double e1 = q1 == 0 ? 1e300 : std::abs(v - static_cast<double>(p1) / q1);
+      const double e2 = q2 == 0 ? 1e300 : std::abs(v - static_cast<double>(p2) / q2);
+      int64_t pn = (e2 < e1 && q2 > 0) ? p2 : p1;
+      int64_t qn = (e2 < e1 && q2 > 0) ? q2 : q1;
+      if (qn == 0) {
+        pn = static_cast<int64_t>(std::llround(v));
+        qn = 1;
+      }
+      return Rational{neg ? -pn : pn, qn};
+    }
+    const int64_t p2 = a * p1 + p0;
+    const int64_t q2 = a * q1 + q0;
+    p0 = p1;
+    q0 = q1;
+    p1 = p2;
+    q1 = q2;
+    const double rem = frac - a_f;
+    if (rem < 1e-12) break;
+    frac = 1.0 / rem;
+  }
+  if (q1 == 0) return Rational{0, 1};
+  return Rational{neg ? -p1 : p1, q1};
+}
+
+std::vector<int64_t> SnapToIntegers(const std::vector<double>& weights,
+                                    int64_t max_den, double zero_eps) {
+  std::vector<int64_t> out(weights.size(), 0);
+  double max_abs = 0;
+  for (const double w : weights) max_abs = std::max(max_abs, std::abs(w));
+  if (max_abs <= 0) return out;
+
+  std::vector<Rational> rationals(weights.size());
+  int64_t lcm = 1;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double ratio = weights[i] / max_abs;
+    if (std::abs(ratio) < zero_eps) {
+      rationals[i] = Rational{0, 1};
+      continue;
+    }
+    rationals[i] = ApproximateRational(ratio, max_den);
+    const int64_t g = std::gcd(lcm, rationals[i].den);
+    lcm = lcm / g * rationals[i].den;
+    if (lcm > (int64_t{1} << 40)) lcm = int64_t{1} << 40;  // safety clamp
+  }
+  int64_t all_gcd = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    out[i] = rationals[i].num * (lcm / rationals[i].den);
+    all_gcd = std::gcd(all_gcd, std::abs(out[i]));
+  }
+  if (all_gcd > 1) {
+    for (auto& v : out) v /= all_gcd;
+  }
+  return out;
+}
+
+}  // namespace sia

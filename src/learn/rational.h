@@ -1,0 +1,33 @@
+#ifndef SIA_LEARN_RATIONAL_H_
+#define SIA_LEARN_RATIONAL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sia {
+
+// A reduced rational number.
+struct Rational {
+  int64_t num = 0;
+  int64_t den = 1;
+
+  double ToDouble() const { return static_cast<double>(num) / den; }
+};
+
+// Best rational approximation of `x` with denominator <= max_den, via the
+// continued-fraction convergents (Stern-Brocot). Exact for rationals that
+// fit the bound.
+Rational ApproximateRational(double x, int64_t max_den);
+
+// Snaps a real weight vector to small co-prime integers: approximates
+// each w_i / max|w| by a bounded rational, multiplies through by the LCM
+// of denominators, and divides by the collective GCD. Zero weights stay
+// zero; weights below `zero_eps` relative to the largest are snapped to
+// zero. Returns all-zeros when every weight is (near) zero.
+std::vector<int64_t> SnapToIntegers(const std::vector<double>& weights,
+                                    int64_t max_den = 12,
+                                    double zero_eps = 1e-4);
+
+}  // namespace sia
+
+#endif  // SIA_LEARN_RATIONAL_H_

@@ -1,0 +1,105 @@
+#include "learn/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sia {
+
+double SvmModel::Decision(const std::vector<double>& x) const {
+  double acc = bias;
+  for (size_t i = 0; i < weights.size() && i < x.size(); ++i) {
+    acc += weights[i] * x[i];
+  }
+  return acc;
+}
+
+SvmModel TrainLinearSvm(const std::vector<std::vector<double>>& points,
+                        const std::vector<int>& labels,
+                        const SvmOptions& options) {
+  SvmModel model;
+  if (points.empty()) return model;
+  const size_t n = points.size();
+  const size_t d = points[0].size();
+  model.weights.assign(d, 0.0);
+
+  // Center and scale features for conditioning.
+  std::vector<double> mean(d, 0.0);
+  std::vector<double> scale(d, 1.0);
+  for (const auto& row : points) {
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (size_t j = 0; j < d; ++j) mean[j] /= static_cast<double>(n);
+  for (const auto& row : points) {
+    for (size_t j = 0; j < d; ++j) {
+      scale[j] = std::max(scale[j], std::abs(row[j] - mean[j]));
+    }
+  }
+
+  // Scaled rows with an augmented constant feature for the bias.
+  const double kBiasFeature = 1.0;
+  std::vector<std::vector<double>> x(n, std::vector<double>(d + 1));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      x[i][j] = (points[i][j] - mean[j]) / scale[j];
+    }
+    x[i][d] = kBiasFeature;
+  }
+
+  // Dual coordinate descent for min_a 0.5 aᵀQa - eᵀa, 0 <= a_i <= C,
+  // maintaining w = Σ a_i y_i x_i.
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> w(d + 1, 0.0);
+  std::vector<double> q_ii(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    q_ii[i] = std::inner_product(x[i].begin(), x[i].end(), x[i].begin(), 0.0);
+    if (q_ii[i] <= 0) q_ii[i] = 1e-12;
+  }
+
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    double max_violation = 0.0;
+    // Deterministic shuffled order (simple LCG keyed by epoch) improves
+    // convergence vs strictly sequential sweeps while staying repeatable.
+    uint64_t state = 0x9E3779B97F4A7C15ULL ^ static_cast<uint64_t>(epoch);
+    for (size_t k = n; k > 1; --k) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const size_t r = static_cast<size_t>((state >> 33) % k);
+      std::swap(order[k - 1], order[r]);
+    }
+    for (const size_t i : order) {
+      const double y = labels[i];
+      const double g =
+          y * std::inner_product(x[i].begin(), x[i].end(), w.begin(), 0.0) -
+          1.0;
+      double pg = g;
+      if (alpha[i] <= 0) {
+        pg = std::min(g, 0.0);
+      } else if (alpha[i] >= options.c) {
+        pg = std::max(g, 0.0);
+      }
+      max_violation = std::max(max_violation, std::abs(pg));
+      if (std::abs(pg) < 1e-12) continue;
+      const double old = alpha[i];
+      alpha[i] = std::clamp(old - g / q_ii[i], 0.0, options.c);
+      const double delta = (alpha[i] - old) * y;
+      for (size_t j = 0; j <= d; ++j) w[j] += delta * x[i][j];
+    }
+    if (max_violation < options.tolerance) break;
+  }
+
+  // Map back to the original feature space:
+  //   w_scaled · (x - mean)/scale + b = Σ (w_j/scale_j) x_j +
+  //                                     (b - Σ w_j mean_j / scale_j)
+  model.bias = w[d] * kBiasFeature;
+  model.scaled_weights.assign(w.begin(), w.begin() + d);
+  for (size_t j = 0; j < d; ++j) {
+    model.weights[j] = w[j] / scale[j];
+    model.bias -= w[j] * mean[j] / scale[j];
+  }
+  return model;
+}
+
+}  // namespace sia

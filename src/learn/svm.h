@@ -1,0 +1,41 @@
+#ifndef SIA_LEARN_SVM_H_
+#define SIA_LEARN_SVM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sia {
+
+// A trained linear separator: Decision(x) = w·x + bias.
+struct SvmModel {
+  std::vector<double> weights;
+  double bias = 0;
+  // The weights in the internally centered/scaled feature space. Because
+  // scaling normalizes each dimension's spread, |scaled_weights[j]|
+  // measures dimension j's actual contribution to the decision — the
+  // right signal for deciding which coefficients are noise (the
+  // original-space magnitudes are distorted by the per-dimension scale).
+  std::vector<double> scaled_weights;
+
+  double Decision(const std::vector<double>& x) const;
+};
+
+struct SvmOptions {
+  double c = 10.0;        // soft-margin penalty
+  int max_epochs = 1000;  // coordinate-descent epochs
+  double tolerance = 1e-6;
+};
+
+// Trains an L2-regularized L1-loss linear SVM by dual coordinate descent
+// (the LIBLINEAR algorithm). `labels` are +1 / -1; `points` are dense
+// feature rows of equal arity. The bias term is learned via feature
+// augmentation. Features are internally centered and scaled for
+// conditioning; the returned model is expressed in the ORIGINAL feature
+// space.
+SvmModel TrainLinearSvm(const std::vector<std::vector<double>>& points,
+                        const std::vector<int>& labels,
+                        const SvmOptions& options = SvmOptions());
+
+}  // namespace sia
+
+#endif  // SIA_LEARN_SVM_H_

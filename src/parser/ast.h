@@ -1,0 +1,40 @@
+#ifndef SIA_PARSER_AST_H_
+#define SIA_PARSER_AST_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace sia {
+
+// A parsed SELECT statement in the dialect Sia supports:
+//
+//   SELECT { * | expr [AS alias], ... }
+//   FROM table [, table ...]
+//   [WHERE predicate]
+//   [GROUP BY column, ...]
+//
+// Joins are expressed as comma-separated FROM lists with equality
+// predicates in WHERE (exactly the form the paper's §6.3 workload uses).
+struct SelectItem {
+  ExprPtr expr;        // null for '*'
+  std::string alias;   // optional
+  bool is_star = false;
+};
+
+struct ParsedQuery {
+  std::vector<SelectItem> select_list;
+  std::vector<std::string> tables;
+  ExprPtr where;  // null if absent (i.e. TRUE)
+  std::vector<ExprPtr> group_by;
+
+  // Unparses back to SQL text (stable formatting, used by the rewriter to
+  // emit rewritten queries).
+  std::string ToString() const;
+};
+
+}  // namespace sia
+
+#endif  // SIA_PARSER_AST_H_

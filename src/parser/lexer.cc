@@ -1,0 +1,108 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/strings.h"
+
+namespace sia {
+
+bool Token::IsSymbol(const char* s) const {
+  return type == TokenType::kSymbol && text == s;
+}
+
+bool Token::IsKeyword(const char* kw) const {
+  return type == TokenType::kIdent && EqualsIgnoreCase(text, kw);
+}
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = sql.substr(i, j - i);
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      if (j < n && sql[j] == '.' && j + 1 < n &&
+          std::isdigit(static_cast<unsigned char>(sql[j + 1]))) {
+        is_float = true;
+        ++j;
+        while (j < n && std::isdigit(static_cast<unsigned char>(sql[j]))) ++j;
+      }
+      const std::string num = sql.substr(i, j - i);
+      if (is_float) {
+        tok.type = TokenType::kFloat;
+        tok.float_value = std::stod(num);
+      } else {
+        tok.type = TokenType::kInt;
+        try {
+          tok.int_value = std::stoll(num);
+        } catch (const std::out_of_range&) {
+          return Status::ParseError("integer literal out of range: " + num);
+        }
+      }
+      tok.text = num;
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      std::string body;
+      while (j < n && sql[j] != '\'') {
+        body += sql[j];
+        ++j;
+      }
+      if (j >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(i));
+      }
+      tok.type = TokenType::kString;
+      tok.text = std::move(body);
+      i = j + 1;
+    } else {
+      // Multi-char operators first.
+      auto two = (i + 1 < n) ? sql.substr(i, 2) : std::string();
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tok.type = TokenType::kSymbol;
+        tok.text = (two == "!=") ? "<>" : two;
+        i += 2;
+      } else if (std::string("(),;.+-*/<>=").find(c) != std::string::npos) {
+        tok.type = TokenType::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(tok));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace sia

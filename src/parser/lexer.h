@@ -1,0 +1,39 @@
+#ifndef SIA_PARSER_LEXER_H_
+#define SIA_PARSER_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sia {
+
+enum class TokenType {
+  kIdent,    // column / table / keyword candidates
+  kInt,      // 123
+  kFloat,    // 1.5
+  kString,   // '...' (single-quoted)
+  kSymbol,   // punctuation and operators, text in `text`
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // raw text (identifier as written, symbol, string body)
+  int64_t int_value = 0;
+  double float_value = 0;
+  size_t position = 0;  // byte offset, for error messages
+
+  bool IsSymbol(const char* s) const;
+  // Case-insensitive keyword check for identifier tokens.
+  bool IsKeyword(const char* kw) const;
+};
+
+// Tokenizes `sql`. Symbols cover: ( ) , ; . + - * / < <= > >= = <> !=
+// Comments: "--" to end of line.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace sia
+
+#endif  // SIA_PARSER_LEXER_H_

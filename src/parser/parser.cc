@@ -1,0 +1,391 @@
+#include "parser/parser.h"
+
+#include <stdexcept>
+
+#include "common/date.h"
+#include "common/strings.h"
+#include "parser/lexer.h"
+
+namespace sia {
+
+namespace {
+
+// Reserved words that terminate expressions / select items.
+bool IsReserved(const Token& t) {
+  static const char* kReserved[] = {"select", "from",  "where",   "group",
+                                    "by",     "and",   "or",      "not",
+                                    "as",     "order", "limit",   "between",
+                                    "in"};
+  if (t.type != TokenType::kIdent) return false;
+  for (const char* kw : kReserved) {
+    if (EqualsIgnoreCase(t.text, kw)) return true;
+  }
+  return false;
+}
+
+// Recursive-descent parser over the token stream. Expressions use a
+// unified precedence ladder (OR < AND < NOT < comparison < add/sub <
+// mul/div < unary), so parenthesized arithmetic and parenthesized
+// predicates need no lookahead disambiguation; the binder type-checks.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedQuery> ParseSelect() {
+    ParsedQuery q;
+    SIA_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SIA_RETURN_IF_ERROR(ParseSelectList(&q));
+    SIA_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SIA_RETURN_IF_ERROR(ParseTableList(&q));
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      SIA_ASSIGN_OR_RETURN(q.where, ParseExpr());
+    }
+    if (Peek().IsKeyword("GROUP")) {
+      Advance();
+      SIA_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        SIA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        q.group_by.push_back(std::move(e));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+    }
+    if (Peek().IsSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing token '" + Peek().text +
+                                "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    return q;
+  }
+
+  Result<ExprPtr> ParseFullExpr() {
+    SIA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().type != TokenType::kEnd) {
+      return Status::ParseError("unexpected trailing token '" + Peek().text +
+                                "'");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!Peek().IsKeyword(kw)) {
+      return Status::ParseError(std::string("expected ") + kw + ", got '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(const char* s) {
+    if (!Peek().IsSymbol(s)) {
+      return Status::ParseError(std::string("expected '") + s + "', got '" +
+                                Peek().text + "' at offset " +
+                                std::to_string(Peek().position));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseSelectList(ParsedQuery* q) {
+    while (true) {
+      SelectItem item;
+      if (Peek().IsSymbol("*")) {
+        Advance();
+        item.is_star = true;
+      } else {
+        SIA_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (Peek().IsKeyword("AS")) {
+          Advance();
+          if (Peek().type != TokenType::kIdent) {
+            return Status::ParseError("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        }
+      }
+      q->select_list.push_back(std::move(item));
+      if (!Peek().IsSymbol(",")) return Status::OK();
+      Advance();
+    }
+  }
+
+  Status ParseTableList(ParsedQuery* q) {
+    while (true) {
+      if (Peek().type != TokenType::kIdent || IsReserved(Peek())) {
+        return Status::ParseError("expected table name, got '" +
+                                  Peek().text + "'");
+      }
+      q->tables.push_back(ToLower(Advance().text));
+      if (!Peek().IsSymbol(",")) return Status::OK();
+      Advance();
+    }
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    SIA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      SIA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Logic(LogicOp::kOr, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SIA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      SIA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = Expr::Logic(LogicOp::kAnd, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      SIA_ASSIGN_OR_RETURN(ExprPtr v, ParseNot());
+      return Expr::Not(std::move(v));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    SIA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    // Postfix predicate forms: [NOT] BETWEEN a AND b, [NOT] IN (list).
+    bool negated = false;
+    if (Peek().IsKeyword("NOT") &&
+        (Peek(1).IsKeyword("BETWEEN") || Peek(1).IsKeyword("IN"))) {
+      negated = true;
+      Advance();
+    }
+    if (Peek().IsKeyword("BETWEEN")) {
+      Advance();
+      SIA_ASSIGN_OR_RETURN(ExprPtr low, ParseAdditive());
+      SIA_RETURN_IF_ERROR(ExpectKeyword("AND"));
+      SIA_ASSIGN_OR_RETURN(ExprPtr high, ParseAdditive());
+      ExprPtr range = Expr::Logic(
+          LogicOp::kAnd, Expr::Compare(CompareOp::kGe, lhs, std::move(low)),
+          Expr::Compare(CompareOp::kLe, lhs, std::move(high)));
+      return negated ? Expr::Not(std::move(range)) : range;
+    }
+    if (Peek().IsKeyword("IN")) {
+      Advance();
+      SIA_RETURN_IF_ERROR(ExpectSymbol("("));
+      std::vector<ExprPtr> members;
+      while (true) {
+        SIA_ASSIGN_OR_RETURN(ExprPtr e, ParseAdditive());
+        members.push_back(
+            Expr::Compare(CompareOp::kEq, lhs, std::move(e)));
+        if (!Peek().IsSymbol(",")) break;
+        Advance();
+      }
+      SIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      ExprPtr any = Expr::Or(members);
+      return negated ? Expr::Not(std::move(any)) : any;
+    }
+    if (negated) {
+      return Status::ParseError("expected BETWEEN or IN after NOT");
+    }
+    const Token& t = Peek();
+    CompareOp op;
+    if (t.IsSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (t.IsSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (t.IsSymbol(">")) {
+      op = CompareOp::kGt;
+    } else if (t.IsSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else if (t.IsSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (t.IsSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else {
+      return lhs;
+    }
+    Advance();
+    SIA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    SIA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      const ArithOp op =
+          Advance().text == "+" ? ArithOp::kAdd : ArithOp::kSub;
+      SIA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    SIA_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      const ArithOp op =
+          Advance().text == "*" ? ArithOp::kMul : ArithOp::kDiv;
+      SIA_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().IsSymbol("-")) {
+      Advance();
+      SIA_ASSIGN_OR_RETURN(ExprPtr v, ParseUnary());
+      // Fold -literal directly; otherwise emit 0 - v.
+      if (v->kind() == ExprKind::kLiteral && !v->literal().is_null()) {
+        if (v->literal().type() == DataType::kInteger) {
+          return Expr::IntLit(-v->literal().AsInt());
+        }
+        if (v->literal().type() == DataType::kDouble) {
+          return Expr::DoubleLit(-v->literal().AsDouble());
+        }
+      }
+      return Expr::Arith(ArithOp::kSub, Expr::IntLit(0), std::move(v));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    if (t.IsSymbol("(")) {
+      Advance();
+      SIA_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      SIA_RETURN_IF_ERROR(ExpectSymbol(")"));
+      return e;
+    }
+    if (t.type == TokenType::kInt) {
+      Advance();
+      return Expr::IntLit(t.int_value);
+    }
+    if (t.type == TokenType::kFloat) {
+      Advance();
+      return Expr::DoubleLit(t.float_value);
+    }
+    if (t.type == TokenType::kString) {
+      // A bare quoted string in this dialect is a date literal, matching
+      // the paper's `o_orderdate < '1993-06-01'` usage.
+      Advance();
+      SIA_ASSIGN_OR_RETURN(int64_t day, ParseDateToDay(t.text));
+      return Expr::DateLit(day);
+    }
+    if (t.type == TokenType::kIdent) {
+      if (t.IsKeyword("DATE") && Peek(1).type == TokenType::kString) {
+        Advance();
+        const Token& lit = Advance();
+        SIA_ASSIGN_OR_RETURN(int64_t day, ParseDateToDay(lit.text));
+        return Expr::DateLit(day);
+      }
+      if (t.IsKeyword("INTERVAL")) {
+        // INTERVAL '20' DAY  or  INTERVAL 20 DAY -> integer day count.
+        Advance();
+        int64_t days = 0;
+        if (Peek().type == TokenType::kString) {
+          try {
+            days = std::stoll(Advance().text);
+          } catch (const std::exception&) {
+            return Status::ParseError("invalid INTERVAL literal");
+          }
+        } else if (Peek().type == TokenType::kInt) {
+          days = Advance().int_value;
+        } else {
+          return Status::ParseError("expected INTERVAL count");
+        }
+        if (!Peek().IsKeyword("DAY") && !Peek().IsKeyword("DAYS")) {
+          return Status::ParseError("only DAY intervals are supported");
+        }
+        Advance();
+        return Expr::IntLit(days);
+      }
+      if (t.IsKeyword("TRUE")) {
+        Advance();
+        return Expr::BoolLit(true);
+      }
+      if (t.IsKeyword("FALSE")) {
+        Advance();
+        return Expr::BoolLit(false);
+      }
+      if (t.IsKeyword("NULL")) {
+        Advance();
+        return Expr::Literal(Value::Null());
+      }
+      if (IsReserved(t)) {
+        return Status::ParseError("unexpected keyword '" + t.text +
+                                  "' in expression");
+      }
+      // Column reference: ident or ident.ident.
+      Advance();
+      if (Peek().IsSymbol(".") && Peek(1).type == TokenType::kIdent) {
+        Advance();
+        const Token& col = Advance();
+        return Expr::Column(ToLower(t.text), ToLower(col.text));
+      }
+      return Expr::Column("", ToLower(t.text));
+    }
+    return Status::ParseError("unexpected token '" + t.text +
+                              "' at offset " + std::to_string(t.position));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedQuery> ParseQuery(const std::string& sql) {
+  SIA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseSelect();
+}
+
+Result<ExprPtr> ParseExpression(const std::string& text) {
+  SIA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser parser(std::move(tokens));
+  return parser.ParseFullExpr();
+}
+
+std::string ParsedQuery::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < select_list.size(); ++i) {
+    if (i > 0) out += ", ";
+    const SelectItem& item = select_list[i];
+    if (item.is_star) {
+      out += "*";
+    } else {
+      out += item.expr->ToString();
+      if (!item.alias.empty()) out += " AS " + item.alias;
+    }
+  }
+  out += " FROM ";
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += tables[i];
+  }
+  if (where != nullptr) {
+    out += " WHERE " + where->ToString();
+  }
+  if (!group_by.empty()) {
+    out += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += group_by[i]->ToString();
+    }
+  }
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,21 @@
+#ifndef SIA_PARSER_PARSER_H_
+#define SIA_PARSER_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace sia {
+
+// Parses a SELECT statement. The produced expression trees are unbound;
+// bind them with sia::Bind against the catalog's joint schema.
+Result<ParsedQuery> ParseQuery(const std::string& sql);
+
+// Parses a standalone predicate / scalar expression (the WHERE-clause
+// grammar of §4.1, plus DATE '...' and INTERVAL 'n' DAY literals).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace sia
+
+#endif  // SIA_PARSER_PARSER_H_

@@ -1,0 +1,108 @@
+#include "rewrite/plan.h"
+
+namespace sia {
+
+PlanPtr PlanNode::Scan(std::string table, Schema schema, ExprPtr filter) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kScan;
+  n->table_ = std::move(table);
+  n->output_schema_ = std::move(schema);
+  n->predicate_ = std::move(filter);
+  return n;
+}
+
+PlanPtr PlanNode::Filter(ExprPtr predicate, PlanPtr child) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kFilter;
+  n->output_schema_ = child->output_schema();
+  n->predicate_ = std::move(predicate);
+  n->children_ = {std::move(child)};
+  return n;
+}
+
+PlanPtr PlanNode::Join(ExprPtr condition, PlanPtr left, PlanPtr right) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kJoin;
+  n->output_schema_ =
+      Schema::Concat(left->output_schema(), right->output_schema());
+  n->predicate_ = std::move(condition);
+  n->children_ = {std::move(left), std::move(right)};
+  return n;
+}
+
+PlanPtr PlanNode::Aggregate(std::vector<size_t> group_by_cols,
+                            PlanPtr child) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kAggregate;
+  Schema out;
+  for (const size_t c : group_by_cols) {
+    out.AddColumn(child->output_schema().column(c));
+  }
+  out.AddColumn(ColumnDef{"", "count", DataType::kInteger, false});
+  n->output_schema_ = std::move(out);
+  n->columns_ = std::move(group_by_cols);
+  n->children_ = {std::move(child)};
+  return n;
+}
+
+PlanPtr PlanNode::Project(std::vector<size_t> columns, PlanPtr child) {
+  auto n = std::shared_ptr<PlanNode>(new PlanNode());
+  n->kind_ = PlanKind::kProject;
+  Schema out;
+  for (const size_t c : columns) {
+    out.AddColumn(child->output_schema().column(c));
+  }
+  n->output_schema_ = std::move(out);
+  n->columns_ = std::move(columns);
+  n->children_ = {std::move(child)};
+  return n;
+}
+
+void PlanNode::AppendTo(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind_) {
+    case PlanKind::kScan:
+      *out += "Scan(" + table_;
+      if (predicate_ != nullptr) {
+        *out += ", filter=" + predicate_->ToString();
+      }
+      *out += ")";
+      break;
+    case PlanKind::kFilter:
+      *out += "Filter(" + predicate_->ToString() + ")";
+      break;
+    case PlanKind::kJoin:
+      *out += "Join(" +
+              (predicate_ ? predicate_->ToString() : std::string("TRUE")) +
+              ")";
+      break;
+    case PlanKind::kAggregate: {
+      *out += "Aggregate(group_by=[";
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += std::to_string(columns_[i]);
+      }
+      *out += "])";
+      break;
+    }
+    case PlanKind::kProject: {
+      *out += "Project([";
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += std::to_string(columns_[i]);
+      }
+      *out += "])";
+      break;
+    }
+  }
+  *out += "\n";
+  for (const PlanPtr& c : children_) c->AppendTo(out, indent + 1);
+}
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  AppendTo(&out, 0);
+  return out;
+}
+
+}  // namespace sia

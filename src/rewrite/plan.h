@@ -1,0 +1,61 @@
+#ifndef SIA_REWRITE_PLAN_H_
+#define SIA_REWRITE_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "types/schema.h"
+
+namespace sia {
+
+// Logical relational-algebra plan. Expressions inside a node are bound
+// against the node's INPUT schema (the concatenation of child output
+// schemas, left-to-right); `output_schema` describes what the node emits.
+enum class PlanKind {
+  kScan,       // table scan, optional residual filter pushed into it
+  kFilter,     // predicate over child output
+  kJoin,       // inner join with a predicate over concat(child outputs)
+  kAggregate,  // GROUP BY columns with COUNT(*)
+  kProject,    // column subset
+};
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+class PlanNode {
+ public:
+  static PlanPtr Scan(std::string table, Schema schema,
+                      ExprPtr filter = nullptr);
+  static PlanPtr Filter(ExprPtr predicate, PlanPtr child);
+  static PlanPtr Join(ExprPtr condition, PlanPtr left, PlanPtr right);
+  static PlanPtr Aggregate(std::vector<size_t> group_by_cols, PlanPtr child);
+  static PlanPtr Project(std::vector<size_t> columns, PlanPtr child);
+
+  PlanKind kind() const { return kind_; }
+  const Schema& output_schema() const { return output_schema_; }
+  const std::string& table() const { return table_; }
+  const ExprPtr& predicate() const { return predicate_; }
+  const std::vector<size_t>& columns() const { return columns_; }
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(size_t i = 0) const { return children_[i]; }
+
+  // Multi-line indented rendering for tests and EXPLAIN-style output.
+  std::string ToString() const;
+
+ private:
+  PlanNode() = default;
+  void AppendTo(std::string* out, int indent) const;
+
+  PlanKind kind_ = PlanKind::kScan;
+  Schema output_schema_;
+  std::string table_;
+  ExprPtr predicate_;             // filter / join condition / scan filter
+  std::vector<size_t> columns_;   // aggregate group-by or project columns
+  std::vector<PlanPtr> children_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_REWRITE_PLAN_H_

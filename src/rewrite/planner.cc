@@ -1,0 +1,136 @@
+#include "rewrite/planner.h"
+
+#include <algorithm>
+
+#include "ir/analysis.h"
+#include "ir/binder.h"
+
+namespace sia {
+
+namespace {
+
+// Column-index interval [begin, end) that table position `t` occupies in
+// the joint schema.
+struct TableSpan {
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+bool AllWithin(const std::vector<size_t>& cols, size_t begin, size_t end) {
+  return std::all_of(cols.begin(), cols.end(), [&](size_t c) {
+    return c >= begin && c < end;
+  });
+}
+
+}  // namespace
+
+Result<PlanPtr> PlanQuery(const ParsedQuery& query, const Catalog& catalog,
+                          const PlannerOptions& options) {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query has no FROM tables");
+  }
+
+  // Joint schema and per-table spans.
+  SIA_ASSIGN_OR_RETURN(Schema joint, catalog.JointSchema(query.tables));
+  std::vector<TableSpan> spans(query.tables.size());
+  std::vector<Schema> table_schemas;
+  {
+    size_t offset = 0;
+    for (size_t t = 0; t < query.tables.size(); ++t) {
+      SIA_ASSIGN_OR_RETURN(Schema s, catalog.GetTable(query.tables[t]));
+      spans[t].begin = offset;
+      offset += s.size();
+      spans[t].end = offset;
+      table_schemas.push_back(std::move(s));
+    }
+  }
+
+  // Bind and split the WHERE clause.
+  std::vector<ExprPtr> conjuncts;
+  if (query.where != nullptr) {
+    SIA_ASSIGN_OR_RETURN(ExprPtr bound, Bind(query.where, joint));
+    conjuncts = SplitConjuncts(bound);
+  }
+
+  // Partition conjuncts: per-scan, per-join-level, residual.
+  std::vector<std::vector<ExprPtr>> scan_filters(query.tables.size());
+  // join_level[k] collects conjuncts evaluable once tables 0..k+1 are
+  // joined (k = index of the join in the left-deep chain).
+  std::vector<std::vector<ExprPtr>> join_level(
+      query.tables.size() > 0 ? query.tables.size() - 1 : 0);
+  std::vector<ExprPtr> residual;
+
+  for (const ExprPtr& c : conjuncts) {
+    const std::vector<size_t> used = CollectColumnIndices(c);
+    bool placed = false;
+    if (options.push_down_filters) {
+      for (size_t t = 0; t < spans.size(); ++t) {
+        if (AllWithin(used, spans[t].begin, spans[t].end)) {
+          scan_filters[t].push_back(c);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) {
+      // Lowest join level whose joint prefix covers the columns.
+      for (size_t k = 0; k + 1 < spans.size(); ++k) {
+        if (AllWithin(used, 0, spans[k + 1].end)) {
+          join_level[k].push_back(c);
+          placed = true;
+          break;
+        }
+      }
+    }
+    if (!placed) residual.push_back(c);
+  }
+
+  // Build scans (scan filters are rebased to table-local indices).
+  std::vector<PlanPtr> scans;
+  for (size_t t = 0; t < query.tables.size(); ++t) {
+    ExprPtr filter;
+    if (!scan_filters[t].empty()) {
+      std::vector<std::pair<size_t, size_t>> remap;
+      for (size_t i = spans[t].begin; i < spans[t].end; ++i) {
+        remap.emplace_back(i, i - spans[t].begin);
+      }
+      std::vector<ExprPtr> local;
+      local.reserve(scan_filters[t].size());
+      for (const ExprPtr& f : scan_filters[t]) {
+        local.push_back(RemapColumnIndices(f, remap));
+      }
+      filter = CombineConjuncts(local);
+    }
+    scans.push_back(PlanNode::Scan(query.tables[t], table_schemas[t],
+                                   std::move(filter)));
+  }
+
+  // Left-deep join chain; join-level conjuncts become the join
+  // conditions (the executor splits out hash keys itself).
+  PlanPtr plan = scans[0];
+  for (size_t k = 0; k + 1 < scans.size(); ++k) {
+    ExprPtr cond = join_level[k].empty() ? nullptr
+                                         : CombineConjuncts(join_level[k]);
+    plan = PlanNode::Join(std::move(cond), plan, scans[k + 1]);
+  }
+
+  if (!residual.empty()) {
+    plan = PlanNode::Filter(CombineConjuncts(residual), plan);
+  }
+
+  if (!query.group_by.empty()) {
+    std::vector<size_t> group_cols;
+    for (const ExprPtr& g : query.group_by) {
+      SIA_ASSIGN_OR_RETURN(ExprPtr bound, Bind(g, joint));
+      if (bound->kind() != ExprKind::kColumnRef) {
+        return Status::Unsupported("GROUP BY supports plain columns only");
+      }
+      group_cols.push_back(bound->index());
+    }
+    plan = PlanNode::Aggregate(std::move(group_cols), std::move(plan));
+  }
+
+  return plan;
+}
+
+}  // namespace sia

@@ -1,0 +1,32 @@
+#ifndef SIA_REWRITE_PLANNER_H_
+#define SIA_REWRITE_PLANNER_H_
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+#include "rewrite/plan.h"
+
+namespace sia {
+
+struct PlannerOptions {
+  // Push single-table conjuncts below joins into the scans (what every
+  // production optimizer, including the paper's Postgres v12, does).
+  // Disable to measure the cost of a missing pushdown in isolation.
+  bool push_down_filters = true;
+};
+
+// Plans a parsed query into a left-deep logical tree:
+//
+//   [Aggregate] <- [Filter residual] <- Join ... Join <- Scan(filtered)
+//
+// WHERE conjuncts are placed at the lowest level where all their columns
+// are available (single-table conjuncts inside the scans when pushdown is
+// enabled, join-level conjuncts on the join, the rest in a residual
+// filter). Expressions in the returned plan are bound to their node's
+// input schema.
+Result<PlanPtr> PlanQuery(const ParsedQuery& query, const Catalog& catalog,
+                          const PlannerOptions& options = {});
+
+}  // namespace sia
+
+#endif  // SIA_REWRITE_PLANNER_H_

@@ -1,0 +1,48 @@
+#include "rewrite/rewrite_cache.h"
+
+namespace sia {
+
+std::string RewriteCache::MakeKey(const ExprPtr& bound_predicate,
+                                  const std::vector<size_t>& cols) {
+  std::string key = bound_predicate->ToString();
+  key += " @ ";
+  for (const size_t c : cols) {
+    key += std::to_string(c);
+    key += ',';
+  }
+  return key;
+}
+
+std::optional<RewriteCache::Entry> RewriteCache::Lookup(
+    const ExprPtr& bound_predicate, const std::vector<size_t>& cols) {
+  const std::string key = MakeKey(bound_predicate, cols);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  return it->second;
+}
+
+void RewriteCache::Insert(const ExprPtr& bound_predicate,
+                          const std::vector<size_t>& cols, Entry entry) {
+  const std::string key = MakeKey(bound_predicate, cols);
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[key] = std::move(entry);
+}
+
+RewriteCache::Stats RewriteCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void RewriteCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace sia

@@ -1,0 +1,76 @@
+#ifndef SIA_REWRITE_REWRITE_CACHE_H_
+#define SIA_REWRITE_REWRITE_CACHE_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "synth/synthesizer.h"
+
+namespace sia {
+
+// Cache of synthesis results keyed by (predicate, Cols') — the paper's
+// §6.2 deployment mode: production queries are dominated by stored
+// procedures that are "optimized only once and their query execution
+// plans are stored in a plan cache", so the seconds-scale synthesis cost
+// is paid once per distinct predicate shape.
+//
+// Keys canonicalize through the bound predicate's printed form, which is
+// deterministic for structurally identical predicates. Thread-safe.
+class RewriteCache {
+ public:
+  struct Entry {
+    SynthesisStatus status = SynthesisStatus::kNone;
+    ExprPtr predicate;  // null for kNone
+  };
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+  };
+
+  // Returns the cached entry, or nullopt on miss.
+  std::optional<Entry> Lookup(const ExprPtr& bound_predicate,
+                              const std::vector<size_t>& cols);
+
+  // Records a synthesis result.
+  void Insert(const ExprPtr& bound_predicate,
+              const std::vector<size_t>& cols, Entry entry);
+
+  // Looks up, and on a miss runs `synthesize()` and caches its result.
+  // `synthesize` must return a Result<SynthesisResult>.
+  template <typename F>
+  Result<Entry> GetOrSynthesize(const ExprPtr& bound_predicate,
+                                const std::vector<size_t>& cols,
+                                F&& synthesize) {
+    if (auto hit = Lookup(bound_predicate, cols)) return *hit;
+    auto result = synthesize();
+    if (!result.ok()) return result.status();
+    Entry entry;
+    entry.status = result->status;
+    entry.predicate = result->predicate;
+    Insert(bound_predicate, cols, entry);
+    return entry;
+  }
+
+  Stats stats() const;
+  void Clear();
+
+ private:
+  static std::string MakeKey(const ExprPtr& bound_predicate,
+                             const std::vector<size_t>& cols);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_REWRITE_REWRITE_CACHE_H_

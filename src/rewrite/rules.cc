@@ -1,0 +1,342 @@
+#include "rewrite/rules.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/analysis.h"
+#include "ir/simplify.h"
+
+namespace sia {
+
+namespace {
+
+// A normalized inequality edge: lhs (< | <=) rhs.
+struct Edge {
+  ExprPtr lhs;
+  ExprPtr rhs;
+  bool strict = false;
+};
+
+// Normalizes a comparison conjunct to `lhs < rhs` / `lhs <= rhs` edges.
+// Equalities contribute an edge in both directions; <> contributes none.
+void NormalizeToEdges(const ExprPtr& c, std::vector<Edge>* edges) {
+  if (c->kind() != ExprKind::kCompare) return;
+  const ExprPtr& l = c->left();
+  const ExprPtr& r = c->right();
+  switch (c->compare_op()) {
+    case CompareOp::kLt:
+      edges->push_back({l, r, true});
+      break;
+    case CompareOp::kLe:
+      edges->push_back({l, r, false});
+      break;
+    case CompareOp::kGt:
+      edges->push_back({r, l, true});
+      break;
+    case CompareOp::kGe:
+      edges->push_back({r, l, false});
+      break;
+    case CompareOp::kEq:
+      edges->push_back({l, r, false});
+      edges->push_back({r, l, false});
+      break;
+    case CompareOp::kNe:
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<ExprPtr> TransitiveClosure(
+    const std::vector<ExprPtr>& conjuncts) {
+  std::vector<Edge> edges;
+  for (const ExprPtr& c : conjuncts) NormalizeToEdges(c, &edges);
+
+  std::set<std::string> existing;
+  for (const ExprPtr& c : conjuncts) existing.insert(c->ToString());
+
+  // One transitive step is what the classical syntax-driven rule applies;
+  // iterating to a fixpoint would still only chain syntactically equal
+  // middles, so we saturate for completeness (bounded by edge pairs).
+  std::vector<ExprPtr> derived;
+  std::set<std::string> seen;
+  bool changed = true;
+  int rounds = 0;
+  while (changed && rounds < 4) {
+    changed = false;
+    ++rounds;
+    const std::vector<Edge> snapshot = edges;
+    for (const Edge& e1 : snapshot) {
+      const std::string mid = e1.rhs->ToString();
+      for (const Edge& e2 : snapshot) {
+        if (e2.lhs->ToString() != mid) continue;
+        if (e1.lhs->ToString() == e2.rhs->ToString()) continue;
+        const bool strict = e1.strict || e2.strict;
+        ExprPtr out = Expr::Compare(strict ? CompareOp::kLt : CompareOp::kLe,
+                                    e1.lhs, e2.rhs);
+        const std::string key = out->ToString();
+        if (existing.contains(key) || seen.contains(key)) continue;
+        seen.insert(key);
+        derived.push_back(out);
+        edges.push_back({e1.lhs, e2.rhs, strict});
+        changed = true;
+      }
+    }
+  }
+  return derived;
+}
+
+std::vector<ExprPtr> PropagateConstants(
+    const std::vector<ExprPtr>& conjuncts) {
+  // Bindings col-index -> literal from `col = literal` conjuncts.
+  std::vector<ColumnSubstitution> bindings;
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind() != ExprKind::kCompare ||
+        c->compare_op() != CompareOp::kEq) {
+      continue;
+    }
+    const ExprPtr* col = nullptr;
+    const ExprPtr* lit = nullptr;
+    if (c->left()->kind() == ExprKind::kColumnRef &&
+        c->right()->kind() == ExprKind::kLiteral) {
+      col = &c->left();
+      lit = &c->right();
+    } else if (c->right()->kind() == ExprKind::kColumnRef &&
+               c->left()->kind() == ExprKind::kLiteral) {
+      col = &c->right();
+      lit = &c->left();
+    } else {
+      continue;
+    }
+    if (!(*col)->is_bound() || (*lit)->literal().is_null()) continue;
+    bindings.push_back({(*col)->index(), *lit});
+  }
+  if (bindings.empty()) return conjuncts;
+
+  std::vector<ExprPtr> out;
+  out.reserve(conjuncts.size());
+  for (const ExprPtr& c : conjuncts) {
+    // Keep the defining equality itself; substitute everywhere else.
+    bool is_definition = false;
+    if (c->kind() == ExprKind::kCompare &&
+        c->compare_op() == CompareOp::kEq) {
+      for (const auto& b : bindings) {
+        if ((c->left()->kind() == ExprKind::kColumnRef &&
+             c->left()->is_bound() && c->left()->index() == b.index) ||
+            (c->right()->kind() == ExprKind::kColumnRef &&
+             c->right()->is_bound() && c->right()->index() == b.index)) {
+          is_definition = true;
+          break;
+        }
+      }
+    }
+    if (is_definition) {
+      out.push_back(c);
+    } else {
+      out.push_back(Simplify(SubstituteColumns(c, bindings)));
+    }
+  }
+  return out;
+}
+
+std::vector<ExprPtr> TransferThroughEquivalences(
+    const std::vector<ExprPtr>& conjuncts) {
+  // Union-find over bound column indices, seeded by col = col conjuncts.
+  std::map<size_t, size_t> parent;
+  std::function<size_t(size_t)> find = [&](size_t x) -> size_t {
+    auto it = parent.find(x);
+    if (it == parent.end() || it->second == x) return x;
+    return it->second = find(it->second);
+  };
+  auto unite = [&](size_t a, size_t b) {
+    a = find(a);
+    b = find(b);
+    parent.try_emplace(a, a);
+    parent.try_emplace(b, b);
+    if (a != b) parent[find(a)] = find(b);
+  };
+
+  std::map<size_t, const Expr*> column_ref;  // index -> a representative ref
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind() == ExprKind::kCompare &&
+        c->compare_op() == CompareOp::kEq &&
+        c->left()->kind() == ExprKind::kColumnRef &&
+        c->right()->kind() == ExprKind::kColumnRef && c->left()->is_bound() &&
+        c->right()->is_bound()) {
+      unite(c->left()->index(), c->right()->index());
+      column_ref[c->left()->index()] = c->left().get();
+      column_ref[c->right()->index()] = c->right().get();
+    }
+  }
+  if (parent.empty()) return {};
+
+  std::set<std::string> existing;
+  for (const ExprPtr& c : conjuncts) existing.insert(c->ToString());
+
+  std::vector<ExprPtr> derived;
+  std::set<std::string> seen;
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind() != ExprKind::kCompare) continue;
+    // One side a bare equivalence-class column, the other column-free.
+    const ExprPtr* col_side = nullptr;
+    const ExprPtr* other = nullptr;
+    bool col_on_left = true;
+    if (c->left()->kind() == ExprKind::kColumnRef && c->left()->is_bound() &&
+        CollectColumnIndices(c->right()).empty()) {
+      col_side = &c->left();
+      other = &c->right();
+    } else if (c->right()->kind() == ExprKind::kColumnRef &&
+               c->right()->is_bound() &&
+               CollectColumnIndices(c->left()).empty()) {
+      col_side = &c->right();
+      other = &c->left();
+      col_on_left = false;
+    } else {
+      continue;
+    }
+    const size_t root = find((*col_side)->index());
+    for (const auto& [idx, ref] : column_ref) {
+      if (idx == (*col_side)->index() || find(idx) != root) continue;
+      ExprPtr replacement = Expr::BoundColumn(ref->table(), ref->name(), idx,
+                                              ref->type());
+      ExprPtr out =
+          col_on_left
+              ? Expr::Compare(c->compare_op(), std::move(replacement), *other)
+              : Expr::Compare(c->compare_op(), *other, std::move(replacement));
+      const std::string key = out->ToString();
+      if (existing.contains(key) || seen.contains(key)) continue;
+      seen.insert(key);
+      derived.push_back(std::move(out));
+    }
+  }
+  return derived;
+}
+
+PlanPtr PushFilterBelowJoin(const PlanPtr& plan) {
+  if (plan->kind() != PlanKind::kFilter) return plan;
+  const PlanPtr& join = plan->child();
+  if (join->kind() != PlanKind::kJoin) return plan;
+
+  const size_t left_size = join->child(0)->output_schema().size();
+  const size_t total = join->output_schema().size();
+
+  std::vector<ExprPtr> to_left;
+  std::vector<ExprPtr> to_right;
+  std::vector<ExprPtr> stay;
+  for (const ExprPtr& c : SplitConjuncts(plan->predicate())) {
+    const std::vector<size_t> used = CollectColumnIndices(c);
+    const bool all_left = std::all_of(used.begin(), used.end(), [&](size_t i) {
+      return i < left_size;
+    });
+    const bool all_right = std::all_of(used.begin(), used.end(),
+                                       [&](size_t i) { return i >= left_size; });
+    if (all_left && !used.empty()) {
+      to_left.push_back(c);
+    } else if (all_right && !used.empty()) {
+      std::vector<std::pair<size_t, size_t>> remap;
+      for (size_t i = left_size; i < total; ++i) {
+        remap.emplace_back(i, i - left_size);
+      }
+      to_right.push_back(RemapColumnIndices(c, remap));
+    } else {
+      stay.push_back(c);
+    }
+  }
+  if (to_left.empty() && to_right.empty()) return plan;
+
+  PlanPtr left = join->child(0);
+  PlanPtr right = join->child(1);
+  if (!to_left.empty()) {
+    left = PlanNode::Filter(CombineConjuncts(to_left), left);
+  }
+  if (!to_right.empty()) {
+    right = PlanNode::Filter(CombineConjuncts(to_right), right);
+  }
+  PlanPtr new_join = PlanNode::Join(join->predicate(), left, right);
+  if (stay.empty()) return new_join;
+  return PlanNode::Filter(CombineConjuncts(stay), new_join);
+}
+
+PlanPtr PushFilterBelowAggregate(const PlanPtr& plan) {
+  if (plan->kind() != PlanKind::kFilter) return plan;
+  const PlanPtr& agg = plan->child();
+  if (agg->kind() != PlanKind::kAggregate) return plan;
+
+  const size_t group_count = agg->columns().size();
+  std::vector<ExprPtr> below;
+  std::vector<ExprPtr> stay;
+  // Output column i < group_count corresponds to child column
+  // agg->columns()[i]; the trailing count column cannot move.
+  std::vector<std::pair<size_t, size_t>> remap;
+  for (size_t i = 0; i < group_count; ++i) {
+    remap.emplace_back(i, agg->columns()[i]);
+  }
+  for (const ExprPtr& c : SplitConjuncts(plan->predicate())) {
+    const std::vector<size_t> used = CollectColumnIndices(c);
+    const bool group_only = std::all_of(
+        used.begin(), used.end(), [&](size_t i) { return i < group_count; });
+    if (group_only && !used.empty()) {
+      below.push_back(RemapColumnIndices(c, remap));
+    } else {
+      stay.push_back(c);
+    }
+  }
+  if (below.empty()) return plan;
+
+  PlanPtr child = PlanNode::Filter(CombineConjuncts(below), agg->child());
+  PlanPtr new_agg = PlanNode::Aggregate(agg->columns(), child);
+  if (stay.empty()) return new_agg;
+  return PlanNode::Filter(CombineConjuncts(stay), new_agg);
+}
+
+namespace {
+
+PlanPtr ApplyOnce(const PlanPtr& plan) {
+  // Recurse first so children are in normal form.
+  std::vector<PlanPtr> kids;
+  bool changed = false;
+  for (const PlanPtr& c : plan->children()) {
+    PlanPtr nc = ApplyOnce(c);
+    changed |= (nc.get() != c.get());
+    kids.push_back(std::move(nc));
+  }
+  PlanPtr base = plan;
+  if (changed) {
+    switch (plan->kind()) {
+      case PlanKind::kFilter:
+        base = PlanNode::Filter(plan->predicate(), kids[0]);
+        break;
+      case PlanKind::kJoin:
+        base = PlanNode::Join(plan->predicate(), kids[0], kids[1]);
+        break;
+      case PlanKind::kAggregate:
+        base = PlanNode::Aggregate(plan->columns(), kids[0]);
+        break;
+      case PlanKind::kProject:
+        base = PlanNode::Project(plan->columns(), kids[0]);
+        break;
+      case PlanKind::kScan:
+        break;
+    }
+  }
+  PlanPtr out = PushFilterBelowJoin(base);
+  out = PushFilterBelowAggregate(out);
+  return out;
+}
+
+}  // namespace
+
+PlanPtr ApplyPredicateMovement(const PlanPtr& plan) {
+  PlanPtr current = plan;
+  for (int i = 0; i < 8; ++i) {
+    PlanPtr next = ApplyOnce(current);
+    if (next.get() == current.get()) break;
+    current = next;
+  }
+  return current;
+}
+
+}  // namespace sia

@@ -1,0 +1,54 @@
+#ifndef SIA_REWRITE_RULES_H_
+#define SIA_REWRITE_RULES_H_
+
+#include <vector>
+
+#include "ir/expr.h"
+#include "rewrite/plan.h"
+#include "types/schema.h"
+
+namespace sia {
+
+// --- Syntax-driven baselines (paper §2 "Prior Work", §6.3) -------------
+
+// Transitive-closure transformation [Ioannidis & Ramakrishnan, VLDB'88]:
+// from aligned inequalities over syntactically identical middle terms,
+//   e1 < m  AND  m < e2   ==>   e1 < e2
+// (<= handled with strictness tracking, = treated as both directions).
+// Returns ONLY newly derived conjuncts, deduplicated against the inputs.
+std::vector<ExprPtr> TransitiveClosure(const std::vector<ExprPtr>& conjuncts);
+
+// Constant propagation [Consens et al., RIDS'95]: for each equality
+// `col = literal`, substitutes the literal into the other conjuncts and
+// simplifies. Returns the rewritten conjunct list (same length).
+std::vector<ExprPtr> PropagateConstants(const std::vector<ExprPtr>& conjuncts);
+
+// Predicate transfer through join-key equivalence classes: column-to-
+// column equalities (`a = b`) induce equivalence classes, and any
+// conjunct comparing a member against a column-free expression transfers
+// to every other member (`a = b AND a < 10  ==>  b < 10`). This is the
+// classical complement to transitive closure that production optimizers
+// apply to join keys; like the other syntax-driven rules it cannot reason
+// through arithmetic that mixes columns — exactly the gap Sia fills.
+// Returns ONLY newly derived conjuncts, deduplicated against the inputs.
+std::vector<ExprPtr> TransferThroughEquivalences(
+    const std::vector<ExprPtr>& conjuncts);
+
+// --- Plan-level predicate movement rules --------------------------------
+
+// Filter(pred, Join(l, r)) => pushes the conjuncts of `pred` that only
+// use one side's columns into that side (as a child Filter). Returns the
+// input plan unchanged when nothing moves.
+PlanPtr PushFilterBelowJoin(const PlanPtr& plan);
+
+// Filter(pred, Aggregate(g, child)) => moves conjuncts that only
+// reference GROUP BY columns below the aggregation [Levy et al.,
+// VLDB'94]. Returns the input plan unchanged when nothing moves.
+PlanPtr PushFilterBelowAggregate(const PlanPtr& plan);
+
+// Applies both movement rules bottom-up until fixpoint.
+PlanPtr ApplyPredicateMovement(const PlanPtr& plan);
+
+}  // namespace sia
+
+#endif  // SIA_REWRITE_RULES_H_

@@ -1,0 +1,121 @@
+#include "rewrite/sia_rewriter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+#include "ir/analysis.h"
+#include "ir/binder.h"
+#include "parser/parser.h"
+
+namespace sia {
+
+namespace {
+
+// Columns that only ever appear in cross-table `col = col` equalities
+// (join keys). Learning over them is useless — for any key value the
+// other side can match — and the extra dimension degrades the SVM, so
+// the default Cols' excludes them.
+std::set<size_t> JoinKeyOnlyColumns(const ExprPtr& bound,
+                                    const Schema& joint) {
+  std::map<size_t, bool> only_in_join_eq;  // col -> true while join-only
+  for (const ExprPtr& c : SplitConjuncts(bound)) {
+    const bool is_join_eq =
+        c->kind() == ExprKind::kCompare &&
+        c->compare_op() == CompareOp::kEq &&
+        c->left()->kind() == ExprKind::kColumnRef &&
+        c->right()->kind() == ExprKind::kColumnRef &&
+        c->left()->is_bound() && c->right()->is_bound() &&
+        joint.column(c->left()->index()).table !=
+            joint.column(c->right()->index()).table;
+    for (const size_t col : CollectColumnIndices(c)) {
+      auto [it, inserted] = only_in_join_eq.try_emplace(col, is_join_eq);
+      if (!is_join_eq) it->second = false;
+    }
+  }
+  std::set<size_t> out;
+  for (const auto& [col, join_only] : only_in_join_eq) {
+    if (join_only) out.insert(col);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
+                                    const Catalog& catalog,
+                                    const RewriteOptions& options) {
+  RewriteOutcome outcome;
+  outcome.rewritten = query;
+
+  if (query.where == nullptr) {
+    return outcome;  // nothing to synthesize from
+  }
+  const bool has_target =
+      std::any_of(query.tables.begin(), query.tables.end(),
+                  [&](const std::string& t) {
+                    return EqualsIgnoreCase(t, options.target_table);
+                  });
+  if (!has_target) {
+    return Status::InvalidArgument("target table '" + options.target_table +
+                                   "' is not in the query's FROM list");
+  }
+
+  SIA_ASSIGN_OR_RETURN(Schema joint, catalog.JointSchema(query.tables));
+  SIA_ASSIGN_OR_RETURN(ExprPtr bound, Bind(query.where, joint));
+
+  // Determine Cols': explicit list, or every referenced target column.
+  std::vector<size_t> cols;
+  if (!options.target_columns.empty()) {
+    for (const std::string& name : options.target_columns) {
+      const auto idx = joint.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::NotFound("target column not found: '" + name + "'");
+      }
+      cols.push_back(*idx);
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  } else {
+    const std::set<size_t> join_keys = JoinKeyOnlyColumns(bound, joint);
+    for (const size_t c : CollectColumnIndices(bound)) {
+      if (EqualsIgnoreCase(joint.column(c).table, options.target_table) &&
+          !join_keys.contains(c)) {
+        cols.push_back(c);
+      }
+    }
+  }
+  if (cols.empty()) {
+    return outcome;  // predicate does not touch the target table
+  }
+
+  // The predicate must actually constrain columns beyond Cols' for the
+  // reduction to be interesting; if it already only uses Cols', the
+  // pushdown rule applies as-is and Sia has nothing to add.
+  const std::vector<size_t> used = CollectColumnIndices(bound);
+  if (used.size() == cols.size()) {
+    return outcome;
+  }
+
+  SIA_ASSIGN_OR_RETURN(SynthesisResult synth,
+                       Synthesize(bound, joint, cols, options.synthesis));
+  outcome.synthesis = std::move(synth);
+  if (!outcome.synthesis.has_predicate()) {
+    return outcome;
+  }
+
+  outcome.learned = outcome.synthesis.predicate;
+  outcome.rewritten.where = Expr::Logic(LogicOp::kAnd, query.where,
+                                        outcome.learned);
+  return outcome;
+}
+
+Result<RewriteOutcome> RewriteQuery(const std::string& sql,
+                                    const Catalog& catalog,
+                                    const RewriteOptions& options) {
+  SIA_ASSIGN_OR_RETURN(ParsedQuery q, ParseQuery(sql));
+  return RewriteQuery(q, catalog, options);
+}
+
+}  // namespace sia

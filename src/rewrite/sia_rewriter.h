@@ -1,0 +1,54 @@
+#ifndef SIA_REWRITE_SIA_REWRITER_H_
+#define SIA_REWRITE_SIA_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/status.h"
+#include "parser/ast.h"
+#include "synth/synthesizer.h"
+
+namespace sia {
+
+// End-to-end query rewriting with learned predicates (the full Sia
+// pipeline of Fig. 5): parse -> bind -> synthesize a valid reduction of
+// the WHERE predicate onto one table's columns -> conjoin it back.
+struct RewriteOptions {
+  // The table whose columns the synthesized predicate may use (the
+  // pushdown target, e.g. "lineitem").
+  std::string target_table;
+  // Optional explicit Cols' (qualified or bare column names). When empty,
+  // every `target_table` column referenced by the WHERE clause is used.
+  std::vector<std::string> target_columns;
+  SynthesisOptions synthesis;
+};
+
+struct RewriteOutcome {
+  // The rewritten query: original WHERE ∧ learned predicate. Equals the
+  // input query when synthesis produced nothing.
+  ParsedQuery rewritten;
+  // Synthesis record (status, stats, learned conjuncts).
+  SynthesisResult synthesis;
+  // The learned predicate bound against the query's joint schema; null
+  // when synthesis produced nothing.
+  ExprPtr learned;
+
+  bool changed() const { return learned != nullptr; }
+};
+
+// Rewrites `query` (which must reference `options.target_table` in FROM).
+// Returns the outcome even when no predicate could be learned (status
+// kNone, rewritten == query); errors indicate malformed input.
+Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
+                                    const Catalog& catalog,
+                                    const RewriteOptions& options);
+
+// Convenience overload: parses `sql` first.
+Result<RewriteOutcome> RewriteQuery(const std::string& sql,
+                                    const Catalog& catalog,
+                                    const RewriteOptions& options);
+
+}  // namespace sia
+
+#endif  // SIA_REWRITE_SIA_REWRITER_H_

@@ -1,0 +1,292 @@
+#include "smt/encoder.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "ir/analysis.h"
+
+namespace sia {
+
+namespace {
+
+// Truncated (SQL/C++) integer division in terms of Z3's Euclidean-style
+// div, for a constant, non-zero divisor:
+//   tdiv(a, b) = ite(a >= 0, a div |b| * sgn(b), -((-a) div |b|) * sgn(b))
+// For b > 0, Z3's (a div b) is floor(a/b); truncation differs for a < 0.
+z3::expr TruncatedDiv(z3::context& c, const z3::expr& a, int64_t b) {
+  const int64_t abs_b = b < 0 ? -b : b;
+  const int sign = b < 0 ? -1 : 1;
+  z3::expr abs_b_e = c.int_val(abs_b);
+  z3::expr pos = a / abs_b_e;
+  z3::expr neg = -((-a) / abs_b_e);
+  z3::expr t = z3::ite(a >= 0, pos, neg);
+  return sign < 0 ? -t : t;
+}
+
+}  // namespace
+
+bool Encoder::ReferencesColumns(const ExprPtr& e) const {
+  if (e->kind() == ExprKind::kColumnRef) return true;
+  for (const auto& child : e->children()) {
+    if (ReferencesColumns(child)) return true;
+  }
+  return false;
+}
+
+z3::expr Encoder::ColumnVar(size_t index) {
+  return ctx_->ColumnVar(index, schema_.column(index).type);
+}
+
+Result<Encoder::Encoded> Encoder::EncodeScalar(const ExprPtr& e) {
+  z3::context& c = ctx_->z3();
+  switch (e->kind()) {
+    case ExprKind::kColumnRef: {
+      if (!e->is_bound()) {
+        return Status::Internal("unbound column in SMT encoding: " +
+                                e->ToString());
+      }
+      const ColumnDef& col = schema_.column(e->index());
+      z3::expr value = ctx_->ColumnVar(e->index(), col.type);
+      z3::expr is_null = (nulls_ == NullHandling::kThreeValued && col.nullable)
+                             ? ctx_->NullVar(e->index())
+                             : c.bool_val(false);
+      return Encoded{value, is_null};
+    }
+    case ExprKind::kLiteral: {
+      const Value& v = e->literal();
+      if (v.is_null()) {
+        // Typed placeholder value; is_null masks it.
+        return Encoded{c.int_val(0), c.bool_val(true)};
+      }
+      if (v.type() == DataType::kDouble) {
+        // Represent doubles as exact rationals via their decimal string.
+        std::ostringstream os;
+        os.precision(17);
+        os << v.AsDouble();
+        return Encoded{c.real_val(os.str().c_str()), c.bool_val(false)};
+      }
+      if (v.type() == DataType::kBoolean) {
+        return Status::TypeError("boolean literal in scalar context");
+      }
+      return Encoded{c.int_val(static_cast<int64_t>(v.AsInt())),
+                     c.bool_val(false)};
+    }
+    case ExprKind::kArith: {
+      const ArithOp op = e->arith_op();
+      const bool lhs_cols = ReferencesColumns(e->left());
+      const bool rhs_cols = ReferencesColumns(e->right());
+      // Non-linear escape hatch (§5.2): fold col*col / col/col into one
+      // fresh variable. The fold can only be NULL when an input column is
+      // nullable (or the op is a division, whose zero-divisor case is
+      // NULL); otherwise pinning its null flag to false keeps the
+      // three-valued encoding in agreement with the simple one.
+      if ((op == ArithOp::kMul || op == ArithOp::kDiv) && lhs_cols &&
+          rhs_cols) {
+        const std::string key = e->ToString();
+        const bool is_real = (e->type() == DataType::kDouble);
+        z3::expr value = ctx_->AuxVar(key, is_real);
+        bool can_be_null = (op == ArithOp::kDiv);
+        for (const size_t col : CollectColumnIndices(e)) {
+          can_be_null |= schema_.column(col).nullable;
+        }
+        z3::expr is_null =
+            (nulls_ == NullHandling::kThreeValued && can_be_null)
+                ? ctx_->AuxNullVar(key)
+                : c.bool_val(false);
+        return Encoded{value, is_null};
+      }
+      SIA_ASSIGN_OR_RETURN(Encoded l, EncodeScalar(e->left()));
+      SIA_ASSIGN_OR_RETURN(Encoded r, EncodeScalar(e->right()));
+      z3::expr is_null = l.is_null || r.is_null;
+      switch (op) {
+        case ArithOp::kAdd:
+          return Encoded{l.value + r.value, is_null};
+        case ArithOp::kSub:
+          return Encoded{l.value - r.value, is_null};
+        case ArithOp::kMul:
+          return Encoded{l.value * r.value, is_null};
+        case ArithOp::kDiv: {
+          // Divisor is constant here (both-column case folded above).
+          if (e->right()->kind() == ExprKind::kLiteral &&
+              !e->right()->literal().is_null() &&
+              IsIntegral(e->right()->literal().type()) &&
+              !l.value.is_real()) {
+            const int64_t b = e->right()->literal().AsInt();
+            if (b == 0) {
+              // x / 0 is NULL in our evaluator.
+              return Encoded{c.int_val(0), c.bool_val(true)};
+            }
+            return Encoded{TruncatedDiv(c, l.value, b), is_null};
+          }
+          // Real-valued or non-literal constant divisor: use Z3 division
+          // and mark NULL when the divisor is zero (evaluator semantics).
+          z3::expr div_null = is_null || (r.value == 0);
+          return Encoded{l.value / r.value, div_null};
+        }
+      }
+      return Status::Internal("unreachable arith op");
+    }
+    default:
+      return Status::TypeError("predicate used in scalar context: " +
+                               e->ToString());
+  }
+}
+
+Result<Encoder::Encoded> Encoder::EncodePredicate(const ExprPtr& e) {
+  z3::context& c = ctx_->z3();
+  switch (e->kind()) {
+    case ExprKind::kLiteral: {
+      const Value& v = e->literal();
+      if (v.is_null()) return Encoded{c.bool_val(false), c.bool_val(true)};
+      if (v.type() != DataType::kBoolean) {
+        return Status::TypeError("non-boolean literal as predicate");
+      }
+      return Encoded{c.bool_val(v.AsBool()), c.bool_val(false)};
+    }
+    case ExprKind::kCompare: {
+      SIA_ASSIGN_OR_RETURN(Encoded l, EncodeScalar(e->left()));
+      SIA_ASSIGN_OR_RETURN(Encoded r, EncodeScalar(e->right()));
+      z3::expr lv = l.value;
+      z3::expr rv = r.value;
+      // Z3 requires same-sorted operands; promote int to real if mixed.
+      if (lv.is_real() != rv.is_real()) {
+        if (!lv.is_real()) lv = z3::to_real(lv);
+        if (!rv.is_real()) rv = z3::to_real(rv);
+      }
+      z3::expr truth = c.bool_val(false);
+      switch (e->compare_op()) {
+        case CompareOp::kLt:
+          truth = lv < rv;
+          break;
+        case CompareOp::kLe:
+          truth = lv <= rv;
+          break;
+        case CompareOp::kGt:
+          truth = lv > rv;
+          break;
+        case CompareOp::kGe:
+          truth = lv >= rv;
+          break;
+        case CompareOp::kEq:
+          truth = lv == rv;
+          break;
+        case CompareOp::kNe:
+          truth = lv != rv;
+          break;
+      }
+      return Encoded{truth, l.is_null || r.is_null};
+    }
+    case ExprKind::kLogic: {
+      SIA_ASSIGN_OR_RETURN(Encoded l, EncodePredicate(e->left()));
+      SIA_ASSIGN_OR_RETURN(Encoded r, EncodePredicate(e->right()));
+      // Kleene 3VL: track (truth-when-not-null, null-ness). A conjunction
+      // is NULL iff neither side is FALSE-and-non-null and some side is
+      // NULL; dually for OR.
+      z3::expr l_true = l.value && !l.is_null;
+      z3::expr l_false = !l.value && !l.is_null;
+      z3::expr r_true = r.value && !r.is_null;
+      z3::expr r_false = !r.value && !r.is_null;
+      if (e->logic_op() == LogicOp::kAnd) {
+        z3::expr out_true = l_true && r_true;
+        z3::expr out_false = l_false || r_false;
+        return Encoded{out_true, !out_true && !out_false};
+      }
+      z3::expr out_true = l_true || r_true;
+      z3::expr out_false = l_false && r_false;
+      return Encoded{out_true, !out_true && !out_false};
+    }
+    case ExprKind::kNot: {
+      SIA_ASSIGN_OR_RETURN(Encoded v, EncodePredicate(e->operand()));
+      // NOT TRUE = FALSE, NOT FALSE = TRUE, NOT NULL = NULL.
+      return Encoded{!v.value && !v.is_null, v.is_null};
+    }
+    case ExprKind::kColumnRef:
+      return Status::TypeError("bare column as predicate: " + e->ToString());
+    default:
+      return Status::TypeError("scalar used as predicate: " + e->ToString());
+  }
+}
+
+Result<z3::expr> Encoder::EncodeTrue(const ExprPtr& predicate) {
+  SIA_ASSIGN_OR_RETURN(Encoded enc, EncodePredicate(predicate));
+  return enc.value && !enc.is_null;
+}
+
+Result<z3::expr> Encoder::EncodeNotTrue(const ExprPtr& predicate) {
+  SIA_ASSIGN_OR_RETURN(Encoded enc, EncodePredicate(predicate));
+  return !(enc.value && !enc.is_null);
+}
+
+Result<z3::expr> Encoder::TupleEquals(const std::vector<size_t>& cols,
+                                      const Tuple& sample) {
+  z3::context& c = ctx_->z3();
+  if (cols.size() != sample.size()) {
+    return Status::InvalidArgument("sample arity mismatch");
+  }
+  z3::expr acc = c.bool_val(true);
+  for (size_t i = 0; i < cols.size(); ++i) {
+    const Value& v = sample.at(i);
+    if (v.is_null()) {
+      return Status::InvalidArgument("NULL in training sample");
+    }
+    z3::expr var = ColumnVar(cols[i]);
+    if (v.type() == DataType::kDouble) {
+      std::ostringstream os;
+      os.precision(17);
+      os << v.AsDouble();
+      acc = acc && (var == c.real_val(os.str().c_str()));
+    } else {
+      acc = acc && (var == c.int_val(static_cast<int64_t>(v.AsInt())));
+    }
+  }
+  return acc;
+}
+
+Result<Tuple> Encoder::ExtractTuple(const z3::model& model,
+                                    const std::vector<size_t>& cols) {
+  Tuple out;
+  for (const size_t col : cols) {
+    const ColumnDef& def = schema_.column(col);
+    z3::expr var = ColumnVar(col);
+    z3::expr v = model.eval(var, /*model_completion=*/true);
+    if (def.type == DataType::kDouble) {
+      // Rational -> double.
+      int64_t num = 0, den = 1;
+      if (v.is_numeral()) {
+        const std::string s = v.get_decimal_string(12);
+        try {
+          out.Append(Value::Double(std::stod(s)));
+          continue;
+        } catch (const std::exception&) {
+          // fall through to rational path
+        }
+      }
+      (void)num;
+      (void)den;
+      return Status::SolverError("could not extract real value for column " +
+                                 def.QualifiedName());
+    }
+    int64_t iv = 0;
+    if (!v.is_numeral_i64(iv)) {
+      return Status::SolverError("could not extract int value for column " +
+                                 def.QualifiedName());
+    }
+    switch (def.type) {
+      case DataType::kDate:
+        out.Append(Value::Date(iv));
+        break;
+      case DataType::kTimestamp:
+        out.Append(Value::Timestamp(iv));
+        break;
+      case DataType::kBoolean:
+        out.Append(Value::Boolean(iv != 0));
+        break;
+      default:
+        out.Append(Value::Integer(iv));
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace sia

@@ -1,0 +1,86 @@
+#ifndef SIA_SMT_ENCODER_H_
+#define SIA_SMT_ENCODER_H_
+
+#include <vector>
+
+#include <z3++.h>
+
+#include "common/status.h"
+#include "ir/expr.h"
+#include "smt/smt_context.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+
+namespace sia {
+
+// How SQL NULL is modeled in the SMT encoding (paper §5.2).
+enum class NullHandling {
+  // One value variable per column; all columns assumed non-NULL. Used for
+  // sample generation, where Sia only ever produces concrete non-NULL
+  // tuples.
+  kIgnore,
+  // Value + is-null boolean pair per nullable column (the scheme of
+  // [Zhou et al., PVLDB'19]). Used by Verify so that validity holds under
+  // three-valued logic.
+  kThreeValued,
+};
+
+// Translates bound predicates into Z3 formulas over per-column variables.
+//
+// Non-linear arithmetic (§5.2): a multiplication or division whose both
+// operands reference columns is folded into a single fresh auxiliary
+// variable so the resulting formula stays within decidable linear
+// arithmetic. (This is only sound for synthesis purposes when the folded
+// subexpression does not otherwise constrain the involved columns, which
+// mirrors the paper's caveat.)
+class Encoder {
+ public:
+  Encoder(SmtContext* ctx, const Schema& schema, NullHandling nulls)
+      : ctx_(ctx), schema_(schema), nulls_(nulls) {}
+
+  // Formula asserting "p evaluates to TRUE" for the symbolic tuple.
+  // Under kThreeValued this is is_true(p) (NULL outcomes excluded),
+  // matching the WHERE-clause semantics.
+  Result<z3::expr> EncodeTrue(const ExprPtr& predicate);
+
+  // Formula asserting "p does NOT evaluate to TRUE" (FALSE or NULL).
+  Result<z3::expr> EncodeNotTrue(const ExprPtr& predicate);
+
+  // Value variable for a column (shared with the owning SmtContext).
+  z3::expr ColumnVar(size_t index);
+
+  // Constraint pinning the Cols' variables to a concrete sample, i.e.
+  // AND_i (c_i == sample[i]). Used to build the paper's NotOld formulas.
+  Result<z3::expr> TupleEquals(const std::vector<size_t>& cols,
+                               const Tuple& sample);
+
+  // Extracts concrete values for `cols` from a model, completing
+  // unconstrained variables with 0. Values are tagged with the columns'
+  // schema types (dates come back as DATE values).
+  Result<Tuple> ExtractTuple(const z3::model& model,
+                             const std::vector<size_t>& cols);
+
+  const Schema& schema() const { return schema_; }
+  SmtContext* context() { return ctx_; }
+
+ private:
+  // (value, is_null) pair for scalar subexpressions; for predicates the
+  // pair is (is_true, is_null) with z3 Bool value.
+  struct Encoded {
+    z3::expr value;
+    z3::expr is_null;
+  };
+
+  Result<Encoded> EncodeScalar(const ExprPtr& e);
+  Result<Encoded> EncodePredicate(const ExprPtr& e);
+
+  bool ReferencesColumns(const ExprPtr& e) const;
+
+  SmtContext* ctx_;
+  const Schema& schema_;
+  NullHandling nulls_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_SMT_ENCODER_H_

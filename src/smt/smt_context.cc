@@ -1,0 +1,35 @@
+#include "smt/smt_context.h"
+
+namespace sia {
+
+z3::expr SmtContext::Intern(
+    std::map<std::string, std::unique_ptr<z3::expr>>* pool,
+    const std::string& name, bool is_real, bool is_bool) {
+  const auto it = pool->find(name);
+  if (it != pool->end()) return *it->second;
+  z3::expr var = is_bool   ? ctx_.bool_const(name.c_str())
+                 : is_real ? ctx_.real_const(name.c_str())
+                           : ctx_.int_const(name.c_str());
+  auto inserted =
+      pool->emplace(name, std::make_unique<z3::expr>(var));
+  return *inserted.first->second;
+}
+
+z3::expr SmtContext::ColumnVar(size_t index, DataType type) {
+  const bool is_real = (type == DataType::kDouble);
+  return Intern(&cache_, "c" + std::to_string(index), is_real, false);
+}
+
+z3::expr SmtContext::NullVar(size_t index) {
+  return Intern(&cache_, "n" + std::to_string(index), false, true);
+}
+
+z3::expr SmtContext::AuxVar(const std::string& key, bool is_real) {
+  return Intern(&aux_, "aux_v!" + key, is_real, false);
+}
+
+z3::expr SmtContext::AuxNullVar(const std::string& key) {
+  return Intern(&aux_, "aux_n!" + key, false, true);
+}
+
+}  // namespace sia

@@ -1,0 +1,56 @@
+#ifndef SIA_SMT_SMT_CONTEXT_H_
+#define SIA_SMT_SMT_CONTEXT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include <z3++.h>
+
+#include "types/data_type.h"
+
+namespace sia {
+
+// Owns a z3::context plus the variable caches for one synthesis run.
+// Z3 contexts are not thread-safe; create one SmtContext per thread.
+//
+// Naming scheme: column i gets value variable "c<i>" (Int sort for
+// INTEGER/DATE/TIMESTAMP, Real for DOUBLE) and null-flag "n<i>" (Bool).
+// Auxiliary variables for non-linear subexpressions (paper §5.2) are
+// keyed by the subexpression's printed form.
+class SmtContext {
+ public:
+  SmtContext() = default;
+
+  SmtContext(const SmtContext&) = delete;
+  SmtContext& operator=(const SmtContext&) = delete;
+
+  z3::context& z3() { return ctx_; }
+
+  // Value variable for column `index`.
+  z3::expr ColumnVar(size_t index, DataType type);
+
+  // Null flag for column `index`.
+  z3::expr NullVar(size_t index);
+
+  // Auxiliary variable standing in for a non-linear subexpression.
+  z3::expr AuxVar(const std::string& key, bool is_real);
+
+  // Null flag paired with an auxiliary variable.
+  z3::expr AuxNullVar(const std::string& key);
+
+  // Number of distinct auxiliary variables created (stats/tests).
+  size_t aux_count() const { return aux_.size(); }
+
+ private:
+  z3::context ctx_;
+  std::map<std::string, std::unique_ptr<z3::expr>> cache_;
+  std::map<std::string, std::unique_ptr<z3::expr>> aux_;
+
+  z3::expr Intern(std::map<std::string, std::unique_ptr<z3::expr>>* pool,
+                  const std::string& name, bool is_real, bool is_bool);
+};
+
+}  // namespace sia
+
+#endif  // SIA_SMT_SMT_CONTEXT_H_

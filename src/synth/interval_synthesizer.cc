@@ -1,0 +1,130 @@
+#include "synth/interval_synthesizer.h"
+
+#include <algorithm>
+#include <optional>
+
+#include <z3++.h>
+
+#include "common/stopwatch.h"
+#include "ir/analysis.h"
+#include "smt/encoder.h"
+#include "smt/smt_context.h"
+#include "synth/sample_generator.h"
+
+namespace sia {
+
+namespace {
+
+// Runs one objective query; nullopt when the objective is unbounded or
+// the solver gave up.
+std::optional<int64_t> Optimize(SmtContext* ctx, const z3::expr& formula,
+                                const z3::expr& var, bool maximize,
+                                uint32_t timeout_ms) {
+  z3::optimize opt(ctx->z3());
+  z3::params params(ctx->z3());
+  params.set("timeout", timeout_ms);
+  opt.set(params);
+  opt.add(formula);
+  const z3::optimize::handle handle =
+      maximize ? opt.maximize(var) : opt.minimize(var);
+  if (opt.check() != z3::sat) return std::nullopt;
+  const z3::expr bound = maximize ? opt.upper(handle) : opt.lower(handle);
+  int64_t value = 0;
+  if (!bound.is_numeral_i64(value)) return std::nullopt;  // +/- infinity
+  return value;
+}
+
+ExprPtr ColumnRef(const Schema& schema, size_t col) {
+  const ColumnDef& def = schema.column(col);
+  return Expr::BoundColumn(def.table, def.name, col, def.type);
+}
+
+ExprPtr BoundLiteral(const Schema& schema, size_t col, int64_t v) {
+  if (schema.column(col).type == DataType::kDate) return Expr::DateLit(v);
+  return Expr::IntLit(v);
+}
+
+}  // namespace
+
+Result<SynthesisResult> SynthesizeInterval(const ExprPtr& predicate,
+                                           const Schema& schema, size_t col,
+                                           const IntervalOptions& options) {
+  const std::vector<size_t> used = CollectColumnIndices(predicate);
+  if (std::find(used.begin(), used.end(), col) == used.end()) {
+    return Status::InvalidArgument("column not referenced by the predicate");
+  }
+  if (!IsIntegral(schema.column(col).type)) {
+    return Status::Unsupported("interval synthesis requires an integral column");
+  }
+
+  SynthesisResult result;
+  Stopwatch sw;
+
+  SmtContext ctx;
+  Encoder encoder(&ctx, schema, NullHandling::kIgnore);
+  SIA_ASSIGN_OR_RETURN(z3::expr p_true, encoder.EncodeTrue(predicate));
+  z3::expr var = encoder.ColumnVar(col);
+
+  const auto lo = Optimize(&ctx, p_true, var, /*maximize=*/false,
+                           options.solver_timeout_ms);
+  const auto hi = Optimize(&ctx, p_true, var, /*maximize=*/true,
+                           options.solver_timeout_ms);
+  result.stats.generation_ms = sw.ElapsedMillis();
+  result.stats.solver_calls = 2;
+
+  // Unsatisfiable predicate: both queries return UNSAT; FALSE is optimal.
+  {
+    z3::solver solver(ctx.z3());
+    z3::params params(ctx.z3());
+    params.set("timeout", options.solver_timeout_ms);
+    solver.set(params);
+    solver.add(p_true);
+    ++result.stats.solver_calls;
+    if (solver.check() == z3::unsat) {
+      result.status = SynthesisStatus::kOptimal;
+      result.predicate = Expr::BoolLit(false);
+      return result;
+    }
+  }
+
+  if (!lo.has_value() && !hi.has_value()) {
+    result.status = SynthesisStatus::kNone;  // only TRUE is valid
+    return result;
+  }
+
+  std::vector<ExprPtr> conjuncts;
+  if (lo.has_value() && hi.has_value() && *lo == *hi) {
+    conjuncts.push_back(Expr::Compare(CompareOp::kEq, ColumnRef(schema, col),
+                                      BoundLiteral(schema, col, *lo)));
+  } else {
+    if (lo.has_value()) {
+      conjuncts.push_back(Expr::Compare(CompareOp::kGe,
+                                        ColumnRef(schema, col),
+                                        BoundLiteral(schema, col, *lo)));
+    }
+    if (hi.has_value()) {
+      conjuncts.push_back(Expr::Compare(CompareOp::kLe,
+                                        ColumnRef(schema, col),
+                                        BoundLiteral(schema, col, *hi)));
+    }
+  }
+  result.predicate = Expr::And(conjuncts);
+
+  // Optimality: the hull is optimal iff no value inside it is an
+  // unsatisfaction tuple (Lemma 4) — one ∃∀ query.
+  sw.Reset();
+  SampleGenOptions gen_opts;
+  gen_opts.solver_timeout_ms = options.solver_timeout_ms;
+  SampleGenerator gen(predicate, schema, {col}, gen_opts);
+  auto hole = gen.CounterFalse(result.predicate, 1);
+  result.stats.validation_ms = sw.ElapsedMillis();
+  result.stats.solver_calls += gen.solver_calls();
+  if (hole.ok() && hole->empty() && gen.exhausted()) {
+    result.status = SynthesisStatus::kOptimal;
+  } else {
+    result.status = SynthesisStatus::kValid;
+  }
+  return result;
+}
+
+}  // namespace sia

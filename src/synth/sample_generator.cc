@@ -1,0 +1,229 @@
+#include "synth/sample_generator.h"
+
+#include <algorithm>
+#include <set>
+
+#include "ir/analysis.h"
+
+namespace sia {
+
+namespace {
+
+// Scans integer/date constants in a predicate for domain hinting.
+void ScanConstants(const ExprPtr& e, int64_t* lo, int64_t* hi, bool* any) {
+  if (e->kind() == ExprKind::kLiteral) {
+    const Value& v = e->literal();
+    if (!v.is_null() && IsIntegral(v.type()) &&
+        v.type() != DataType::kBoolean) {
+      const int64_t x = v.AsInt();
+      if (!*any) {
+        *lo = *hi = x;
+        *any = true;
+      } else {
+        *lo = std::min(*lo, x);
+        *hi = std::max(*hi, x);
+      }
+    }
+    return;
+  }
+  for (const auto& c : e->children()) ScanConstants(c, lo, hi, any);
+}
+
+// Collects the uninterpreted constants appearing in a Z3 expression.
+void CollectConsts(const z3::expr& e, std::set<unsigned>* visited,
+                   std::vector<z3::expr>* out) {
+  const unsigned id = Z3_get_ast_id(e.ctx(), e);
+  if (visited->contains(id)) return;
+  visited->insert(id);
+  if (e.is_const() && e.decl().decl_kind() == Z3_OP_UNINTERPRETED) {
+    out->push_back(e);
+    return;
+  }
+  for (unsigned i = 0; i < e.num_args(); ++i) {
+    CollectConsts(e.arg(i), visited, out);
+  }
+}
+
+}  // namespace
+
+SampleGenerator::SampleGenerator(const ExprPtr& predicate,
+                                 const Schema& schema,
+                                 std::vector<size_t> cols,
+                                 const SampleGenOptions& options)
+    : predicate_(predicate),
+      schema_(schema),
+      cols_(std::move(cols)),
+      options_(options),
+      encoder_(&ctx_, schema, NullHandling::kIgnore) {
+  ScanConstants(predicate_, &const_lo_, &const_hi_, &has_consts_);
+}
+
+Result<z3::expr> SampleGenerator::NotOld(const std::vector<Tuple>& seen) {
+  z3::expr acc = ctx_.z3().bool_val(true);
+  for (const Tuple& t : seen) {
+    SIA_ASSIGN_OR_RETURN(z3::expr eq, encoder_.TupleEquals(cols_, t));
+    acc = acc && !eq;
+  }
+  return acc;
+}
+
+std::vector<z3::expr> SampleGenerator::HintLayers() {
+  std::vector<z3::expr> layers;
+  z3::context& z = ctx_.z3();
+  if (has_consts_) {
+    // Layer 0: tight box around the predicate's constants.
+    const int64_t lo = const_lo_ - options_.domain_pad;
+    const int64_t hi = const_hi_ + options_.domain_pad;
+    z3::expr box = z.bool_val(true);
+    for (const size_t c : cols_) {
+      if (schema_.column(c).type == DataType::kDouble) continue;
+      z3::expr v = encoder_.ColumnVar(c);
+      box = box && (v >= z.int_val(lo)) && (v <= z.int_val(hi));
+    }
+    layers.push_back(box);
+    // Layer 1: a 10x looser box.
+    const int64_t span = (hi - lo) * 5 + 1000;
+    z3::expr loose = z.bool_val(true);
+    for (const size_t c : cols_) {
+      if (schema_.column(c).type == DataType::kDouble) continue;
+      z3::expr v = encoder_.ColumnVar(c);
+      loose = loose && (v >= z.int_val(lo - span)) && (v <= z.int_val(hi + span));
+    }
+    layers.push_back(loose);
+  }
+  if (options_.prefer_nonzero) {
+    z3::expr nz = z.bool_val(true);
+    for (const size_t c : cols_) {
+      if (schema_.column(c).type == DataType::kDouble) continue;
+      nz = nz && (encoder_.ColumnVar(c) != 0);
+    }
+    layers.push_back(nz);
+  }
+  return layers;
+}
+
+Result<std::vector<Tuple>> SampleGenerator::Sample(
+    const z3::expr& base, size_t count, std::vector<Tuple>* seen) {
+  exhausted_ = false;
+  std::vector<Tuple> produced;
+  z3::context& z = ctx_.z3();
+
+  z3::solver solver(z);
+  z3::params params(z);
+  params.set("timeout", options_.solver_timeout_ms);
+  params.set("random_seed", options_.random_seed);
+  // Randomized simplex starting points diversify the returned models
+  // (paper §5.3 heuristics); without it Z3 tends to return clustered
+  // near-identical samples.
+  params.set("arith.random_initial_value", true);
+  solver.set(params);
+  solver.add(base);
+  // NotOld is monotone: every exclusion stays in force for the rest of
+  // the run, so each one is asserted exactly once (incremental solving);
+  // only the relaxable domain hints go through push/pop.
+  SIA_ASSIGN_OR_RETURN(z3::expr prior, NotOld(*seen));
+  solver.add(prior);
+
+  const std::vector<z3::expr> hints = HintLayers();
+
+  // Hint layers only get harder to satisfy as NotOld grows, so once a
+  // layer is exhausted it stays exhausted: resume from the last layer
+  // that produced a model instead of re-proving the tight layers UNSAT
+  // for every sample.
+  size_t start_layer = 0;
+  while (produced.size() < count) {
+    // Try hint layers from strongest to weakest; fall back to no hints.
+    // A timeout on a hinted layer means the hints are not making the
+    // query easier — jump straight to the unhinted check, whose verdict
+    // is decisive, instead of paying the timeout once per layer.
+    bool got_model = false;
+    size_t layer = start_layer;
+    while (true) {
+      solver.push();
+      // Apply hint layers `layer..end` (dropping the strongest first).
+      for (size_t h = layer; h < hints.size(); ++h) solver.add(hints[h]);
+      ++solver_calls_;
+      const z3::check_result res = solver.check();
+      if (res == z3::sat) {
+        z3::model model = solver.get_model();
+        auto tuple = encoder_.ExtractTuple(model, cols_);
+        solver.pop();
+        if (!tuple.ok()) return tuple.status();
+        SIA_ASSIGN_OR_RETURN(z3::expr eq,
+                             encoder_.TupleEquals(cols_, tuple.value()));
+        solver.add(!eq);
+        seen->push_back(tuple.value());
+        produced.push_back(std::move(tuple).value());
+        got_model = true;
+        start_layer = layer;
+        break;
+      }
+      solver.pop();
+      if (layer == hints.size()) {
+        // Unhinted verdict is final.
+        if (res == z3::unsat) exhausted_ = true;
+        return produced;
+      }
+      layer = (res == z3::unknown) ? hints.size() : layer + 1;
+    }
+    if (!got_model) break;
+  }
+  return produced;
+}
+
+Result<z3::expr> SampleGenerator::BuildUnsatCore() {
+  // ¬p over the full column set; then universally quantify every variable
+  // that is not a Cols' value variable (i.e. the "other" columns plus any
+  // non-linear auxiliary variables involving them).
+  SIA_ASSIGN_OR_RETURN(z3::expr not_p, encoder_.EncodeNotTrue(predicate_));
+
+  std::set<unsigned> visited;
+  std::vector<z3::expr> consts;
+  CollectConsts(not_p, &visited, &consts);
+
+  std::set<std::string> keep;  // Cols' variable names
+  for (const size_t c : cols_) {
+    keep.insert(encoder_.ColumnVar(c).decl().name().str());
+  }
+
+  z3::expr_vector bound(ctx_.z3());
+  for (const z3::expr& c : consts) {
+    if (!keep.contains(c.decl().name().str())) bound.push_back(c);
+  }
+  if (bound.empty()) return not_p;
+  return z3::forall(bound, not_p);
+}
+
+Result<std::vector<Tuple>> SampleGenerator::GenerateTrue(size_t count) {
+  SIA_ASSIGN_OR_RETURN(z3::expr p_true, encoder_.EncodeTrue(predicate_));
+  return Sample(p_true, count, &seen_true_);
+}
+
+Result<std::vector<Tuple>> SampleGenerator::GenerateFalse(size_t count) {
+  SIA_ASSIGN_OR_RETURN(z3::expr core, BuildUnsatCore());
+  return Sample(core, count, &seen_false_);
+}
+
+Result<std::vector<Tuple>> SampleGenerator::CounterTrue(
+    const ExprPtr& learned, size_t count) {
+  if (!UsesOnlyColumns(learned, cols_)) {
+    return Status::InvalidArgument(
+        "learned predicate uses columns outside Cols'");
+  }
+  SIA_ASSIGN_OR_RETURN(z3::expr p_true, encoder_.EncodeTrue(predicate_));
+  SIA_ASSIGN_OR_RETURN(z3::expr p1_not, encoder_.EncodeNotTrue(learned));
+  return Sample(p_true && p1_not, count, &seen_true_);
+}
+
+Result<std::vector<Tuple>> SampleGenerator::CounterFalse(
+    const ExprPtr& learned, size_t count) {
+  if (!UsesOnlyColumns(learned, cols_)) {
+    return Status::InvalidArgument(
+        "learned predicate uses columns outside Cols'");
+  }
+  SIA_ASSIGN_OR_RETURN(z3::expr core, BuildUnsatCore());
+  SIA_ASSIGN_OR_RETURN(z3::expr p1_true, encoder_.EncodeTrue(learned));
+  return Sample(core && p1_true, count, &seen_false_);
+}
+
+}  // namespace sia

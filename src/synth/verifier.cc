@@ -1,0 +1,48 @@
+#include "synth/verifier.h"
+
+#include <z3++.h>
+
+#include "smt/encoder.h"
+#include "smt/smt_context.h"
+
+namespace sia {
+
+Result<VerifyResult> VerifyImplies(const ExprPtr& original,
+                                   const ExprPtr& learned,
+                                   const Schema& schema,
+                                   const VerifyOptions& options) {
+  SmtContext ctx;
+  Encoder encoder(&ctx, schema, NullHandling::kThreeValued);
+
+  // Validity (Def. 2) fails iff some tuple satisfies p (evaluates to
+  // TRUE) while p₁ does not (evaluates to FALSE or NULL): check
+  // p ∧ ¬p₁ for satisfiability.
+  SIA_ASSIGN_OR_RETURN(z3::expr p_true, encoder.EncodeTrue(original));
+  SIA_ASSIGN_OR_RETURN(z3::expr p1_not, encoder.EncodeNotTrue(learned));
+
+  z3::solver solver(ctx.z3());
+  z3::params params(ctx.z3());
+  params.set("timeout", options.solver_timeout_ms);
+  solver.set(params);
+  solver.add(p_true && p1_not);
+
+  switch (solver.check()) {
+    case z3::unsat:
+      return VerifyResult::kValid;
+    case z3::sat:
+      return VerifyResult::kInvalid;
+    case z3::unknown:
+      return VerifyResult::kUnknown;
+  }
+  return Status::SolverError("unexpected solver result");
+}
+
+Result<VerifyResult> VerifyEquivalent(const ExprPtr& p, const ExprPtr& q,
+                                      const Schema& schema,
+                                      const VerifyOptions& options) {
+  SIA_ASSIGN_OR_RETURN(VerifyResult fwd, VerifyImplies(p, q, schema, options));
+  if (fwd != VerifyResult::kValid) return fwd;
+  return VerifyImplies(q, p, schema, options);
+}
+
+}  // namespace sia

@@ -1,0 +1,40 @@
+#ifndef SIA_SYNTH_VERIFIER_H_
+#define SIA_SYNTH_VERIFIER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "ir/expr.h"
+#include "types/schema.h"
+
+namespace sia {
+
+struct VerifyOptions {
+  uint32_t solver_timeout_ms = 5000;
+};
+
+// Outcome of a validity check.
+enum class VerifyResult {
+  kValid,    // p ⟹ p₁ (the formula p ∧ ¬p₁ is UNSAT)
+  kInvalid,  // a witness tuple satisfies p but not p₁
+  kUnknown,  // solver timeout / resource limit
+};
+
+// The paper's Verify procedure (§5.5): checks that `original` implies
+// `learned` under SQL three-valued logic, using the value+is-null pair
+// encoding for every nullable column. Both predicates must be bound
+// against `schema`.
+Result<VerifyResult> VerifyImplies(const ExprPtr& original,
+                                   const ExprPtr& learned,
+                                   const Schema& schema,
+                                   const VerifyOptions& options = {});
+
+// Checks semantic equivalence: p ⟹ q and q ⟹ p. Used by tests and the
+// rewriter's self-check mode.
+Result<VerifyResult> VerifyEquivalent(const ExprPtr& p, const ExprPtr& q,
+                                      const Schema& schema,
+                                      const VerifyOptions& options = {});
+
+}  // namespace sia
+
+#endif  // SIA_SYNTH_VERIFIER_H_

@@ -1,0 +1,31 @@
+#include "types/data_type.h"
+
+namespace sia {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInteger:
+      return "INTEGER";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kDate:
+      return "DATE";
+    case DataType::kTimestamp:
+      return "TIMESTAMP";
+    case DataType::kBoolean:
+      return "BOOLEAN";
+  }
+  return "UNKNOWN";
+}
+
+bool IsIntegral(DataType type) {
+  return type == DataType::kInteger || type == DataType::kDate ||
+         type == DataType::kTimestamp || type == DataType::kBoolean;
+}
+
+bool IsNumericLike(DataType type) {
+  return type == DataType::kInteger || type == DataType::kDouble ||
+         type == DataType::kDate || type == DataType::kTimestamp;
+}
+
+}  // namespace sia

@@ -1,0 +1,32 @@
+#ifndef SIA_TYPES_DATA_TYPE_H_
+#define SIA_TYPES_DATA_TYPE_H_
+
+#include <string>
+
+namespace sia {
+
+// The column data types Sia supports (paper §4.1). DATE and TIMESTAMP are
+// normalized to integral day / second counts before synthesis, which
+// preserves all arithmetic and comparison relations (§3.2, §5.2). TEXT is
+// deliberately unsupported, matching the paper.
+enum class DataType {
+  kInteger,
+  kDouble,
+  kDate,       // stored as epoch day number (int64)
+  kTimestamp,  // stored as epoch seconds (int64)
+  kBoolean,
+};
+
+// Short name, e.g. "INTEGER".
+const char* DataTypeName(DataType type);
+
+// True for types whose runtime representation is int64 (INTEGER, DATE,
+// TIMESTAMP, BOOLEAN).
+bool IsIntegral(DataType type);
+
+// True for the numeric types usable inside arithmetic expressions.
+bool IsNumericLike(DataType type);
+
+}  // namespace sia
+
+#endif  // SIA_TYPES_DATA_TYPE_H_

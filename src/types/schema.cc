@@ -1,0 +1,34 @@
+#include "types/schema.h"
+
+#include "common/strings.h"
+
+namespace sia {
+
+std::optional<size_t> Schema::FindColumn(const std::string& name) const {
+  std::string table_part;
+  std::string col_part = name;
+  const size_t dot = name.find('.');
+  if (dot != std::string::npos) {
+    table_part = name.substr(0, dot);
+    col_part = name.substr(dot + 1);
+  }
+  std::optional<size_t> found;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const ColumnDef& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, col_part)) continue;
+    if (!table_part.empty() && !EqualsIgnoreCase(c.table, table_part)) {
+      continue;
+    }
+    if (found.has_value()) return std::nullopt;  // ambiguous
+    found = i;
+  }
+  return found;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<ColumnDef> cols = left.columns();
+  cols.insert(cols.end(), right.columns().begin(), right.columns().end());
+  return Schema(std::move(cols));
+}
+
+}  // namespace sia

@@ -1,0 +1,54 @@
+#ifndef SIA_TYPES_SCHEMA_H_
+#define SIA_TYPES_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/data_type.h"
+
+namespace sia {
+
+// A column definition: name, type, nullability. `table` is the owning
+// table's name ("" for derived schemas).
+struct ColumnDef {
+  std::string table;
+  std::string name;
+  DataType type = DataType::kInteger;
+  bool nullable = false;
+
+  // "table.name" (or just "name" when table is empty).
+  std::string QualifiedName() const {
+    return table.empty() ? name : table + "." + name;
+  }
+};
+
+// An ordered list of column definitions. Lookup is by (optionally
+// table-qualified) name, case-insensitive, matching common SQL behavior.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  size_t size() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef col) { columns_.push_back(std::move(col)); }
+
+  // Finds a column by name. `name` may be "col" or "table.col". Returns
+  // nullopt when absent or ambiguous.
+  std::optional<size_t> FindColumn(const std::string& name) const;
+
+  // Concatenates two schemas (e.g. for join output).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_TYPES_SCHEMA_H_

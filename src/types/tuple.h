@@ -1,0 +1,39 @@
+#ifndef SIA_TYPES_TUPLE_H_
+#define SIA_TYPES_TUPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace sia {
+
+// A row of values, positionally aligned with some Schema. In the paper's
+// terminology (§4.1) a tuple over columns Cols maps each column to a value
+// of its type; here the mapping is positional.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  // "(v0, v1, ...)" for debugging and test failure messages.
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_TYPES_TUPLE_H_

@@ -1,0 +1,39 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/date.h"
+
+namespace sia {
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
+  if (IsIntegral(a.type()) != IsIntegral(b.type())) {
+    // Mixed int/double comparison: compare numerically.
+    return a.AsDouble() == b.AsDouble();
+  }
+  return a.data_ == b.data_;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  switch (type_) {
+    case DataType::kInteger:
+      return std::to_string(AsInt());
+    case DataType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case DataType::kDate:
+      return "DATE '" + FormatDay(AsInt()) + "'";
+    case DataType::kTimestamp:
+      return "TIMESTAMP " + std::to_string(AsInt());
+    case DataType::kBoolean:
+      return AsBool() ? "TRUE" : "FALSE";
+  }
+  return "?";
+}
+
+}  // namespace sia

@@ -1,0 +1,80 @@
+#ifndef SIA_TYPES_VALUE_H_
+#define SIA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "types/data_type.h"
+
+namespace sia {
+
+// A nullable scalar runtime value. SQL three-valued logic is modeled by
+// making NULL a first-class state: every operation in the evaluator
+// (src/ir/evaluator.h) defines its NULL behavior explicitly.
+//
+// DATE and TIMESTAMP values are carried as int64 (epoch days / seconds);
+// the DataType tag distinguishes them for printing and type checking.
+class Value {
+ public:
+  // A NULL of unspecified type.
+  Value() : type_(DataType::kInteger), data_(NullTag{}) {}
+
+  static Value Null(DataType type = DataType::kInteger) {
+    Value v;
+    v.type_ = type;
+    return v;
+  }
+  static Value Integer(int64_t i) { return Value(DataType::kInteger, i); }
+  static Value Double(double d) { return Value(DataType::kDouble, d); }
+  static Value Date(int64_t epoch_day) {
+    return Value(DataType::kDate, epoch_day);
+  }
+  static Value Timestamp(int64_t epoch_sec) {
+    return Value(DataType::kTimestamp, epoch_sec);
+  }
+  static Value Boolean(bool b) { return Value(DataType::kBoolean, b); }
+
+  bool is_null() const { return std::holds_alternative<NullTag>(data_); }
+  DataType type() const { return type_; }
+
+  // Accessors. Callers must check is_null() (and the type) first.
+  int64_t AsInt() const {
+    if (std::holds_alternative<bool>(data_)) {
+      return std::get<bool>(data_) ? 1 : 0;
+    }
+    return std::get<int64_t>(data_);
+  }
+  double AsDouble() const {
+    if (std::holds_alternative<double>(data_)) return std::get<double>(data_);
+    if (std::holds_alternative<int64_t>(data_)) {
+      return static_cast<double>(std::get<int64_t>(data_));
+    }
+    return std::get<bool>(data_) ? 1.0 : 0.0;
+  }
+  bool AsBool() const { return std::get<bool>(data_); }
+
+  // Equality is structural: same type class, same null-ness, same payload.
+  // (This is host-language equality, not SQL `=`, which returns NULL for
+  // NULL operands; see the evaluator for SQL semantics.)
+  friend bool operator==(const Value& a, const Value& b);
+
+  // Debug/SQL-ish rendering, e.g. "42", "3.5", "DATE '1993-06-01'", "NULL".
+  std::string ToString() const;
+
+ private:
+  struct NullTag {
+    friend bool operator==(const NullTag&, const NullTag&) { return true; }
+  };
+
+  Value(DataType t, int64_t i) : type_(t), data_(i) {}
+  Value(DataType t, double d) : type_(t), data_(d) {}
+  Value(DataType t, bool b) : type_(t), data_(b) {}
+
+  DataType type_;
+  std::variant<NullTag, int64_t, double, bool> data_;
+};
+
+}  // namespace sia
+
+#endif  // SIA_TYPES_VALUE_H_

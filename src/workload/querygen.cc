@@ -1,0 +1,166 @@
+#include "workload/querygen.h"
+
+#include <z3++.h>
+
+#include "common/date.h"
+#include "ir/binder.h"
+#include "smt/encoder.h"
+#include "smt/smt_context.h"
+
+namespace sia {
+
+namespace {
+
+constexpr const char* kLineitemDateCols[] = {"l_shipdate", "l_commitdate",
+                                             "l_receiptdate"};
+
+ExprPtr LCol(int i) { return Expr::Column("lineitem", kLineitemDateCols[i]); }
+ExprPtr OCol() { return Expr::Column("orders", "o_orderdate"); }
+
+CompareOp RandomCompare(Rng& rng) {
+  switch (rng.Uniform(0, 3)) {
+    case 0:
+      return CompareOp::kLt;
+    case 1:
+      return CompareOp::kLe;
+    case 2:
+      return CompareOp::kGt;
+    default:
+      return CompareOp::kGe;
+  }
+}
+
+// A date literal inside the TPC-H order-date range, biased toward the
+// middle years so predicates are neither empty nor vacuous.
+ExprPtr RandomDateLiteral(Rng& rng) {
+  const int64_t lo = CivilToDay({1992, 6, 1});
+  const int64_t hi = CivilToDay({1997, 12, 31});
+  return Expr::DateLit(rng.Uniform(lo, hi));
+}
+
+ExprPtr RandomInterval(Rng& rng) { return Expr::IntLit(rng.Uniform(1, 120)); }
+
+// One random term; every shape references o_orderdate (§6.3). `lcol`
+// forces a specific lineitem column into the first three terms so the
+// workload uses all of {l_shipdate, l_commitdate, l_receiptdate}.
+ExprPtr RandomTerm(Rng& rng, int lcol_hint) {
+  const int lcol = lcol_hint >= 0 ? lcol_hint
+                                  : static_cast<int>(rng.Uniform(0, 2));
+  const CompareOp cp = RandomCompare(rng);
+  // Unpinned terms pick `o_orderdate CP date` a third of the time, with
+  // the comparison biased toward upper bounds: combined with the pinned
+  // `lcol - o_orderdate CP interval` terms, those are what make
+  // single-column reductions possible at a rate comparable to the
+  // paper's 233-of-600.
+  if (lcol_hint < 0 && rng.Bernoulli(1.0 / 3.0)) {
+    const CompareOp bound_cp =
+        rng.Bernoulli(0.75)
+            ? (rng.Bernoulli(0.5) ? CompareOp::kLt : CompareOp::kLe)
+            : cp;
+    return Expr::Compare(bound_cp, OCol(), RandomDateLiteral(rng));
+  }
+  switch (rng.Uniform(lcol_hint >= 0 ? 1 : 0, 6)) {
+    case 0:
+      // o_orderdate CP date
+      return Expr::Compare(cp, OCol(), RandomDateLiteral(rng));
+    case 1:
+      // lcol - o_orderdate CP interval
+      return Expr::Compare(cp, Expr::Arith(ArithOp::kSub, LCol(lcol), OCol()),
+                           RandomInterval(rng));
+    case 5:
+      // lcol CP o_orderdate — plain comparison with no arithmetic; this
+      // is the shape syntax-driven transitive closure can chain with
+      // `o_orderdate CP date` terms (the paper's TC baseline synthesizes
+      // a handful of predicates; all-arithmetic terms would starve it
+      // entirely).
+      return Expr::Compare(cp, LCol(lcol), OCol());
+    case 2:
+      // lcol CP o_orderdate + interval
+      return Expr::Compare(
+          cp, LCol(lcol),
+          Expr::Arith(ArithOp::kAdd, OCol(), RandomInterval(rng)));
+    case 3: {
+      // lcolA - lcolB CP lcol - o_orderdate + interval
+      const int a = static_cast<int>(rng.Uniform(0, 2));
+      int b = static_cast<int>(rng.Uniform(0, 2));
+      if (b == a) b = (b + 1) % 3;
+      return Expr::Compare(
+          cp, Expr::Arith(ArithOp::kSub, LCol(a), LCol(b)),
+          Expr::Arith(ArithOp::kAdd,
+                      Expr::Arith(ArithOp::kSub, LCol(lcol), OCol()),
+                      RandomInterval(rng)));
+    }
+    default:
+      // o_orderdate - lcol CP interval
+      return Expr::Compare(cp, Expr::Arith(ArithOp::kSub, OCol(), LCol(lcol)),
+                           RandomInterval(rng));
+  }
+}
+
+Result<bool> IsSatisfiable(const ExprPtr& where, const Schema& joint,
+                           uint32_t timeout_ms) {
+  SIA_ASSIGN_OR_RETURN(ExprPtr bound, Bind(where, joint));
+  SmtContext ctx;
+  Encoder encoder(&ctx, joint, NullHandling::kIgnore);
+  SIA_ASSIGN_OR_RETURN(z3::expr f, encoder.EncodeTrue(bound));
+  z3::solver solver(ctx.z3());
+  z3::params params(ctx.z3());
+  params.set("timeout", timeout_ms);
+  solver.set(params);
+  solver.add(f);
+  return solver.check() == z3::sat;
+}
+
+}  // namespace
+
+Result<std::vector<GeneratedQuery>> GenerateWorkload(
+    const Catalog& catalog, size_t count, const QueryGenOptions& options) {
+  SIA_ASSIGN_OR_RETURN(Schema joint,
+                       catalog.JointSchema({"lineitem", "orders"}));
+
+  std::vector<GeneratedQuery> out;
+  out.reserve(count);
+  for (size_t q = 0; q < count; ++q) {
+    const uint64_t seed = options.seed + q * 0x9E37ULL;
+    Rng rng(seed);
+    bool emitted = false;
+    for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+      const int terms =
+          static_cast<int>(rng.Uniform(options.min_terms, options.max_terms));
+      std::vector<ExprPtr> conjuncts;
+      conjuncts.push_back(Expr::Compare(CompareOp::kEq,
+                                        Expr::Column("orders", "o_orderkey"),
+                                        Expr::Column("lineitem", "l_orderkey")));
+      for (int t = 0; t < terms; ++t) {
+        // First three terms pin l_shipdate / l_commitdate / l_receiptdate.
+        conjuncts.push_back(RandomTerm(rng, t < 3 ? t : -1));
+      }
+      ExprPtr where = Expr::And(conjuncts);
+      if (options.require_satisfiable) {
+        SIA_ASSIGN_OR_RETURN(
+            bool sat, IsSatisfiable(where, joint, options.sat_timeout_ms));
+        if (!sat) continue;
+      }
+      GeneratedQuery gen;
+      gen.term_count = terms;
+      gen.seed = seed;
+      SelectItem star;
+      star.is_star = true;
+      gen.query.select_list = {star};
+      gen.query.tables = {"lineitem", "orders"};
+      gen.query.where = std::move(where);
+      gen.sql = gen.query.ToString();
+      out.push_back(std::move(gen));
+      emitted = true;
+      break;
+    }
+    if (!emitted) {
+      return Status::Internal("could not generate a satisfiable query after " +
+                              std::to_string(options.max_attempts) +
+                              " attempts (seed " + std::to_string(seed) + ")");
+    }
+  }
+  return out;
+}
+
+}  // namespace sia

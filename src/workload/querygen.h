@@ -1,0 +1,52 @@
+#ifndef SIA_WORKLOAD_QUERYGEN_H_
+#define SIA_WORKLOAD_QUERYGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "parser/ast.h"
+
+namespace sia {
+
+// One generated benchmark query following the paper's §6.3 template:
+//
+//   SELECT * FROM lineitem, orders
+//   WHERE o_orderkey = l_orderkey AND Term-1 AND ... AND Term-K
+//
+// Every term references o_orderdate (so no original conjunct can be
+// pushed down to lineitem), K is uniform in [3, 8], and the terms
+// collectively reference all three lineitem date columns
+// (l_shipdate, l_commitdate, l_receiptdate).
+struct GeneratedQuery {
+  ParsedQuery query;
+  std::string sql;
+  int term_count = 0;
+  uint64_t seed = 0;
+};
+
+struct QueryGenOptions {
+  uint64_t seed = 2021;
+  int min_terms = 3;
+  int max_terms = 8;
+  // Satisfiability filter (the paper regenerates unsatisfiable
+  // predicates); checked with Z3 on the bound WHERE clause.
+  bool require_satisfiable = true;
+  uint32_t sat_timeout_ms = 2000;
+  // Cap on resampling attempts per emitted query.
+  int max_attempts = 50;
+};
+
+// Generates `count` queries against the TPC-H catalog. Deterministic for
+// a given seed. Returns an error only on internal failures; unsatisfiable
+// drafts are silently resampled.
+Result<std::vector<GeneratedQuery>> GenerateWorkload(
+    const Catalog& catalog, size_t count,
+    const QueryGenOptions& options = {});
+
+}  // namespace sia
+
+#endif  // SIA_WORKLOAD_QUERYGEN_H_

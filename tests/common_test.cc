@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/date.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace sia {
+namespace {
+
+// --- Status / Result ----------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.ToString(), "ParseError: bad token");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("x"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HelperReturnsEarly(bool fail) {
+  Result<int> inner = fail ? Result<int>(Status::Internal("boom"))
+                           : Result<int>(7);
+  SIA_ASSIGN_OR_RETURN(int v, inner);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(HelperReturnsEarly(false).value(), 14);
+  EXPECT_EQ(HelperReturnsEarly(true).status().code(), StatusCode::kInternal);
+}
+
+// --- Dates ---------------------------------------------------------------
+
+TEST(DateTest, EpochIsDayZero) {
+  EXPECT_EQ(CivilToDay({1970, 1, 1}), 0);
+  EXPECT_EQ(CivilToDay({1970, 1, 2}), 1);
+  EXPECT_EQ(CivilToDay({1969, 12, 31}), -1);
+}
+
+TEST(DateTest, KnownTpchDates) {
+  // Cross-checked against `date -d ... +%s` / 86400.
+  EXPECT_EQ(CivilToDay({1992, 1, 1}), 8035);
+  EXPECT_EQ(CivilToDay({1998, 8, 2}), 10440);
+  EXPECT_EQ(CivilToDay({1993, 6, 1}), 8552);
+}
+
+TEST(DateTest, RoundTripsOverWideRange) {
+  for (int64_t day = -200000; day <= 200000; day += 37) {
+    EXPECT_EQ(CivilToDay(DayToCivil(day)), day) << "day=" << day;
+  }
+}
+
+TEST(DateTest, ParseAndFormat) {
+  auto day = ParseDateToDay("1993-06-01");
+  ASSERT_TRUE(day.ok());
+  EXPECT_EQ(FormatDay(*day), "1993-06-01");
+}
+
+TEST(DateTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseDate("not-a-date").ok());
+  EXPECT_FALSE(ParseDate("1993-13-01").ok());
+  EXPECT_FALSE(ParseDate("1993-02-30").ok());
+  EXPECT_FALSE(ParseDate("1993-06-01x").ok());
+}
+
+TEST(DateTest, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_TRUE(IsLeapYear(1996));
+  EXPECT_FALSE(IsLeapYear(1995));
+  EXPECT_EQ(DaysInMonth(1996, 2), 29);
+  EXPECT_EQ(DaysInMonth(1995, 2), 28);
+  EXPECT_TRUE(ParseDate("1996-02-29").ok());
+  EXPECT_FALSE(ParseDate("1995-02-29").ok());
+}
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int diffs = 0;
+  for (int i = 0; i < 16; ++i) diffs += (a.Next() != b.Next());
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+// --- Strings ----------------------------------------------------------------
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("L_ShipDate"), "l_shipdate");
+  EXPECT_EQ(ToUpper("sel"), "SEL");
+}
+
+TEST(StringsTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "b"));
+}
+
+TEST(StringsTest, SplitAndJoin) {
+  const auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace("   "), "");
+}
+
+}  // namespace
+}  // namespace sia

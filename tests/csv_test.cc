@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "engine/csv.h"
+#include "engine/tpch_gen.h"
+
+namespace sia {
+namespace {
+
+Schema MixedSchema() {
+  Schema s;
+  s.AddColumn({"t", "id", DataType::kInteger, false});
+  s.AddColumn({"t", "price", DataType::kDouble, false});
+  s.AddColumn({"t", "shipped", DataType::kDate, false});
+  s.AddColumn({"t", "flag", DataType::kBoolean, false});
+  s.AddColumn({"t", "note", DataType::kInteger, true});
+  return s;
+}
+
+TEST(CsvTest, ReadBasic) {
+  const std::string csv =
+      "id,price,shipped,flag,note\n"
+      "1,2.5,1993-06-01,true,7\n"
+      "2,0.25,1994-01-15,false,\n";
+  auto table = ReadCsvString(MixedSchema(), csv);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_EQ(table->row_count(), 2u);
+  EXPECT_EQ(table->column(0).IntAt(1), 2);
+  EXPECT_DOUBLE_EQ(table->column(1).DoubleAt(0), 2.5);
+  EXPECT_EQ(table->column(2).IntAt(0), ParseDateToDay("1993-06-01").value());
+  EXPECT_EQ(table->column(3).IntAt(0), 1);
+  EXPECT_TRUE(table->column(4).IsNull(1));
+  EXPECT_EQ(table->column(4).IntAt(0), 7);
+}
+
+TEST(CsvTest, HeaderValidation) {
+  EXPECT_FALSE(ReadCsvString(MixedSchema(), "").ok());
+  EXPECT_FALSE(
+      ReadCsvString(MixedSchema(), "id,price,shipped,flag\n").ok());
+  EXPECT_FALSE(
+      ReadCsvString(MixedSchema(), "id,price,shipped,flag,wrong\n").ok());
+  // Case-insensitive header accepted.
+  EXPECT_TRUE(
+      ReadCsvString(MixedSchema(), "ID,Price,SHIPPED,flag,note\n").ok());
+}
+
+TEST(CsvTest, FieldErrors) {
+  const Schema s = MixedSchema();
+  EXPECT_FALSE(ReadCsvString(s, "id,price,shipped,flag,note\nx,1,1993-01-01,true,1\n").ok());
+  EXPECT_FALSE(ReadCsvString(s, "id,price,shipped,flag,note\n1,1,not-a-date,true,1\n").ok());
+  EXPECT_FALSE(ReadCsvString(s, "id,price,shipped,flag,note\n1,1,1993-01-01,maybe,1\n").ok());
+  // NULL in non-nullable column.
+  EXPECT_FALSE(ReadCsvString(s, "id,price,shipped,flag,note\n,1,1993-01-01,true,1\n").ok());
+  // Wrong arity.
+  EXPECT_FALSE(ReadCsvString(s, "id,price,shipped,flag,note\n1,2\n").ok());
+  // Quotes unsupported (explicit, not silent corruption).
+  EXPECT_FALSE(ReadCsvString(s, "id,price,shipped,flag,note\n\"1\",1,1993-01-01,true,1\n").ok());
+}
+
+TEST(CsvTest, SkipsBlankLines) {
+  const std::string csv =
+      "id,price,shipped,flag,note\n"
+      "1,1.0,1993-06-01,true,1\n"
+      "\n"
+      "2,2.0,1993-06-02,false,2\n";
+  auto table = ReadCsvString(MixedSchema(), csv);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->row_count(), 2u);
+}
+
+TEST(CsvTest, RoundTrip) {
+  const std::string csv =
+      "id,price,shipped,flag,note\n"
+      "1,2.5,1993-06-01,true,7\n"
+      "2,0.25,1994-01-15,false,\n"
+      "3,-1.75,1992-02-29,true,-5\n";
+  auto table = ReadCsvString(MixedSchema(), csv);
+  ASSERT_TRUE(table.ok());
+  auto text = WriteCsvString(*table);
+  ASSERT_TRUE(text.ok());
+  auto again = ReadCsvString(MixedSchema(), *text);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->row_count(), table->row_count());
+  for (size_t r = 0; r < table->row_count(); ++r) {
+    EXPECT_TRUE(table->RowAt(r) == again->RowAt(r)) << "row " << r;
+  }
+}
+
+TEST(CsvTest, TpchRoundTripSample) {
+  const TpchData data = GenerateTpch(0.0005, 5);
+  auto text = WriteCsvString(data.orders);
+  ASSERT_TRUE(text.ok());
+  auto again = ReadCsvString(data.orders.schema(), *text);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->row_count(), data.orders.row_count());
+  for (size_t r = 0; r < again->row_count(); r += 97) {
+    EXPECT_TRUE(again->RowAt(r) == data.orders.RowAt(r));
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const TpchData data = GenerateTpch(0.0002, 6);
+  const std::string path = ::testing::TempDir() + "/sia_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(data.orders, path).ok());
+  auto again = ReadCsvFile(data.orders.schema(), path);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->row_count(), data.orders.row_count());
+  EXPECT_FALSE(ReadCsvFile(data.orders.schema(), "/nonexistent/x.csv").ok());
+}
+
+}  // namespace
+}  // namespace sia

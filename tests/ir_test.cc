@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "ir/analysis.h"
+#include "ir/binder.h"
+#include "ir/builder.h"
+#include "ir/evaluator.h"
+#include "ir/expr.h"
+#include "ir/simplify.h"
+
+namespace sia {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+Schema TwoIntCols() {
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, false});
+  s.AddColumn({"t", "b", DataType::kInteger, true});
+  return s;
+}
+
+ExprPtr BindOrDie(const ExprPtr& e, const Schema& s) {
+  auto r = Bind(e, s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+// --- Printing ----------------------------------------------------------------
+
+TEST(ExprPrintTest, PrecedenceMinimalParens) {
+  ExprPtr e = (Col("a") + Col("b")) * Lit(2);
+  EXPECT_EQ(e->ToString(), "(a + b) * 2");
+  ExprPtr f = Col("a") + Col("b") * Lit(2);
+  EXPECT_EQ(f->ToString(), "a + b * 2");
+}
+
+TEST(ExprPrintTest, SubtractionRightAssociativity) {
+  ExprPtr e = Col("a") - (Col("b") - Lit(1));
+  EXPECT_EQ(e->ToString(), "a - (b - 1)");
+  ExprPtr f = (Col("a") - Col("b")) - Lit(1);
+  EXPECT_EQ(f->ToString(), "a - b - 1");
+}
+
+TEST(ExprPrintTest, LogicPrecedence) {
+  ExprPtr e = (Col("a") < Lit(1)) && ((Col("b") < Lit(2)) || (Col("b") > Lit(3)));
+  EXPECT_EQ(e->ToString(), "a < 1 AND (b < 2 OR b > 3)");
+}
+
+TEST(ExprPrintTest, QualifiedColumnAndDate) {
+  ExprPtr e = Col("lineitem", "l_shipdate") < DateL(8552);
+  EXPECT_EQ(e->ToString(), "lineitem.l_shipdate < DATE '1993-06-01'");
+}
+
+TEST(ExprPrintTest, NotRendering) {
+  ExprPtr e = !(Col("a") < Lit(3));
+  EXPECT_EQ(e->ToString(), "NOT a < 3");
+}
+
+// --- Operator helpers --------------------------------------------------------
+
+TEST(ExprOpsTest, SwapAndNegate) {
+  EXPECT_EQ(SwapCompare(CompareOp::kLt), CompareOp::kGt);
+  EXPECT_EQ(SwapCompare(CompareOp::kGe), CompareOp::kLe);
+  EXPECT_EQ(SwapCompare(CompareOp::kEq), CompareOp::kEq);
+  EXPECT_EQ(NegateCompare(CompareOp::kLt), CompareOp::kGe);
+  EXPECT_EQ(NegateCompare(CompareOp::kEq), CompareOp::kNe);
+}
+
+TEST(ExprOpsTest, AndOrOfLists) {
+  EXPECT_TRUE(Expr::And({})->IsTrueLiteral());
+  EXPECT_TRUE(Expr::Or({})->IsFalseLiteral());
+  std::vector<ExprPtr> two = {Col("a") < Lit(1), Col("a") > Lit(0)};
+  EXPECT_EQ(Expr::And(two)->ToString(), "a < 1 AND a > 0");
+}
+
+TEST(ExprOpsTest, StructuralEquality) {
+  ExprPtr a = Col("a") + Lit(3);
+  ExprPtr b = Col("a") + Lit(3);
+  ExprPtr c = Col("a") + Lit(4);
+  EXPECT_TRUE(Expr::Equal(a, b));
+  EXPECT_FALSE(Expr::Equal(a, c));
+}
+
+TEST(ExprOpsTest, TreeSize) {
+  ExprPtr e = (Col("a") + Lit(1)) < Col("b");
+  EXPECT_EQ(e->TreeSize(), 5u);
+}
+
+// --- Binder -------------------------------------------------------------------
+
+TEST(BinderTest, ResolvesAndTypes) {
+  Schema s = TwoIntCols();
+  ExprPtr bound = BindOrDie(Col("a") + Lit(1) < Col("b"), s);
+  EXPECT_EQ(bound->type(), DataType::kBoolean);
+  EXPECT_EQ(bound->left()->type(), DataType::kInteger);
+  EXPECT_TRUE(bound->left()->left()->is_bound());
+  EXPECT_EQ(bound->left()->left()->index(), 0u);
+}
+
+TEST(BinderTest, DateArithmeticTypes) {
+  Schema s;
+  s.AddColumn({"t", "d1", DataType::kDate, false});
+  s.AddColumn({"t", "d2", DataType::kDate, false});
+  ExprPtr diff = BindOrDie(Col("d1") - Col("d2"), s);
+  EXPECT_EQ(diff->type(), DataType::kInteger);
+  ExprPtr shift = BindOrDie(Col("d1") + Lit(20), s);
+  EXPECT_EQ(shift->type(), DataType::kDate);
+}
+
+TEST(BinderTest, UnknownColumnFails) {
+  Schema s = TwoIntCols();
+  EXPECT_FALSE(Bind(Col("zz") < Lit(1), s).ok());
+}
+
+TEST(BinderTest, TypeErrors) {
+  Schema s = TwoIntCols();
+  // boolean used in arithmetic
+  EXPECT_FALSE(Bind((Col("a") < Lit(1)) + Lit(2), s).ok());
+  // numeric used with AND
+  EXPECT_FALSE(Bind(Expr::Logic(LogicOp::kAnd, Col("a"), Col("b")), s).ok());
+}
+
+// --- Evaluator (3VL) ----------------------------------------------------------
+
+TEST(EvaluatorTest, KleeneTables) {
+  const TruthValue T = TruthValue::kTrue;
+  const TruthValue F = TruthValue::kFalse;
+  const TruthValue U = TruthValue::kUnknown;
+  EXPECT_EQ(And3(T, U), U);
+  EXPECT_EQ(And3(F, U), F);
+  EXPECT_EQ(Or3(T, U), T);
+  EXPECT_EQ(Or3(F, U), U);
+  EXPECT_EQ(Not3(U), U);
+  EXPECT_EQ(Not3(T), F);
+}
+
+TEST(EvaluatorTest, ArithmeticAndComparison) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie(Col("a") * Lit(2) + Lit(1) > Col("b"), s);
+  Tuple t({Value::Integer(3), Value::Integer(6)});
+  EXPECT_TRUE(Satisfies(*e, t).value());  // 7 > 6
+  Tuple f({Value::Integer(2), Value::Integer(6)});
+  EXPECT_FALSE(Satisfies(*e, f).value());  // 5 > 6
+}
+
+TEST(EvaluatorTest, NullPropagation) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie(Col("a") < Col("b"), s);
+  Tuple t({Value::Integer(1), Value::Null()});
+  EXPECT_EQ(EvalPredicate(*e, t).value(), TruthValue::kUnknown);
+  EXPECT_FALSE(Satisfies(*e, t).value());  // UNKNOWN is not TRUE
+}
+
+TEST(EvaluatorTest, NullShortCircuit) {
+  Schema s = TwoIntCols();
+  // FALSE AND NULL = FALSE; TRUE OR NULL = TRUE.
+  ExprPtr e1 = BindOrDie((Col("a") > Lit(100)) && (Col("b") < Lit(0)), s);
+  ExprPtr e2 = BindOrDie((Col("a") < Lit(100)) || (Col("b") < Lit(0)), s);
+  Tuple t({Value::Integer(1), Value::Null()});
+  EXPECT_EQ(EvalPredicate(*e1, t).value(), TruthValue::kFalse);
+  EXPECT_EQ(EvalPredicate(*e2, t).value(), TruthValue::kTrue);
+}
+
+TEST(EvaluatorTest, DivisionSemantics) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie(Col("a") / Col("b") == Lit(-2), s);
+  // Truncation toward zero: -7 / 3 == -2.
+  Tuple t({Value::Integer(-7), Value::Integer(3)});
+  EXPECT_TRUE(Satisfies(*e, t).value());
+  // Division by zero yields NULL -> UNKNOWN.
+  Tuple z({Value::Integer(5), Value::Integer(0)});
+  EXPECT_EQ(EvalPredicate(*e, z).value(), TruthValue::kUnknown);
+}
+
+TEST(EvaluatorTest, DoublePromotion) {
+  Schema s;
+  s.AddColumn({"t", "x", DataType::kDouble, false});
+  ExprPtr e = BindOrDie(Col("x") * Lit(2) > Lit(3), s);
+  EXPECT_TRUE(Satisfies(*e, Tuple({Value::Double(1.6)})).value());
+  EXPECT_FALSE(Satisfies(*e, Tuple({Value::Double(1.4)})).value());
+}
+
+TEST(EvaluatorTest, ErrorsOnUnbound) {
+  ExprPtr e = Col("a") < Lit(1);
+  EXPECT_FALSE(Satisfies(*e, Tuple({Value::Integer(1)})).ok());
+}
+
+// --- Analysis -------------------------------------------------------------------
+
+TEST(AnalysisTest, CollectColumnsAndTables) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie((Col("a") < Lit(1)) && (Col("b") + Col("a") > Lit(0)), s);
+  EXPECT_EQ(CollectColumnIndices(e), (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(CollectTables(e), (std::set<std::string>{"t"}));
+}
+
+TEST(AnalysisTest, UsesOnlyColumns) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie(Col("a") < Lit(1), s);
+  EXPECT_TRUE(UsesOnlyColumns(e, {0}));
+  EXPECT_TRUE(UsesOnlyColumns(e, {0, 1}));
+  EXPECT_FALSE(UsesOnlyColumns(e, {1}));
+}
+
+TEST(AnalysisTest, SplitAndCombineConjuncts) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie(
+      (Col("a") < Lit(1)) && ((Col("b") > Lit(2)) && (Col("a") > Lit(0))), s);
+  const auto parts = SplitConjuncts(e);
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(CombineConjuncts(parts)->ToString(),
+            "t.a < 1 AND t.b > 2 AND t.a > 0");
+  // OR is not split.
+  ExprPtr o = BindOrDie((Col("a") < Lit(1)) || (Col("b") > Lit(2)), s);
+  EXPECT_EQ(SplitConjuncts(o).size(), 1u);
+}
+
+TEST(AnalysisTest, SubstituteColumns) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie(Col("a") + Col("b") < Lit(10), s);
+  ExprPtr sub = SubstituteColumns(e, {{0, Expr::IntLit(7)}});
+  Tuple t({Value::Integer(999), Value::Integer(2)});
+  EXPECT_TRUE(Satisfies(*sub, t).value());  // 7 + 2 < 10
+}
+
+TEST(AnalysisTest, RemapColumnIndices) {
+  Schema s = TwoIntCols();
+  ExprPtr e = BindOrDie(Col("a") < Col("b"), s);
+  ExprPtr remapped = RemapColumnIndices(e, {{0, 1}, {1, 0}});
+  Tuple t({Value::Integer(5), Value::Integer(3)});
+  // Original: 5 < 3 false. Remapped: 3 < 5 true.
+  EXPECT_FALSE(Satisfies(*e, t).value());
+  EXPECT_TRUE(Satisfies(*remapped, t).value());
+}
+
+// --- Simplify ----------------------------------------------------------------
+
+TEST(SimplifyTest, ConstantFolding) {
+  ExprPtr e = Lit(2) + Lit(3) * Lit(4);
+  EXPECT_EQ(Simplify(e)->ToString(), "14");
+}
+
+TEST(SimplifyTest, LogicIdentities) {
+  Schema s = TwoIntCols();
+  ExprPtr p = BindOrDie(Col("a") < Lit(1), s);
+  EXPECT_EQ(Simplify(Expr::Logic(LogicOp::kAnd, Expr::BoolLit(true), p)).get(),
+            p.get());
+  EXPECT_TRUE(Simplify(Expr::Logic(LogicOp::kAnd, Expr::BoolLit(false), p))
+                  ->IsFalseLiteral());
+  EXPECT_TRUE(Simplify(Expr::Logic(LogicOp::kOr, Expr::BoolLit(true), p))
+                  ->IsTrueLiteral());
+  EXPECT_EQ(Simplify(Expr::Logic(LogicOp::kOr, Expr::BoolLit(false), p)).get(),
+            p.get());
+}
+
+TEST(SimplifyTest, ArithmeticIdentities) {
+  Schema s = TwoIntCols();
+  ExprPtr a = BindOrDie(Col("a"), s);
+  EXPECT_EQ(Simplify(a + Lit(0)).get(), a.get());
+  EXPECT_EQ(Simplify(Lit(1) * a).get(), a.get());
+  EXPECT_EQ(Simplify(a - Lit(0)).get(), a.get());
+}
+
+TEST(SimplifyTest, DoubleNegationAndComparisonNegation) {
+  Schema s = TwoIntCols();
+  ExprPtr p = BindOrDie(Col("a") < Lit(1), s);
+  EXPECT_TRUE(Expr::Equal(Simplify(!(!p)), p));
+  EXPECT_EQ(Simplify(!p)->ToString(), "t.a >= 1");
+}
+
+TEST(SimplifyTest, ComparisonOfConstants) {
+  EXPECT_TRUE(Simplify(Lit(2) < Lit(3))->IsTrueLiteral());
+  EXPECT_TRUE(Simplify(Lit(5) < Lit(3))->IsFalseLiteral());
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,238 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "learn/learner.h"
+#include "learn/linear_form.h"
+#include "learn/rational.h"
+#include "learn/svm.h"
+
+namespace sia {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) {
+  return Tuple({Value::Integer(a), Value::Integer(b)});
+}
+
+// --- Rational approximation ---------------------------------------------------
+
+TEST(RationalTest, ExactFractions) {
+  const Rational half = ApproximateRational(0.5, 10);
+  EXPECT_EQ(half.num, 1);
+  EXPECT_EQ(half.den, 2);
+  const Rational third = ApproximateRational(1.0 / 3.0, 10);
+  EXPECT_EQ(third.num, 1);
+  EXPECT_EQ(third.den, 3);
+  const Rational neg = ApproximateRational(-2.5, 10);
+  EXPECT_EQ(neg.num, -5);
+  EXPECT_EQ(neg.den, 2);
+}
+
+TEST(RationalTest, Integers) {
+  const Rational r = ApproximateRational(7.0, 10);
+  EXPECT_EQ(r.num, 7);
+  EXPECT_EQ(r.den, 1);
+  const Rational z = ApproximateRational(0.0, 10);
+  EXPECT_EQ(z.num, 0);
+}
+
+TEST(RationalTest, BoundedDenominator) {
+  const Rational pi = ApproximateRational(M_PI, 120);
+  EXPECT_LE(pi.den, 120);
+  EXPECT_NEAR(pi.ToDouble(), M_PI, 1e-4);  // 355/113 territory
+}
+
+TEST(SnapTest, SimpleDirections) {
+  EXPECT_EQ(SnapToIntegers({2.0, 1.0}), (std::vector<int64_t>{2, 1}));
+  EXPECT_EQ(SnapToIntegers({1.0, -1.0}), (std::vector<int64_t>{1, -1}));
+  EXPECT_EQ(SnapToIntegers({0.5, 0.25}), (std::vector<int64_t>{2, 1}));
+}
+
+TEST(SnapTest, NearZeroWeightsDropOut) {
+  const auto v = SnapToIntegers({1.0, 1e-9});
+  EXPECT_EQ(v, (std::vector<int64_t>{1, 0}));
+}
+
+TEST(SnapTest, AllZero) {
+  EXPECT_EQ(SnapToIntegers({0.0, 0.0}), (std::vector<int64_t>{0, 0}));
+}
+
+TEST(SnapTest, NoisyDirectionSnapsToIntent) {
+  // 1.98 : 1.02 ~ 2 : 1
+  const auto v = SnapToIntegers({1.98, 1.02}, 5, 0.02);
+  EXPECT_EQ(v, (std::vector<int64_t>{2, 1}));
+}
+
+// --- SVM -----------------------------------------------------------------------
+
+TEST(SvmTest, SeparableProblem) {
+  // y = +1 when x0 + x1 > 0.
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const double a = rng.NextGaussian() * 10;
+    const double b = rng.NextGaussian() * 10;
+    if (std::abs(a + b) < 1) continue;  // margin
+    points.push_back({a, b});
+    labels.push_back(a + b > 0 ? 1 : -1);
+  }
+  const SvmModel m = TrainLinearSvm(points, labels);
+  int correct = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    correct += (m.Decision(points[i]) > 0 ? 1 : -1) == labels[i];
+  }
+  EXPECT_EQ(correct, static_cast<int>(points.size()));
+}
+
+TEST(SvmTest, RecoverableDirection) {
+  // Boundary 2*x0 + x1 - 50 = 0; the learned direction's ratio should be
+  // close to 2:1.
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    const double a = rng.Uniform(-100, 100);
+    const double b = rng.Uniform(-100, 100);
+    const double v = 2 * a + b - 50;
+    if (std::abs(v) < 5) continue;
+    points.push_back({static_cast<double>(a), static_cast<double>(b)});
+    labels.push_back(v > 0 ? 1 : -1);
+  }
+  const SvmModel m = TrainLinearSvm(points, labels);
+  ASSERT_NE(m.weights[1], 0.0);
+  EXPECT_NEAR(m.weights[0] / m.weights[1], 2.0, 0.35);
+}
+
+TEST(SvmTest, OffsetLargeMagnitudeFeatures) {
+  // Date-like features in the thousands; internal centering must cope.
+  std::vector<std::vector<double>> points;
+  std::vector<int> labels;
+  Rng rng(23);
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.Uniform(8000, 10000);
+    const double b = rng.Uniform(8000, 10000);
+    const double v = a - b - 29;
+    if (std::abs(v) < 2) continue;
+    points.push_back({a, b});
+    labels.push_back(v > 0 ? 1 : -1);
+  }
+  const SvmModel m = TrainLinearSvm(points, labels);
+  int correct = 0;
+  for (size_t i = 0; i < points.size(); ++i) {
+    correct += (m.Decision(points[i]) > 0 ? 1 : -1) == labels[i];
+  }
+  EXPECT_GT(static_cast<double>(correct) / points.size(), 0.97);
+}
+
+TEST(SvmTest, EmptyInput) {
+  const SvmModel m = TrainLinearSvm({}, {});
+  EXPECT_TRUE(m.weights.empty());
+}
+
+// --- LinearForm ------------------------------------------------------------------
+
+TEST(LinearFormTest, ProjectAndAccept) {
+  LinearForm f;
+  f.columns = {0, 1};
+  f.coeffs = {1, -1};
+  f.constant = 29;
+  EXPECT_EQ(f.Project(T2(10, 20)), 19);
+  EXPECT_TRUE(f.Accepts(T2(0, 0)));     // 29 > 0
+  EXPECT_FALSE(f.Accepts(T2(0, 29)));   // 0 > 0 is false
+  EXPECT_EQ(f.UsedColumnCount(), 2u);
+}
+
+TEST(LinearFormTest, RendersReadableSql) {
+  Schema s;
+  s.AddColumn({"", "a1", DataType::kInteger, false});
+  s.AddColumn({"", "a2", DataType::kInteger, false});
+  LinearForm f;
+  f.columns = {0, 1};
+  f.coeffs = {2, 1};
+  f.constant = 50;
+  EXPECT_EQ(f.ToString(s), "2 * a1 + a2 + 50 > 0");
+  LinearForm g;
+  g.columns = {0, 1};
+  g.coeffs = {1, -1};
+  g.constant = 29;
+  EXPECT_EQ(g.ToString(s), "a1 + 29 > a2");
+}
+
+TEST(LinearFormTest, DegenerateForms) {
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, false});
+  LinearForm zero;
+  zero.columns = {0};
+  zero.coeffs = {0};
+  zero.constant = 0;
+  EXPECT_TRUE(zero.ToExpr(s)->IsFalseLiteral());  // 0 > 0
+  LinearForm tautology;
+  tautology.columns = {0};
+  tautology.coeffs = {0};
+  tautology.constant = 1;
+  EXPECT_EQ(tautology.ToString(s), "1 > 0");
+}
+
+// --- Learn (Alg. 2) -------------------------------------------------------------
+
+TEST(LearnTest, SeparableSamplesOneModel) {
+  TrainingSet data;
+  for (int i = 1; i <= 20; ++i) data.true_samples.push_back(T2(i, i + 40));
+  for (int i = 1; i <= 20; ++i) data.false_samples.push_back(T2(i + 40, i));
+  auto learned = Learn(data, {0, 1});
+  ASSERT_TRUE(learned.ok()) << learned.status().ToString();
+  EXPECT_EQ(learned->models.size(), 1u);
+  // Contract: every TRUE sample accepted.
+  for (const Tuple& t : data.true_samples) {
+    EXPECT_TRUE(learned->Accepts(t)) << t.ToString();
+  }
+  // Separable case: FALSE samples rejected too.
+  for (const Tuple& t : data.false_samples) {
+    EXPECT_FALSE(learned->Accepts(t)) << t.ToString();
+  }
+}
+
+TEST(LearnTest, NonSeparableStillCoversAllTrue) {
+  // TRUE in two clusters with FALSE between them: needs a disjunction.
+  TrainingSet data;
+  for (int i = 0; i < 10; ++i) {
+    data.true_samples.push_back(T2(-100 + i, 0));
+    data.true_samples.push_back(T2(100 + i, 0));
+    data.false_samples.push_back(T2(-20 + 4 * i, 0));
+  }
+  auto learned = Learn(data, {0, 1});
+  ASSERT_TRUE(learned.ok());
+  for (const Tuple& t : data.true_samples) {
+    EXPECT_TRUE(learned->Accepts(t)) << t.ToString();
+  }
+}
+
+TEST(LearnTest, RequiresTrueSamples) {
+  TrainingSet data;
+  data.false_samples.push_back(T2(1, 2));
+  EXPECT_FALSE(Learn(data, {0, 1}).ok());
+}
+
+TEST(LearnTest, ArityMismatchRejected) {
+  TrainingSet data;
+  data.true_samples.push_back(Tuple({Value::Integer(1)}));
+  EXPECT_FALSE(Learn(data, {0, 1}).ok());
+}
+
+TEST(LearnTest, PaperWalkthroughShape) {
+  // §3.2: TRUE (-5,1) (2,-6) (-27,-44) (-28,-46) (-7,-1);
+  //       FALSE (-40,-2) (-56,-2) (-53,-2) (-48,-2).
+  TrainingSet data;
+  data.true_samples = {T2(-5, 1), T2(2, -6), T2(-27, -44), T2(-28, -46),
+                       T2(-7, -1)};
+  data.false_samples = {T2(-40, -2), T2(-56, -2), T2(-53, -2), T2(-48, -2)};
+  auto learned = Learn(data, {0, 1});
+  ASSERT_TRUE(learned.ok());
+  for (const Tuple& t : data.true_samples) EXPECT_TRUE(learned->Accepts(t));
+  for (const Tuple& t : data.false_samples) EXPECT_FALSE(learned->Accepts(t));
+}
+
+}  // namespace
+}  // namespace sia

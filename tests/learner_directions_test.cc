@@ -1,0 +1,119 @@
+// Pins the learner's candidate-direction behavior (DESIGN.md
+// "Implementation corrections"): axis and difference directions must win
+// when they separate the data, the SVM direction must win on genuinely
+// sloped boundaries, and thresholds must sit at gap midpoints.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "learn/learner.h"
+
+namespace sia {
+namespace {
+
+Tuple T2(int64_t a, int64_t b) {
+  return Tuple({Value::Integer(a), Value::Integer(b)});
+}
+
+TEST(LearnerDirectionsTest, AxisDirectionSurvivesScaleDisparity) {
+  // The regression that motivated candidate directions: TRUE spans a
+  // huge range on dim 0 and a tiny one on dim 1; FALSE sits above on
+  // dim 0 only. Snapping the SVM normal in original units kills dim 0;
+  // the axis candidate must recover `a < threshold`.
+  TrainingSet data;
+  data.true_samples = {T2(-1, -1), T2(-9, -9),    T2(-26, 2),
+                       T2(4286, -1), T2(4288, 1), T2(6430, -11),
+                       T2(6431, -11)};
+  data.false_samples = {T2(8571, -8), T2(8572, -8), T2(8572, 2),
+                        T2(8571, 1)};
+  auto learned = Learn(data, {0, 1});
+  ASSERT_TRUE(learned.ok());
+  ASSERT_EQ(learned->models.size(), 1u);
+  const LinearForm& f = learned->models[0];
+  EXPECT_EQ(f.coeffs[1], 0) << f.coeffs[0] << "," << f.coeffs[1];
+  EXPECT_EQ(f.coeffs[0], -1);
+  for (const Tuple& t : data.true_samples) EXPECT_TRUE(f.Accepts(t));
+  for (const Tuple& t : data.false_samples) EXPECT_FALSE(f.Accepts(t));
+}
+
+TEST(LearnerDirectionsTest, DifferenceDirectionWinsOnDiagonal) {
+  // TRUE where a - b < 0, FALSE where a - b > 0, spread over a large
+  // range: only the difference direction separates.
+  TrainingSet data;
+  Rng rng(3);
+  for (int i = 0; i < 30; ++i) {
+    const int64_t base = rng.Uniform(-1000, 1000);
+    data.true_samples.push_back(T2(base, base + rng.Uniform(5, 50)));
+    data.false_samples.push_back(T2(base + rng.Uniform(5, 50), base));
+  }
+  auto learned = Learn(data, {0, 1});
+  ASSERT_TRUE(learned.ok());
+  ASSERT_EQ(learned->models.size(), 1u);
+  const LinearForm& f = learned->models[0];
+  EXPECT_EQ(f.coeffs[0], -1);
+  EXPECT_EQ(f.coeffs[1], 1);
+  for (const Tuple& t : data.true_samples) EXPECT_TRUE(f.Accepts(t));
+  for (const Tuple& t : data.false_samples) EXPECT_FALSE(f.Accepts(t));
+}
+
+TEST(LearnerDirectionsTest, SlopedBoundaryFallsToSvm) {
+  // Boundary 2a + b = 100: no axis or +/-1-difference direction
+  // separates; the snapped SVM direction must.
+  TrainingSet data;
+  Rng rng(5);
+  for (int i = 0; i < 120; ++i) {
+    const int64_t a = rng.Uniform(-100, 100);
+    const int64_t b = rng.Uniform(-100, 100);
+    const int64_t v = 2 * a + b - 100;
+    if (v > 5) {
+      data.true_samples.push_back(T2(a, b));
+    } else if (v < -5) {
+      data.false_samples.push_back(T2(a, b));
+    }
+  }
+  ASSERT_GT(data.true_samples.size(), 10u);
+  ASSERT_GT(data.false_samples.size(), 10u);
+  auto learned = Learn(data, {0, 1});
+  ASSERT_TRUE(learned.ok());
+  for (const Tuple& t : data.true_samples) {
+    EXPECT_TRUE(learned->Accepts(t)) << t.ToString();
+  }
+  // The separating direction should be ~2:1.
+  ASSERT_EQ(learned->models.size(), 1u);
+  const LinearForm& f = learned->models[0];
+  ASSERT_NE(f.coeffs[1], 0);
+  EXPECT_NEAR(static_cast<double>(f.coeffs[0]) / f.coeffs[1], 2.0, 0.7)
+      << f.coeffs[0] << ":" << f.coeffs[1];
+}
+
+TEST(LearnerDirectionsTest, MaxMarginThresholdSitsMidGap) {
+  // One dimension, TRUE at >= 100, FALSE at <= 0: the chosen threshold
+  // must land near the middle of the (0, 100) gap, not hug either side.
+  TrainingSet data;
+  for (int i = 0; i < 10; ++i) {
+    data.true_samples.push_back(Tuple({Value::Integer(100 + i)}));
+    data.false_samples.push_back(Tuple({Value::Integer(-i)}));
+  }
+  auto learned = Learn(data, {0});
+  ASSERT_TRUE(learned.ok());
+  ASSERT_EQ(learned->models.size(), 1u);
+  const LinearForm& f = learned->models[0];
+  ASSERT_EQ(f.coeffs[0], 1);
+  // pred: x + c > 0  ->  boundary at -c; mid-gap is ~50.
+  EXPECT_GT(-f.constant, 25);
+  EXPECT_LT(-f.constant, 75);
+}
+
+TEST(LearnerDirectionsTest, IdenticalTrueFalsePointRelaxes) {
+  // A point present in both classes: unseparable; Learn must still
+  // accept every TRUE sample (its contract), even at the cost of
+  // accepting the duplicated FALSE one.
+  TrainingSet data;
+  data.true_samples = {T2(5, 5), T2(6, 6)};
+  data.false_samples = {T2(5, 5)};
+  auto learned = Learn(data, {0, 1});
+  ASSERT_TRUE(learned.ok());
+  for (const Tuple& t : data.true_samples) EXPECT_TRUE(learned->Accepts(t));
+}
+
+}  // namespace
+}  // namespace sia

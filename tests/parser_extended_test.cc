@@ -1,0 +1,109 @@
+// Extended SQL surface: BETWEEN / IN (and their negations), plus
+// round-trip and binder interactions for the desugared forms.
+#include <gtest/gtest.h>
+
+#include "ir/binder.h"
+#include "ir/evaluator.h"
+#include "parser/parser.h"
+#include "types/schema.h"
+
+namespace sia {
+namespace {
+
+Schema OneCol() {
+  Schema s;
+  s.AddColumn({"", "x", DataType::kInteger, false});
+  s.AddColumn({"", "y", DataType::kInteger, false});
+  return s;
+}
+
+Result<TruthValue> EvalOn(const std::string& text, int64_t x, int64_t y) {
+  auto parsed = ParseExpression(text);
+  if (!parsed.ok()) return parsed.status();
+  auto bound = Bind(*parsed, OneCol());
+  if (!bound.ok()) return bound.status();
+  return EvalPredicate(**bound, Tuple({Value::Integer(x), Value::Integer(y)}));
+}
+
+TEST(BetweenTest, DesugarsToRange) {
+  auto e = ParseExpression("x BETWEEN 1 AND 5");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->ToString(), "x >= 1 AND x <= 5");
+}
+
+TEST(BetweenTest, InclusiveSemantics) {
+  EXPECT_EQ(EvalOn("x BETWEEN 1 AND 5", 1, 0).value(), TruthValue::kTrue);
+  EXPECT_EQ(EvalOn("x BETWEEN 1 AND 5", 5, 0).value(), TruthValue::kTrue);
+  EXPECT_EQ(EvalOn("x BETWEEN 1 AND 5", 0, 0).value(), TruthValue::kFalse);
+  EXPECT_EQ(EvalOn("x BETWEEN 1 AND 5", 6, 0).value(), TruthValue::kFalse);
+}
+
+TEST(BetweenTest, NotBetween) {
+  EXPECT_EQ(EvalOn("x NOT BETWEEN 1 AND 5", 0, 0).value(), TruthValue::kTrue);
+  EXPECT_EQ(EvalOn("x NOT BETWEEN 1 AND 5", 3, 0).value(),
+            TruthValue::kFalse);
+}
+
+TEST(BetweenTest, ArithmeticOperands) {
+  // x + y BETWEEN y - 1 AND y + 1  ==  -1 <= x <= 1
+  EXPECT_EQ(EvalOn("x + y BETWEEN y - 1 AND y + 1", 0, 42).value(),
+            TruthValue::kTrue);
+  EXPECT_EQ(EvalOn("x + y BETWEEN y - 1 AND y + 1", 2, 42).value(),
+            TruthValue::kFalse);
+}
+
+TEST(BetweenTest, InteractsWithConjunction) {
+  auto e = ParseExpression("x BETWEEN 1 AND 5 AND y < 0");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "x >= 1 AND x <= 5 AND y < 0");
+}
+
+TEST(InTest, DesugarsToDisjunction) {
+  auto e = ParseExpression("x IN (1, 3, 5)");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->ToString(), "x = 1 OR x = 3 OR x = 5");
+}
+
+TEST(InTest, Semantics) {
+  EXPECT_EQ(EvalOn("x IN (1, 3, 5)", 3, 0).value(), TruthValue::kTrue);
+  EXPECT_EQ(EvalOn("x IN (1, 3, 5)", 4, 0).value(), TruthValue::kFalse);
+  EXPECT_EQ(EvalOn("x NOT IN (1, 3, 5)", 4, 0).value(), TruthValue::kTrue);
+  EXPECT_EQ(EvalOn("x NOT IN (1, 3, 5)", 5, 0).value(), TruthValue::kFalse);
+}
+
+TEST(InTest, SingleMember) {
+  auto e = ParseExpression("x IN (7)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "x = 7");
+}
+
+TEST(InTest, DateMembers) {
+  auto e = ParseExpression("x IN ('1993-06-01', '1994-01-01')");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(),
+            "x = DATE '1993-06-01' OR x = DATE '1994-01-01'");
+}
+
+TEST(InTest, Errors) {
+  EXPECT_FALSE(ParseExpression("x IN ()").ok());
+  EXPECT_FALSE(ParseExpression("x IN (1, )").ok());
+  EXPECT_FALSE(ParseExpression("x IN 1, 2").ok());
+  EXPECT_FALSE(ParseExpression("x NOT 5").ok());
+  EXPECT_FALSE(ParseExpression("x BETWEEN 1").ok());
+  EXPECT_FALSE(ParseExpression("x BETWEEN 1 OR 2").ok());
+}
+
+TEST(InTest, InWhereClause) {
+  auto q = ParseQuery(
+      "SELECT * FROM lineitem WHERE l_quantity IN (1, 2) AND "
+      "l_shipdate BETWEEN '1993-01-01' AND '1993-12-31'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_NE(q->where, nullptr);
+  // The desugared text must re-parse to the same tree.
+  auto q2 = ParseQuery(q->ToString());
+  ASSERT_TRUE(q2.ok()) << q->ToString();
+  EXPECT_TRUE(Expr::Equal(q->where, q2->where));
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "parser/lexer.h"
+#include "parser/parser.h"
+
+namespace sia {
+namespace {
+
+// --- Lexer ------------------------------------------------------------------
+
+TEST(LexerTest, BasicTokens) {
+  auto toks = Lex("SELECT a1, b.c2 FROM t WHERE x <= 10.5 AND y <> 'abc'");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks->back().type, TokenType::kEnd);
+  // SELECT a1 , b . c2 FROM t WHERE x <= 10.5 AND y <> 'abc' END
+  EXPECT_EQ(toks->size(), 17u);
+  EXPECT_TRUE((*toks)[0].IsKeyword("select"));
+  EXPECT_EQ((*toks)[6].text, "FROM");
+}
+
+TEST(LexerTest, OperatorsAndAliases) {
+  auto toks = Lex("a != b <> c <= d >= e");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[1].IsSymbol("<>"));  // != normalized to <>
+  EXPECT_TRUE((*toks)[3].IsSymbol("<>"));
+  EXPECT_TRUE((*toks)[5].IsSymbol("<="));
+  EXPECT_TRUE((*toks)[7].IsSymbol(">="));
+}
+
+TEST(LexerTest, Comments) {
+  auto toks = Lex("a -- this is a comment\n+ b");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ(toks->size(), 4u);  // a + b END
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("a @ b").ok());
+  EXPECT_FALSE(Lex("'unterminated").ok());
+}
+
+TEST(LexerTest, NumericLiterals) {
+  auto toks = Lex("42 3.25");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].int_value, 42);
+  EXPECT_DOUBLE_EQ((*toks)[1].float_value, 3.25);
+}
+
+// --- Expression parsing --------------------------------------------------------
+
+TEST(ParseExprTest, Precedence) {
+  auto e = ParseExpression("a + b * 2 < c - 1");
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ((*e)->ToString(), "a + b * 2 < c - 1");
+}
+
+TEST(ParseExprTest, ParenthesizedArithmeticAndPredicates) {
+  auto e = ParseExpression("(a + b) * 2 < 10 AND (c < 1 OR c > 5)");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "(a + b) * 2 < 10 AND (c < 1 OR c > 5)");
+}
+
+TEST(ParseExprTest, DateLiterals) {
+  auto bare = ParseExpression("o_orderdate < '1993-06-01'");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ((*bare)->right()->literal().AsInt(),
+            ParseDateToDay("1993-06-01").value());
+  auto kw = ParseExpression("o_orderdate < DATE '1993-06-01'");
+  ASSERT_TRUE(kw.ok());
+  EXPECT_TRUE(Expr::Equal(*bare, *kw));
+}
+
+TEST(ParseExprTest, IntervalLiterals) {
+  auto e = ParseExpression("l_shipdate - o_orderdate < INTERVAL '20' DAY");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->right()->literal().AsInt(), 20);
+  auto bare = ParseExpression("x < INTERVAL 7 DAY");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ((*bare)->right()->literal().AsInt(), 7);
+}
+
+TEST(ParseExprTest, UnaryMinus) {
+  auto e = ParseExpression("-5 < a");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->left()->literal().AsInt(), -5);
+  auto f = ParseExpression("0 - a < 3");
+  ASSERT_TRUE(f.ok());
+}
+
+TEST(ParseExprTest, NotAndBooleans) {
+  auto e = ParseExpression("NOT (a < 1) AND TRUE");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->ToString(), "NOT a < 1 AND TRUE");
+}
+
+TEST(ParseExprTest, QualifiedColumns) {
+  auto e = ParseExpression("lineitem.l_shipdate < orders.o_orderdate");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ((*e)->left()->table(), "lineitem");
+  EXPECT_EQ((*e)->left()->name(), "l_shipdate");
+}
+
+TEST(ParseExprTest, Errors) {
+  EXPECT_FALSE(ParseExpression("a <").ok());
+  EXPECT_FALSE(ParseExpression("(a < 1").ok());
+  EXPECT_FALSE(ParseExpression("a < 1 extra").ok());
+  EXPECT_FALSE(ParseExpression("SELECT").ok());
+  EXPECT_FALSE(ParseExpression("x < INTERVAL '5' MONTH").ok());
+}
+
+// --- Query parsing ----------------------------------------------------------
+
+TEST(ParseQueryTest, PaperTemplate) {
+  const std::string sql =
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+      "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01'";
+  auto q = ParseQuery(sql);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->tables, (std::vector<std::string>{"lineitem", "orders"}));
+  ASSERT_EQ(q->select_list.size(), 1u);
+  EXPECT_TRUE(q->select_list[0].is_star);
+  ASSERT_NE(q->where, nullptr);
+}
+
+TEST(ParseQueryTest, SelectListWithAliases) {
+  auto q = ParseQuery("SELECT a + 1 AS next, b FROM t");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->select_list.size(), 2u);
+  EXPECT_EQ(q->select_list[0].alias, "next");
+  EXPECT_EQ(q->select_list[1].expr->name(), "b");
+}
+
+TEST(ParseQueryTest, GroupBy) {
+  auto q = ParseQuery("SELECT * FROM t WHERE a < 1 GROUP BY b, c");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->group_by.size(), 2u);
+}
+
+TEST(ParseQueryTest, TrailingSemicolonOk) {
+  EXPECT_TRUE(ParseQuery("SELECT * FROM t;").ok());
+}
+
+TEST(ParseQueryTest, Errors) {
+  EXPECT_FALSE(ParseQuery("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseQuery("FROM t").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t GROUP c").ok());
+  EXPECT_FALSE(ParseQuery("SELECT * FROM t extra_token").ok());
+}
+
+TEST(ParseQueryTest, RoundTripToString) {
+  const std::string sql =
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey AND "
+      "l_shipdate - o_orderdate < 20";
+  auto q = ParseQuery(sql);
+  ASSERT_TRUE(q.ok());
+  const std::string printed = q->ToString();
+  // Re-parsing the printed form must yield the same structure.
+  auto q2 = ParseQuery(printed);
+  ASSERT_TRUE(q2.ok()) << printed;
+  EXPECT_TRUE(Expr::Equal(q->where, q2->where));
+  EXPECT_EQ(q2->ToString(), printed);
+}
+
+}  // namespace
+}  // namespace sia

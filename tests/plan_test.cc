@@ -1,0 +1,89 @@
+// Unit tests for the logical plan nodes themselves (construction, output
+// schemas, printing) — the planner and executor tests cover behavior.
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "common/stopwatch.h"
+#include "ir/binder.h"
+#include "ir/builder.h"
+#include "rewrite/plan.h"
+
+namespace sia {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+TEST(PlanNodeTest, ScanSchemaAndPrint) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const Schema li = catalog.GetTable("lineitem").value();
+  PlanPtr scan = PlanNode::Scan("lineitem", li);
+  EXPECT_EQ(scan->kind(), PlanKind::kScan);
+  EXPECT_EQ(scan->output_schema().size(), li.size());
+  EXPECT_EQ(scan->ToString(), "Scan(lineitem)\n");
+
+  ExprPtr f = Bind(Col("l_quantity") < Lit(5), li).value();
+  PlanPtr filtered = PlanNode::Scan("lineitem", li, f);
+  EXPECT_NE(filtered->ToString().find("filter=lineitem.l_quantity < 5"),
+            std::string::npos);
+}
+
+TEST(PlanNodeTest, JoinConcatenatesSchemas) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const Schema li = catalog.GetTable("lineitem").value();
+  const Schema ord = catalog.GetTable("orders").value();
+  PlanPtr join = PlanNode::Join(nullptr, PlanNode::Scan("lineitem", li),
+                                PlanNode::Scan("orders", ord));
+  EXPECT_EQ(join->output_schema().size(), li.size() + ord.size());
+  EXPECT_EQ(join->output_schema().column(li.size()).name, "o_orderkey");
+  // TRUE join condition prints as TRUE.
+  EXPECT_NE(join->ToString().find("Join(TRUE)"), std::string::npos);
+}
+
+TEST(PlanNodeTest, AggregateSchemaIsGroupColsPlusCount) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const Schema li = catalog.GetTable("lineitem").value();
+  PlanPtr agg = PlanNode::Aggregate({7, 8}, PlanNode::Scan("lineitem", li));
+  ASSERT_EQ(agg->output_schema().size(), 3u);
+  EXPECT_EQ(agg->output_schema().column(0).name, "l_shipdate");
+  EXPECT_EQ(agg->output_schema().column(1).name, "l_commitdate");
+  EXPECT_EQ(agg->output_schema().column(2).name, "count");
+  EXPECT_EQ(agg->output_schema().column(2).type, DataType::kInteger);
+}
+
+TEST(PlanNodeTest, ProjectSchemaSubset) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const Schema li = catalog.GetTable("lineitem").value();
+  PlanPtr project = PlanNode::Project({0, 7}, PlanNode::Scan("lineitem", li));
+  ASSERT_EQ(project->output_schema().size(), 2u);
+  EXPECT_EQ(project->output_schema().column(1).name, "l_shipdate");
+}
+
+TEST(PlanNodeTest, NestedPrintIndents) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const Schema li = catalog.GetTable("lineitem").value();
+  const Schema ord = catalog.GetTable("orders").value();
+  PlanPtr join = PlanNode::Join(nullptr, PlanNode::Scan("lineitem", li),
+                                PlanNode::Scan("orders", ord));
+  ExprPtr f =
+      Bind(Col("l_quantity") < Lit(5), join->output_schema()).value();
+  PlanPtr top = PlanNode::Filter(f, join);
+  const std::string s = top->ToString();
+  EXPECT_NE(s.find("Filter("), std::string::npos);
+  EXPECT_NE(s.find("\n  Join"), std::string::npos);
+  EXPECT_NE(s.find("\n    Scan(lineitem)"), std::string::npos);
+}
+
+TEST(StopwatchTest, MeasuresElapsedMonotonically) {
+  Stopwatch sw;
+  const double a = sw.ElapsedMicros();
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double b = sw.ElapsedMicros();
+  EXPECT_GE(b, a);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedMillis(), b / 1000.0 + 1000.0);
+  (void)sink;
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,248 @@
+// Cross-cutting property tests: soundness invariants that must hold for
+// ALL inputs, checked over randomized sweeps (seeded, so deterministic).
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "common/rng.h"
+#include "engine/executor.h"
+#include "engine/runner.h"
+#include "engine/tpch_gen.h"
+#include "ir/analysis.h"
+#include "ir/binder.h"
+#include "ir/evaluator.h"
+#include "ir/simplify.h"
+#include "rewrite/rules.h"
+#include "synth/sample_generator.h"
+#include "synth/synthesizer.h"
+#include "synth/verifier.h"
+#include "workload/querygen.h"
+
+namespace sia {
+namespace {
+
+Schema ThreeCols() {
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, true});
+  s.AddColumn({"t", "b", DataType::kInteger, true});
+  s.AddColumn({"t", "c", DataType::kInteger, true});
+  return s;
+}
+
+// Random expression builders shared by the sweeps.
+ExprPtr RandomScalar(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.4)) {
+    if (rng.Bernoulli(0.55)) {
+      return Expr::Column("t", std::string(1, "abc"[rng.Uniform(0, 2)]));
+    }
+    return Expr::IntLit(rng.Uniform(-25, 25));
+  }
+  const ArithOp ops[] = {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul,
+                         ArithOp::kDiv};
+  return Expr::Arith(ops[rng.Uniform(0, 3)], RandomScalar(rng, depth - 1),
+                     RandomScalar(rng, depth - 1));
+}
+
+ExprPtr RandomPredicate(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.3)) {
+    return Expr::Compare(static_cast<CompareOp>(rng.Uniform(0, 5)),
+                         RandomScalar(rng, 2), RandomScalar(rng, 2));
+  }
+  if (rng.Bernoulli(0.2)) return Expr::Not(RandomPredicate(rng, depth - 1));
+  return Expr::Logic(rng.Bernoulli(0.5) ? LogicOp::kAnd : LogicOp::kOr,
+                     RandomPredicate(rng, depth - 1),
+                     RandomPredicate(rng, depth - 1));
+}
+
+Tuple RandomTuple(Rng& rng, double null_prob = 0.15) {
+  std::vector<Value> vals;
+  for (int i = 0; i < 3; ++i) {
+    vals.push_back(rng.Bernoulli(null_prob)
+                       ? Value::Null(DataType::kInteger)
+                       : Value::Integer(rng.Uniform(-25, 25)));
+  }
+  return Tuple(vals);
+}
+
+// --- Simplify soundness: same 3VL result on every tuple -----------------
+
+class SimplifySoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplifySoundness, PreservesEvaluation) {
+  Rng rng(GetParam());
+  const Schema s = ThreeCols();
+  for (int trial = 0; trial < 60; ++trial) {
+    auto bound = Bind(RandomPredicate(rng, 3), s);
+    ASSERT_TRUE(bound.ok());
+    ExprPtr simplified = Simplify(*bound);
+    for (int probe = 0; probe < 12; ++probe) {
+      Tuple t = RandomTuple(rng);
+      const auto before = EvalPredicate(**bound, t);
+      const auto after = EvalPredicate(*simplified, t);
+      ASSERT_TRUE(before.ok() && after.ok());
+      EXPECT_EQ(before.value(), after.value())
+          << (*bound)->ToString() << "  ~~>  " << simplified->ToString()
+          << "  on " << t.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplifySoundness,
+                         ::testing::Values(11, 22, 33, 44));
+
+// --- Transitive closure soundness: derived conjuncts are implied --------
+
+class TransitiveClosureSoundness : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(TransitiveClosureSoundness, DerivedConjunctsAreImplied) {
+  Rng rng(GetParam());
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, false});
+  s.AddColumn({"t", "b", DataType::kInteger, false});
+  s.AddColumn({"t", "c", DataType::kInteger, false});
+  for (int trial = 0; trial < 8; ++trial) {
+    // Comparison chains over columns and constants.
+    std::vector<ExprPtr> conjuncts;
+    const int n = 2 + static_cast<int>(rng.Uniform(0, 2));
+    for (int i = 0; i < n; ++i) {
+      ExprPtr raw = Expr::Compare(
+          static_cast<CompareOp>(rng.Uniform(0, 4)),  // no <>
+          RandomScalar(rng, 1), RandomScalar(rng, 1));
+      auto bound = Bind(raw, s);
+      ASSERT_TRUE(bound.ok());
+      conjuncts.push_back(*bound);
+    }
+    const auto derived = TransitiveClosure(conjuncts);
+    if (derived.empty()) continue;
+    const ExprPtr original = CombineConjuncts(conjuncts);
+    for (const ExprPtr& d : derived) {
+      auto v = VerifyImplies(original, d, s);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, VerifyResult::kValid)
+          << original->ToString() << "  |=/=  " << d->ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransitiveClosureSoundness,
+                         ::testing::Values(5, 6, 7));
+
+// --- Synthesis validity on the paper workload ---------------------------
+
+TEST(SynthesisSoundness, WorkloadPredicatesAlwaysVerify) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const Schema joint = catalog.JointSchema({"lineitem", "orders"}).value();
+  QueryGenOptions gen;
+  gen.seed = 777;
+  auto queries = GenerateWorkload(catalog, 4, gen);
+  ASSERT_TRUE(queries.ok());
+
+  const size_t ship = *joint.FindColumn("l_shipdate");
+  const size_t commit = *joint.FindColumn("l_commitdate");
+  SynthesisOptions opts;
+  opts.max_iterations = 10;  // soundness is iteration-independent
+
+  for (const GeneratedQuery& g : *queries) {
+    auto bound = Bind(g.query.where, joint);
+    ASSERT_TRUE(bound.ok());
+    for (const std::vector<size_t> cols :
+         {std::vector<size_t>{ship}, std::vector<size_t>{ship, commit}}) {
+      auto r = Synthesize(*bound, joint, cols, opts);
+      ASSERT_TRUE(r.ok()) << g.sql;
+      if (!r->has_predicate()) continue;
+      EXPECT_TRUE(UsesOnlyColumns(r->predicate, cols))
+          << r->predicate->ToString();
+      auto v = VerifyImplies(*bound, r->predicate, joint);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(*v, VerifyResult::kValid)
+          << g.sql << "\n learned: " << r->predicate->ToString();
+    }
+  }
+}
+
+// --- Planner equivalence: pushdown must never change results ------------
+
+TEST(PlannerSoundness, PushdownPreservesResultsOnWorkload) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  const TpchData data = GenerateTpch(0.001, 3);
+  Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+
+  QueryGenOptions gen;
+  gen.seed = 888;
+  auto queries = GenerateWorkload(catalog, 8, gen);
+  ASSERT_TRUE(queries.ok());
+  for (const GeneratedQuery& g : *queries) {
+    PlannerOptions push;
+    push.push_down_filters = true;
+    PlannerOptions nopush;
+    nopush.push_down_filters = false;
+    auto a = RunQuery(g.query, catalog, executor, push);
+    auto b = RunQuery(g.query, catalog, executor, nopush);
+    ASSERT_TRUE(a.ok() && b.ok()) << g.sql;
+    EXPECT_EQ(a->row_count, b->row_count) << g.sql;
+    EXPECT_EQ(a->content_hash, b->content_hash) << g.sql;
+  }
+}
+
+// --- Sample definitions (Lemmas 3 & 4) on random predicates -------------
+
+TEST(SampleSoundness, TrueSamplesAreFeasibleRestrictions) {
+  Rng rng(99);
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, false});
+  s.AddColumn({"t", "b", DataType::kInteger, false});
+  s.AddColumn({"t", "c", DataType::kInteger, false});
+  int checked = 0;
+  for (int trial = 0; trial < 12 && checked < 6; ++trial) {
+    auto bound = Bind(RandomPredicate(rng, 2), s);
+    ASSERT_TRUE(bound.ok());
+    SampleGenerator gen(*bound, s, {0, 1});
+    auto ts = gen.GenerateTrue(4);
+    if (!ts.ok() || ts->empty()) continue;
+    ++checked;
+    for (const Tuple& t : *ts) {
+      // A brute-force witness search over c must succeed.
+      bool witness = false;
+      for (int64_t c = -2000; c <= 2000 && !witness; ++c) {
+        Tuple full({t.at(0), t.at(1), Value::Integer(c)});
+        auto sat = Satisfies(**bound, full);
+        witness = sat.ok() && *sat;
+      }
+      EXPECT_TRUE(witness) << (*bound)->ToString() << " sample "
+                           << t.ToString();
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(SampleSoundness, FalseSamplesRejectAllExtensions) {
+  Rng rng(123);
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, false});
+  s.AddColumn({"t", "b", DataType::kInteger, false});
+  s.AddColumn({"t", "c", DataType::kInteger, false});
+  int checked = 0;
+  for (int trial = 0; trial < 12 && checked < 6; ++trial) {
+    auto bound = Bind(RandomPredicate(rng, 2), s);
+    ASSERT_TRUE(bound.ok());
+    SampleGenerator gen(*bound, s, {0, 1});
+    auto fs = gen.GenerateFalse(3);
+    if (!fs.ok() || fs->empty()) continue;
+    ++checked;
+    for (const Tuple& t : *fs) {
+      for (int64_t c = -500; c <= 500; c += 3) {
+        Tuple full({t.at(0), t.at(1), Value::Integer(c)});
+        auto sat = Satisfies(**bound, full);
+        ASSERT_TRUE(sat.ok());
+        EXPECT_FALSE(*sat) << (*bound)->ToString() << " unsat tuple "
+                           << t.ToString() << " satisfied at c=" << c;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace sia

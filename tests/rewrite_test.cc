@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "ir/analysis.h"
+#include "ir/binder.h"
+#include "ir/builder.h"
+#include "parser/parser.h"
+#include "rewrite/plan.h"
+#include "rewrite/planner.h"
+#include "rewrite/rules.h"
+#include "rewrite/sia_rewriter.h"
+#include "synth/verifier.h"
+
+namespace sia {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+const char* kOriginalQuery =
+    "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+    "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01' "
+    "AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10";
+
+// --- Catalog -----------------------------------------------------------------
+
+TEST(CatalogTest, TpchTables) {
+  const Catalog c = Catalog::TpchCatalog();
+  EXPECT_TRUE(c.HasTable("lineitem"));
+  EXPECT_TRUE(c.HasTable("ORDERS"));  // case-insensitive
+  EXPECT_FALSE(c.HasTable("nation"));
+  auto li = c.GetTable("lineitem");
+  ASSERT_TRUE(li.ok());
+  EXPECT_EQ(li->size(), 10u);
+  auto joint = c.JointSchema({"lineitem", "orders"});
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->size(), 15u);
+  EXPECT_TRUE(joint->FindColumn("o_orderdate").has_value());
+}
+
+// --- Planner -----------------------------------------------------------------
+
+TEST(PlannerTest, PushesSingleTableConjunctsIntoScans) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  auto q = ParseQuery(kOriginalQuery);
+  ASSERT_TRUE(q.ok());
+  auto plan = PlanQuery(*q, catalog);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  const std::string s = (*plan)->ToString();
+  // o_orderdate < ... must be inside the orders scan.
+  EXPECT_NE(s.find("Scan(orders, filter="), std::string::npos) << s;
+  // lineitem has no single-table conjunct in the original query.
+  EXPECT_NE(s.find("Scan(lineitem)"), std::string::npos) << s;
+  // The complex conjuncts live at the join level (condition or a
+  // residual filter above it).
+  EXPECT_NE(s.find("l_commitdate"), std::string::npos) << s;
+}
+
+TEST(PlannerTest, NoPushdownMode) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  auto q = ParseQuery(kOriginalQuery);
+  ASSERT_TRUE(q.ok());
+  PlannerOptions opts;
+  opts.push_down_filters = false;
+  auto plan = PlanQuery(*q, catalog, opts);
+  ASSERT_TRUE(plan.ok());
+  const std::string s = (*plan)->ToString();
+  EXPECT_NE(s.find("Scan(orders)"), std::string::npos) << s;
+}
+
+TEST(PlannerTest, SingleTableQuery) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  auto q = ParseQuery("SELECT * FROM lineitem WHERE l_shipdate < '1993-06-01'");
+  ASSERT_TRUE(q.ok());
+  auto plan = PlanQuery(*q, catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind(), PlanKind::kScan);
+}
+
+TEST(PlannerTest, GroupByPlansAggregate) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  auto q = ParseQuery(
+      "SELECT * FROM lineitem WHERE l_quantity < 10 GROUP BY l_orderkey");
+  ASSERT_TRUE(q.ok());
+  auto plan = PlanQuery(*q, catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ((*plan)->kind(), PlanKind::kAggregate);
+}
+
+TEST(PlannerTest, UnknownTableFails) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  auto q = ParseQuery("SELECT * FROM nosuch");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(PlanQuery(*q, catalog).ok());
+}
+
+// --- Syntax-driven baselines ----------------------------------------------------
+
+TEST(TransitiveClosureTest, ClassicChain) {
+  Schema s;
+  s.AddColumn({"t", "x", DataType::kInteger, false});
+  s.AddColumn({"t", "y", DataType::kInteger, false});
+  s.AddColumn({"t", "z", DataType::kInteger, false});
+  auto bind = [&](ExprPtr e) { return Bind(e, s).value(); };
+  std::vector<ExprPtr> conjuncts = {bind(Col("x") < Col("y")),
+                                    bind(Col("y") < Col("z"))};
+  const auto derived = TransitiveClosure(conjuncts);
+  ASSERT_EQ(derived.size(), 1u);
+  EXPECT_EQ(derived[0]->ToString(), "t.x < t.z");
+}
+
+TEST(TransitiveClosureTest, MixedStrictness) {
+  Schema s;
+  s.AddColumn({"t", "x", DataType::kInteger, false});
+  s.AddColumn({"t", "y", DataType::kInteger, false});
+  auto bind = [&](ExprPtr e) { return Bind(e, s).value(); };
+  // x <= y AND y <= 5  =>  x <= 5 ; with strict second: x < 5.
+  {
+    const auto d = TransitiveClosure(
+        {bind(Col("x") <= Col("y")), bind(Col("y") <= Lit(5))});
+    ASSERT_FALSE(d.empty());
+    EXPECT_EQ(d[0]->ToString(), "t.x <= 5");
+  }
+  {
+    const auto d = TransitiveClosure(
+        {bind(Col("x") <= Col("y")), bind(Col("y") < Lit(5))});
+    ASSERT_FALSE(d.empty());
+    EXPECT_EQ(d[0]->ToString(), "t.x < 5");
+  }
+}
+
+TEST(TransitiveClosureTest, GtNormalization) {
+  Schema s;
+  s.AddColumn({"t", "x", DataType::kInteger, false});
+  s.AddColumn({"t", "y", DataType::kInteger, false});
+  auto bind = [&](ExprPtr e) { return Bind(e, s).value(); };
+  // y1 > x && x > y2 -> derive y2 < y1 (paper's §2 example with columns).
+  const auto d = TransitiveClosure(
+      {bind(Col("y") > Col("x")), bind(Col("x") > Lit(3))});
+  ASSERT_FALSE(d.empty());
+  EXPECT_EQ(d[0]->ToString(), "3 < t.y");
+}
+
+TEST(TransitiveClosureTest, CannotReasonAboutArithmetic) {
+  // The paper's motivating case: l_shipdate - o_orderdate < 20 AND
+  // o_orderdate < cut. Syntactic TC finds nothing because the middle
+  // terms do not match syntactically.
+  Schema s;
+  s.AddColumn({"t", "ship", DataType::kInteger, false});
+  s.AddColumn({"t", "ord", DataType::kInteger, false});
+  auto bind = [&](ExprPtr e) { return Bind(e, s).value(); };
+  const auto d = TransitiveClosure({bind(Col("ship") - Col("ord") < Lit(20)),
+                                    bind(Col("ord") < Lit(100))});
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(ConstantPropagationTest, SubstitutesEqualities) {
+  Schema s;
+  s.AddColumn({"t", "x", DataType::kInteger, false});
+  s.AddColumn({"t", "y", DataType::kInteger, false});
+  auto bind = [&](ExprPtr e) { return Bind(e, s).value(); };
+  const auto out = PropagateConstants(
+      {bind(Col("x") == Lit(5)), bind(Col("x") + Col("y") < Lit(20))});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->ToString(), "t.x = 5");
+  EXPECT_EQ(out[1]->ToString(), "5 + t.y < 20");
+}
+
+TEST(ConstantPropagationTest, NoEqualitiesNoChange) {
+  Schema s;
+  s.AddColumn({"t", "x", DataType::kInteger, false});
+  auto bind = [&](ExprPtr e) { return Bind(e, s).value(); };
+  const std::vector<ExprPtr> in = {bind(Col("x") < Lit(5))};
+  const auto out = PropagateConstants(in);
+  EXPECT_EQ(out[0].get(), in[0].get());
+}
+
+// --- Plan-level movement rules ---------------------------------------------------
+
+TEST(MovementRulesTest, PushBelowJoin) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  Schema li = catalog.GetTable("lineitem").value();
+  Schema ord = catalog.GetTable("orders").value();
+  PlanPtr join = PlanNode::Join(nullptr, PlanNode::Scan("lineitem", li),
+                                PlanNode::Scan("orders", ord));
+  const Schema& joint = join->output_schema();
+  // l_quantity < 10 (left side) AND o_custkey > 5 (right side).
+  ExprPtr pred = Bind((Col("l_quantity") < Lit(10)) &&
+                          (Col("o_custkey") > Lit(5)),
+                      joint)
+                     .value();
+  PlanPtr filtered = PlanNode::Filter(pred, join);
+  PlanPtr moved = PushFilterBelowJoin(filtered);
+  ASSERT_NE(moved.get(), filtered.get());
+  EXPECT_EQ(moved->kind(), PlanKind::kJoin);
+  EXPECT_EQ(moved->child(0)->kind(), PlanKind::kFilter);
+  EXPECT_EQ(moved->child(1)->kind(), PlanKind::kFilter);
+}
+
+TEST(MovementRulesTest, CrossTableConjunctStays) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  Schema li = catalog.GetTable("lineitem").value();
+  Schema ord = catalog.GetTable("orders").value();
+  PlanPtr join = PlanNode::Join(nullptr, PlanNode::Scan("lineitem", li),
+                                PlanNode::Scan("orders", ord));
+  ExprPtr pred =
+      Bind(Col("l_shipdate") - Col("o_orderdate") < Lit(20),
+           join->output_schema())
+          .value();
+  PlanPtr filtered = PlanNode::Filter(pred, join);
+  PlanPtr moved = PushFilterBelowJoin(filtered);
+  EXPECT_EQ(moved.get(), filtered.get());  // nothing can move
+}
+
+TEST(MovementRulesTest, PushBelowAggregate) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  Schema li = catalog.GetTable("lineitem").value();
+  PlanPtr scan = PlanNode::Scan("lineitem", li);
+  // GROUP BY l_orderkey (col 0): output = [l_orderkey, count].
+  PlanPtr agg = PlanNode::Aggregate({0}, scan);
+  ExprPtr pred = Bind(Col("l_orderkey") < Lit(100), agg->output_schema())
+                     .value();
+  PlanPtr filtered = PlanNode::Filter(pred, agg);
+  PlanPtr moved = PushFilterBelowAggregate(filtered);
+  ASSERT_NE(moved.get(), filtered.get());
+  EXPECT_EQ(moved->kind(), PlanKind::kAggregate);
+  EXPECT_EQ(moved->child()->kind(), PlanKind::kFilter);
+}
+
+TEST(MovementRulesTest, CountColumnBlocksMovement) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  Schema li = catalog.GetTable("lineitem").value();
+  PlanPtr agg = PlanNode::Aggregate({0}, PlanNode::Scan("lineitem", li));
+  ExprPtr pred = Bind(Col("count") > Lit(5), agg->output_schema()).value();
+  PlanPtr filtered = PlanNode::Filter(pred, agg);
+  EXPECT_EQ(PushFilterBelowAggregate(filtered).get(), filtered.get());
+}
+
+// --- SiaRewriter end-to-end -------------------------------------------------------
+
+TEST(SiaRewriterTest, MotivatingQueryGainsLineitemPredicate) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  RewriteOptions opts;
+  opts.target_table = "lineitem";
+  auto outcome = RewriteQuery(kOriginalQuery, catalog, opts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->changed())
+      << "synthesis status: "
+      << SynthesisStatusName(outcome->synthesis.status);
+
+  // The learned predicate must use only lineitem columns.
+  const Schema joint = catalog.JointSchema({"lineitem", "orders"}).value();
+  for (const size_t c : CollectColumnIndices(outcome->learned)) {
+    EXPECT_EQ(joint.column(c).table, "lineitem")
+        << outcome->learned->ToString();
+  }
+
+  // Semantic equivalence: original WHERE must imply the learned predicate.
+  auto q = ParseQuery(kOriginalQuery);
+  ASSERT_TRUE(q.ok());
+  ExprPtr bound = Bind(q->where, joint).value();
+  auto valid = VerifyImplies(bound, outcome->learned, joint);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(*valid, VerifyResult::kValid) << outcome->learned->ToString();
+
+  // The rewritten query's planner output now filters lineitem pre-join.
+  auto plan = PlanQuery(outcome->rewritten, catalog);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE((*plan)->ToString().find("Scan(lineitem, filter="),
+            std::string::npos)
+      << (*plan)->ToString();
+}
+
+TEST(SiaRewriterTest, NoWhereClauseNoChange) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  RewriteOptions opts;
+  opts.target_table = "lineitem";
+  auto outcome =
+      RewriteQuery("SELECT * FROM lineitem, orders", catalog, opts);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->changed());
+}
+
+TEST(SiaRewriterTest, WrongTargetTableErrors) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  RewriteOptions opts;
+  opts.target_table = "nation";
+  EXPECT_FALSE(RewriteQuery(kOriginalQuery, catalog, opts).ok());
+}
+
+TEST(SiaRewriterTest, ExplicitTargetColumns) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  RewriteOptions opts;
+  opts.target_table = "lineitem";
+  opts.target_columns = {"l_shipdate"};
+  auto outcome = RewriteQuery(kOriginalQuery, catalog, opts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  if (outcome->changed()) {
+    const Schema joint = catalog.JointSchema({"lineitem", "orders"}).value();
+    for (const size_t c : CollectColumnIndices(outcome->learned)) {
+      EXPECT_EQ(joint.column(c).name, "l_shipdate");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sia

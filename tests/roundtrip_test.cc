@@ -1,0 +1,92 @@
+// Round-trip properties: printing an expression and re-parsing it must
+// reproduce the identical tree (the rewriter emits rewritten queries as
+// SQL text, so ToString must be a faithful serialization).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ir/builder.h"
+#include "ir/expr.h"
+#include "parser/parser.h"
+
+namespace sia {
+namespace {
+
+// Random UNBOUND expression over plain column names (bound trees print
+// qualified names and carry indices, which re-parsing cannot restore).
+ExprPtr RandomScalar(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.4)) {
+    switch (rng.Uniform(0, 2)) {
+      case 0:
+        return Expr::Column("", std::string(1, "xyz"[rng.Uniform(0, 2)]));
+      case 1:
+        return Expr::IntLit(rng.Uniform(-100, 100));
+      default:
+        return Expr::DateLit(rng.Uniform(8000, 11000));
+    }
+  }
+  const ArithOp ops[] = {ArithOp::kAdd, ArithOp::kSub, ArithOp::kMul,
+                         ArithOp::kDiv};
+  return Expr::Arith(ops[rng.Uniform(0, 3)], RandomScalar(rng, depth - 1),
+                     RandomScalar(rng, depth - 1));
+}
+
+ExprPtr RandomPredicate(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.3)) {
+    return Expr::Compare(static_cast<CompareOp>(rng.Uniform(0, 5)),
+                         RandomScalar(rng, 2), RandomScalar(rng, 2));
+  }
+  if (rng.Bernoulli(0.15)) return Expr::Not(RandomPredicate(rng, depth - 1));
+  return Expr::Logic(rng.Bernoulli(0.5) ? LogicOp::kAnd : LogicOp::kOr,
+                     RandomPredicate(rng, depth - 1),
+                     RandomPredicate(rng, depth - 1));
+}
+
+class ExpressionRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExpressionRoundTrip, PrintParsePreservesStructure) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    ExprPtr original = RandomPredicate(rng, 4);
+    const std::string text = original->ToString();
+    auto reparsed = ParseExpression(text);
+    ASSERT_TRUE(reparsed.ok())
+        << text << " : " << reparsed.status().ToString();
+    EXPECT_TRUE(Expr::Equal(original, *reparsed))
+        << "original: " << text
+        << "\nreparsed: " << (*reparsed)->ToString();
+  }
+}
+
+TEST_P(ExpressionRoundTrip, PrintIsAFixpoint) {
+  Rng rng(GetParam() ^ 0xABCD);
+  for (int trial = 0; trial < 200; ++trial) {
+    ExprPtr original = RandomPredicate(rng, 4);
+    const std::string once = original->ToString();
+    auto reparsed = ParseExpression(once);
+    ASSERT_TRUE(reparsed.ok()) << once;
+    EXPECT_EQ((*reparsed)->ToString(), once);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpressionRoundTrip,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(QueryRoundTrip, GeneratedScalarsAndPredicates) {
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    ParsedQuery q;
+    SelectItem star;
+    star.is_star = true;
+    q.select_list = {star};
+    q.tables = {"lineitem", "orders"};
+    q.where = RandomPredicate(rng, 3);
+    const std::string text = q.ToString();
+    auto reparsed = ParseQuery(text);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    EXPECT_TRUE(Expr::Equal(q.where, reparsed->where)) << text;
+    EXPECT_EQ(reparsed->tables, q.tables);
+  }
+}
+
+}  // namespace
+}  // namespace sia

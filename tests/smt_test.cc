@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <z3++.h>
+
+#include "ir/binder.h"
+#include "ir/builder.h"
+#include "ir/evaluator.h"
+#include "smt/encoder.h"
+#include "smt/smt_context.h"
+
+namespace sia {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+Schema ThreeCols(bool nullable = false) {
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, nullable});
+  s.AddColumn({"t", "b", DataType::kInteger, nullable});
+  s.AddColumn({"t", "c", DataType::kInteger, nullable});
+  return s;
+}
+
+ExprPtr BindOrDie(const ExprPtr& e, const Schema& s) {
+  auto r = Bind(e, s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+// Solves `formula` and returns the model values for columns 0..n-1.
+z3::check_result Check(SmtContext* ctx, const z3::expr& formula,
+                       z3::model* model = nullptr) {
+  z3::solver solver(ctx->z3());
+  solver.add(formula);
+  const z3::check_result r = solver.check();
+  if (r == z3::sat && model != nullptr) *model = solver.get_model();
+  return r;
+}
+
+TEST(SmtContextTest, VariableInterning) {
+  SmtContext ctx;
+  z3::expr a = ctx.ColumnVar(0, DataType::kInteger);
+  z3::expr b = ctx.ColumnVar(0, DataType::kInteger);
+  EXPECT_TRUE(z3::eq(a, b));
+  z3::expr c = ctx.ColumnVar(1, DataType::kInteger);
+  EXPECT_FALSE(z3::eq(a, c));
+  EXPECT_TRUE(ctx.ColumnVar(2, DataType::kDouble).is_real());
+  EXPECT_TRUE(ctx.NullVar(0).is_bool());
+}
+
+TEST(EncoderTest, SimpleEncodingSatisfiability) {
+  Schema s = ThreeCols();
+  ExprPtr p = BindOrDie((Col("a") < Col("b")) && (Col("b") < Lit(0)), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kIgnore);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  z3::model model(ctx.z3());
+  ASSERT_EQ(Check(&ctx, *f, &model), z3::sat);
+  auto tuple = enc.ExtractTuple(model, {0, 1});
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_LT(tuple->at(0).AsInt(), tuple->at(1).AsInt());
+  EXPECT_LT(tuple->at(1).AsInt(), 0);
+}
+
+TEST(EncoderTest, UnsatisfiableFormula) {
+  Schema s = ThreeCols();
+  ExprPtr p = BindOrDie((Col("a") < Lit(0)) && (Col("a") > Lit(0)), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kIgnore);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(Check(&ctx, *f), z3::unsat);
+}
+
+// Property: for random non-NULL tuples, the SMT encoding pinned to the
+// tuple's values is SAT exactly when the evaluator says TRUE.
+TEST(EncoderTest, AgreesWithEvaluatorOnConcreteTuples) {
+  Schema s = ThreeCols();
+  const std::vector<ExprPtr> predicates = {
+      BindOrDie((Col("a") - Col("b") < Lit(20)) && (Col("b") < Lit(0)), s),
+      BindOrDie((Col("a") + Col("b") * Lit(3) >= Col("c")) ||
+                    (Col("a") == Lit(0)),
+                s),
+      BindOrDie(!(Col("a") <= Col("c")), s),
+      BindOrDie(Col("a") / Lit(3) == Lit(-2), s),
+  };
+  int64_t values[] = {-7, -2, 0, 3, 19, 20, 21};
+  for (const ExprPtr& p : predicates) {
+    for (const int64_t va : values) {
+      for (const int64_t vb : values) {
+        for (const int64_t vc : values) {
+          Tuple t({Value::Integer(va), Value::Integer(vb),
+                   Value::Integer(vc)});
+          SmtContext ctx;
+          Encoder enc(&ctx, s, NullHandling::kIgnore);
+          auto f = enc.EncodeTrue(p);
+          ASSERT_TRUE(f.ok());
+          auto pin = enc.TupleEquals({0, 1, 2}, t);
+          ASSERT_TRUE(pin.ok());
+          const bool smt_sat = Check(&ctx, *f && *pin) == z3::sat;
+          const bool eval_true = Satisfies(*p, t).value();
+          EXPECT_EQ(smt_sat, eval_true)
+              << p->ToString() << " on " << t.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST(EncoderTest, ThreeValuedNullSemantics) {
+  Schema s = ThreeCols(/*nullable=*/true);
+  ExprPtr p = BindOrDie(Col("a") < Lit(10), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kThreeValued);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  // Forcing a NULL must make "p is TRUE" unsatisfiable.
+  z3::expr forced_null = ctx.NullVar(0);
+  EXPECT_EQ(Check(&ctx, *f && forced_null), z3::unsat);
+  // Without the force it is satisfiable.
+  EXPECT_EQ(Check(&ctx, *f), z3::sat);
+}
+
+TEST(EncoderTest, ThreeValuedNotOfNullIsNotTrue) {
+  Schema s = ThreeCols(/*nullable=*/true);
+  ExprPtr p = BindOrDie(!(Col("a") < Lit(10)), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kThreeValued);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  z3::expr forced_null = ctx.NullVar(0);
+  EXPECT_EQ(Check(&ctx, *f && forced_null), z3::unsat);
+}
+
+TEST(EncoderTest, KleeneAndWithNull) {
+  // (a < 10) AND (b < 10): with b NULL and a < 10, result is UNKNOWN (not
+  // TRUE); with a >= 10 it is FALSE regardless of b. Check "is TRUE"
+  // requires both non-null.
+  Schema s = ThreeCols(/*nullable=*/true);
+  ExprPtr p = BindOrDie((Col("a") < Lit(10)) && (Col("b") < Lit(10)), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kThreeValued);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(Check(&ctx, *f && ctx.NullVar(1)), z3::unsat);
+  // But "p is not TRUE" IS satisfiable with b NULL.
+  auto g = enc.EncodeNotTrue(p);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(Check(&ctx, *g && ctx.NullVar(1)), z3::sat);
+}
+
+TEST(EncoderTest, NonLinearFoldsToAuxVariable) {
+  Schema s = ThreeCols();
+  ExprPtr p = BindOrDie(Col("a") * Col("b") < Lit(100), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kIgnore);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(ctx.aux_count(), 1u);  // a*b folded into one variable
+  EXPECT_EQ(Check(&ctx, *f), z3::sat);
+}
+
+TEST(EncoderTest, MulByConstantStaysLinear) {
+  Schema s = ThreeCols();
+  ExprPtr p = BindOrDie(Col("a") * Lit(3) < Lit(100), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kIgnore);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(ctx.aux_count(), 0u);
+}
+
+TEST(EncoderTest, TruncatedDivisionMatchesCpp) {
+  // SQL/C++ division truncates toward zero; Z3's div is Euclidean. The
+  // encoder must produce C++ semantics for constant divisors.
+  Schema s = ThreeCols();
+  for (const int64_t divisor : {3, -3}) {
+    for (const int64_t a : {-8, -7, -1, 0, 1, 7, 8}) {
+      ExprPtr p = BindOrDie(Col("a") / Lit(divisor) == Lit(a / divisor), s);
+      SmtContext ctx;
+      Encoder enc(&ctx, s, NullHandling::kIgnore);
+      auto f = enc.EncodeTrue(p);
+      ASSERT_TRUE(f.ok());
+      auto pin = enc.TupleEquals(
+          {0}, Tuple({Value::Integer(a)}));
+      ASSERT_TRUE(pin.ok());
+      EXPECT_EQ(Check(&ctx, *f && *pin), z3::sat)
+          << a << " / " << divisor << " should equal " << (a / divisor);
+    }
+  }
+}
+
+TEST(EncoderTest, DateColumnsExtractAsDates) {
+  Schema s;
+  s.AddColumn({"t", "d", DataType::kDate, false});
+  ExprPtr p = BindOrDie(Col("d") > DateL(8552), s);
+  SmtContext ctx;
+  Encoder enc(&ctx, s, NullHandling::kIgnore);
+  auto f = enc.EncodeTrue(p);
+  ASSERT_TRUE(f.ok());
+  z3::model model(ctx.z3());
+  ASSERT_EQ(Check(&ctx, *f, &model), z3::sat);
+  auto t = enc.ExtractTuple(model, {0});
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->at(0).type(), DataType::kDate);
+  EXPECT_GT(t->at(0).AsInt(), 8552);
+}
+
+}  // namespace
+}  // namespace sia

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include "common/date.h"
+#include "ir/analysis.h"
+#include "ir/binder.h"
+#include "ir/builder.h"
+#include "ir/evaluator.h"
+#include "synth/sample_generator.h"
+#include "synth/synthesizer.h"
+#include "synth/verifier.h"
+
+namespace sia {
+namespace {
+
+using namespace dsl;  // NOLINT: expression-builder operators in tests
+
+// A three-integer-column schema mirroring the paper's §3.2 walkthrough:
+// a1 = l_commitdate, a2 = l_shipdate, b1 = o_orderdate (already
+// normalized to integers with 1993-06-01 as origin).
+Schema Abc() {
+  Schema s;
+  s.AddColumn({"t", "a1", DataType::kInteger, false});
+  s.AddColumn({"t", "a2", DataType::kInteger, false});
+  s.AddColumn({"t", "b1", DataType::kInteger, false});
+  return s;
+}
+
+// The §3.2 predicate: a2 - b1 < 20 AND a1 - a2 < a2 - b1 + 10 AND b1 < 0.
+ExprPtr MotivatingPredicate() {
+  using namespace dsl;
+  return (Col("a2") - Col("b1") < Lit(20)) &&
+         (Col("a1") - Col("a2") < Col("a2") - Col("b1") + Lit(10)) &&
+         (Col("b1") < Lit(0));
+}
+
+ExprPtr BindOrDie(const ExprPtr& e, const Schema& s) {
+  auto r = Bind(e, s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+// --- SampleGenerator -----------------------------------------------------
+
+class SampleGeneratorTest : public ::testing::Test {
+ protected:
+  Schema schema_ = Abc();
+  ExprPtr pred_ = BindOrDie(MotivatingPredicate(), schema_);
+};
+
+TEST_F(SampleGeneratorTest, TrueSamplesSatisfyPredicateWithWitness) {
+  SampleGenerator gen(pred_, schema_, {0, 1});
+  auto samples = gen.GenerateTrue(10);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  ASSERT_EQ(samples->size(), 10u);
+  // Every TRUE sample must be a feasible restriction: some b1 completes it.
+  for (const Tuple& t : *samples) {
+    bool found = false;
+    for (int64_t b1 = -2000; b1 <= 2000 && !found; ++b1) {
+      Tuple full({t.at(0), t.at(1), Value::Integer(b1)});
+      found = Satisfies(*pred_, full).value();
+    }
+    EXPECT_TRUE(found) << "no witness for " << t.ToString();
+  }
+}
+
+TEST_F(SampleGeneratorTest, FalseSamplesAreUnsatisfactionTuples) {
+  SampleGenerator gen(pred_, schema_, {0, 1});
+  auto samples = gen.GenerateFalse(8);
+  ASSERT_TRUE(samples.ok()) << samples.status().ToString();
+  ASSERT_EQ(samples->size(), 8u);
+  // No b1 in a wide range may complete a FALSE sample. (The witness-free
+  // property is guaranteed by the solver for ALL b1; we spot-check.)
+  for (const Tuple& t : *samples) {
+    for (int64_t b1 = -3000; b1 <= 3000; b1 += 7) {
+      Tuple full({t.at(0), t.at(1), Value::Integer(b1)});
+      EXPECT_FALSE(Satisfies(*pred_, full).value())
+          << t.ToString() << " with b1=" << b1;
+    }
+  }
+}
+
+TEST_F(SampleGeneratorTest, SamplesAreDistinct) {
+  SampleGenerator gen(pred_, schema_, {0, 1});
+  auto samples = gen.GenerateTrue(20);
+  ASSERT_TRUE(samples.ok());
+  for (size_t i = 0; i < samples->size(); ++i) {
+    for (size_t j = i + 1; j < samples->size(); ++j) {
+      EXPECT_FALSE((*samples)[i] == (*samples)[j])
+          << "duplicate sample at " << i << "," << j;
+    }
+  }
+}
+
+TEST_F(SampleGeneratorTest, CounterTrueRespectsBothPredicates) {
+  SampleGenerator gen(pred_, schema_, {0, 1});
+  // A deliberately too-strong learned predicate: a1 > 1000.
+  ExprPtr learned = BindOrDie(Col("a1") > Lit(1000), schema_);
+  auto counter = gen.CounterTrue(learned, 5);
+  ASSERT_TRUE(counter.ok()) << counter.status().ToString();
+  ASSERT_FALSE(counter->empty());
+  for (const Tuple& t : *counter) {
+    // Rejected by the learned predicate...
+    EXPECT_LE(t.at(0).AsInt(), 1000);
+  }
+}
+
+TEST_F(SampleGeneratorTest, CounterFalseFindsAcceptedUnsatTuples) {
+  SampleGenerator gen(pred_, schema_, {0, 1});
+  // TRUE accepts everything, so every unsatisfaction tuple is accepted.
+  ExprPtr trivial = Expr::BoolLit(true);
+  auto counter = gen.CounterFalse(trivial, 5);
+  ASSERT_TRUE(counter.ok()) << counter.status().ToString();
+  EXPECT_EQ(counter->size(), 5u);
+}
+
+TEST_F(SampleGeneratorTest, ExhaustionOnFiniteSpace) {
+  // a1 in {1,2,3}: exactly three satisfaction tuples over {a1}.
+  using namespace dsl;
+  ExprPtr p = BindOrDie(
+      (Col("a1") >= Lit(1)) && (Col("a1") <= Lit(3)) && (Col("b1") > Lit(0)),
+      schema_);
+  SampleGenerator gen(p, schema_, {0});
+  auto samples = gen.GenerateTrue(10);
+  ASSERT_TRUE(samples.ok());
+  EXPECT_EQ(samples->size(), 3u);
+  EXPECT_TRUE(gen.exhausted());
+}
+
+// --- Verifier ---------------------------------------------------------------
+
+TEST(VerifierTest, AcceptsWeakerPredicate) {
+  Schema s = Abc();
+  ExprPtr p = BindOrDie(Col("a1") > Lit(10), s);
+  ExprPtr weaker = BindOrDie(Col("a1") > Lit(5), s);
+  auto r = VerifyImplies(p, weaker, s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, VerifyResult::kValid);
+}
+
+TEST(VerifierTest, RejectsStrongerPredicate) {
+  Schema s = Abc();
+  ExprPtr p = BindOrDie(Col("a1") > Lit(10), s);
+  ExprPtr stronger = BindOrDie(Col("a1") > Lit(20), s);
+  auto r = VerifyImplies(p, stronger, s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, VerifyResult::kInvalid);
+}
+
+TEST(VerifierTest, ThreeValuedLogicNullable) {
+  // With a nullable column, x > 5 does NOT imply x > 5 OR x <= 5 ... it
+  // does; but x = x is not implied by TRUE under 3VL. Check a case where
+  // NULL-ness matters: p = (x > 5), candidate = (x > 5 OR x <= 5).
+  // For non-null x the candidate is a tautology; for NULL x both p and
+  // the candidate evaluate to UNKNOWN, so validity still holds (p never
+  // accepts the NULL tuple).
+  Schema s;
+  s.AddColumn({"t", "x", DataType::kInteger, true});
+  s.AddColumn({"t", "y", DataType::kInteger, true});
+  using namespace dsl;
+  ExprPtr p = BindOrDie(Col("x") > Lit(5), s);
+  ExprPtr taut = BindOrDie((Col("x") > Lit(5)) || (Col("x") <= Lit(5)), s);
+  auto r1 = VerifyImplies(p, taut, s);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(*r1, VerifyResult::kValid);
+
+  // TRUE does NOT imply the tautology under 3VL: the all-NULL tuple
+  // satisfies TRUE but the "tautology" evaluates to UNKNOWN.
+  auto r2 = VerifyImplies(Expr::BoolLit(true), taut, s);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r2, VerifyResult::kInvalid);
+}
+
+TEST(VerifierTest, EquivalenceBothWays) {
+  Schema s = Abc();
+  using namespace dsl;
+  ExprPtr a = BindOrDie(Col("a1") + Lit(1) > Lit(11), s);
+  ExprPtr b = BindOrDie(Col("a1") > Lit(10), s);
+  auto r = VerifyEquivalent(a, b, s);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, VerifyResult::kValid);
+}
+
+// --- Synthesizer: the paper's §3.2 walkthrough -----------------------------
+
+TEST(SynthesizerTest, MotivatingExampleLearnsValidPredicate) {
+  Schema s = Abc();
+  ExprPtr p = BindOrDie(MotivatingPredicate(), s);
+  auto result = Synthesize(p, s, {0, 1});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->has_predicate())
+      << "status=" << SynthesisStatusName(result->status);
+
+  // The synthesized predicate must be implied by p (validity).
+  auto valid = VerifyImplies(p, result->predicate, s);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(*valid, VerifyResult::kValid)
+      << "learned: " << result->predicate->ToString();
+
+  // And must only use columns a1, a2.
+  EXPECT_TRUE(UsesOnlyColumns(result->predicate, {0, 1}))
+      << result->predicate->ToString();
+}
+
+TEST(SynthesizerTest, MotivatingExampleApproachesOptimal) {
+  // The optimal reduction of the paper's predicate to (a1, a2) is
+  // a1 - a2 < 29 (equivalently a1 - a2 + 29 > 0 ... with strictness
+  // depending on integer boundaries). Verify our result is implied by
+  // the known-optimal form OR equals it: i.e. known-optimal implies ours.
+  Schema s = Abc();
+  ExprPtr p = BindOrDie(MotivatingPredicate(), s);
+  auto result = Synthesize(p, s, {0, 1});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->has_predicate());
+
+  using namespace dsl;
+  ExprPtr known = BindOrDie(Col("a1") - Col("a2") < Lit(29), s);
+  // `known` is a valid reduction; the optimal predicate is implied by
+  // every valid reduction... (Def. 3: optimal implies all valid). So if
+  // ours is optimal, ours => known.
+  if (result->status == SynthesisStatus::kOptimal) {
+    auto r = VerifyImplies(result->predicate, known, s);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, VerifyResult::kValid)
+        << "learned " << result->predicate->ToString()
+        << " should imply a1 - a2 < 29";
+  }
+}
+
+TEST(SynthesizerTest, SingleColumnReduction) {
+  // p: a1 - b1 < 20 AND b1 < 0  =>  over {a1}: a1 < 20 (optimal: a1 <= 18
+  // with integers: a1 - b1 <= 19, b1 <= -1 -> a1 <= 18).
+  Schema s = Abc();
+  using namespace dsl;
+  ExprPtr p = BindOrDie((Col("a1") - Col("b1") < Lit(20)) &&
+                            (Col("b1") < Lit(0)),
+                        s);
+  auto result = Synthesize(p, s, {0});
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result->has_predicate());
+  auto valid = VerifyImplies(p, result->predicate, s);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(*valid, VerifyResult::kValid);
+  EXPECT_TRUE(UsesOnlyColumns(result->predicate, {0}));
+
+  // Sanity: (18) accepted, (1000) rejected for an optimal result.
+  if (result->status == SynthesisStatus::kOptimal) {
+    Tuple in({Value::Integer(18), Value::Integer(0), Value::Integer(0)});
+    Tuple out({Value::Integer(1000), Value::Integer(0), Value::Integer(0)});
+    EXPECT_TRUE(Satisfies(*result->predicate, in).value());
+    EXPECT_FALSE(Satisfies(*result->predicate, out).value());
+  }
+}
+
+TEST(SynthesizerTest, UnsatisfiablePredicateYieldsFalse) {
+  Schema s = Abc();
+  using namespace dsl;
+  ExprPtr p = BindOrDie((Col("a1") > Lit(10)) && (Col("a1") < Lit(5)), s);
+  auto result = Synthesize(p, s, {0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SynthesisStatus::kOptimal);
+  ASSERT_TRUE(result->has_predicate());
+  EXPECT_TRUE(result->predicate->IsFalseLiteral());
+}
+
+TEST(SynthesizerTest, NoUnsatTuplesMeansNoPredicate) {
+  // p: a1 = b1. For any a1 there is a b1 satisfying p, so there are no
+  // unsatisfaction tuples over {a1} and the only valid reduction is TRUE.
+  Schema s = Abc();
+  using namespace dsl;
+  ExprPtr p = BindOrDie(Col("a1") == Col("b1"), s);
+  auto result = Synthesize(p, s, {0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SynthesisStatus::kNone);
+  EXPECT_FALSE(result->has_predicate());
+}
+
+TEST(SynthesizerTest, FiniteSpaceGivesEqualityDisjunction) {
+  Schema s = Abc();
+  using namespace dsl;
+  ExprPtr p = BindOrDie(
+      (Col("a1") >= Lit(5)) && (Col("a1") <= Lit(7)) && (Col("b1") > Lit(0)),
+      s);
+  auto result = Synthesize(p, s, {0});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->status, SynthesisStatus::kOptimal);
+  ASSERT_TRUE(result->has_predicate());
+  // Accepts exactly {5, 6, 7}.
+  for (int64_t v = 0; v <= 12; ++v) {
+    Tuple t({Value::Integer(v), Value::Integer(0), Value::Integer(0)});
+    EXPECT_EQ(Satisfies(*result->predicate, t).value(), v >= 5 && v <= 7)
+        << "v=" << v << " pred=" << result->predicate->ToString();
+  }
+}
+
+TEST(SynthesizerTest, NonSeparableFallsBackToDisjunctionOrNothing) {
+  // The §6.7 limitation shape: a > b && a < b + 50 && b > 0 && b < 150.
+  // Over {a}: feasible a in (1, 199); FALSE samples lie on BOTH sides of
+  // the TRUE samples, so a single halfplane cannot be optimal. The
+  // synthesizer must still only return a VALID predicate (or none).
+  Schema s;
+  s.AddColumn({"t", "a", DataType::kInteger, false});
+  s.AddColumn({"t", "b", DataType::kInteger, false});
+  using namespace dsl;
+  ExprPtr p = BindOrDie((Col("a") > Col("b")) &&
+                            (Col("a") < Col("b") + Lit(50)) &&
+                            (Col("b") > Lit(0)) && (Col("b") < Lit(150)),
+                        s);
+  auto result = Synthesize(p, s, {0});
+  ASSERT_TRUE(result.ok());
+  if (result->has_predicate()) {
+    auto valid = VerifyImplies(p, result->predicate, s);
+    ASSERT_TRUE(valid.ok());
+    EXPECT_EQ(*valid, VerifyResult::kValid)
+        << result->predicate->ToString();
+  }
+}
+
+TEST(SynthesizerTest, StatsArePopulated) {
+  Schema s = Abc();
+  ExprPtr p = BindOrDie(MotivatingPredicate(), s);
+  auto result = Synthesize(p, s, {0, 1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.solver_calls, 0u);
+  EXPECT_GT(result->stats.true_samples, 0u);
+  EXPECT_GT(result->stats.false_samples, 0u);
+  EXPECT_GE(result->stats.generation_ms, 0.0);
+}
+
+TEST(SynthesizerTest, RejectsColumnsOutsidePredicate) {
+  Schema s = Abc();
+  using namespace dsl;
+  ExprPtr p = BindOrDie(Col("a1") > Lit(0), s);
+  auto result = Synthesize(p, s, {1});  // a2 not in p
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(SynthesizerTest, BaselineConfigsDiffer) {
+  const SynthesisOptions v1 = SynthesisOptions::SiaV1();
+  const SynthesisOptions v2 = SynthesisOptions::SiaV2();
+  const SynthesisOptions sia = SynthesisOptions::Sia();
+  EXPECT_EQ(v1.max_iterations, 1);
+  EXPECT_EQ(v1.initial_true_samples, 110u);
+  EXPECT_EQ(v2.initial_true_samples, 220u);
+  EXPECT_EQ(sia.max_iterations, 41);
+  EXPECT_EQ(sia.initial_true_samples, 10u);
+  EXPECT_EQ(sia.samples_per_iteration, 5u);
+}
+
+}  // namespace
+}  // namespace sia

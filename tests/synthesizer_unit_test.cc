@@ -1,0 +1,179 @@
+// Unit tests for synthesizer helpers: date prettification, used-column
+// reporting, conjunct subsumption, and option plumbing.
+#include <gtest/gtest.h>
+
+#include "ir/binder.h"
+#include "ir/builder.h"
+#include "ir/evaluator.h"
+#include "synth/synthesizer.h"
+#include "synth/verifier.h"
+
+namespace sia {
+namespace {
+
+using namespace dsl;  // NOLINT
+
+Schema Dates() {
+  Schema s;
+  s.AddColumn({"t", "d1", DataType::kDate, false});
+  s.AddColumn({"t", "d2", DataType::kDate, false});
+  s.AddColumn({"t", "n", DataType::kInteger, false});
+  return s;
+}
+
+ExprPtr BindOrDie(const ExprPtr& e, const Schema& s) {
+  auto r = Bind(e, s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.value();
+}
+
+// --- PrettifyDates -------------------------------------------------------
+
+TEST(PrettifyDatesTest, SingleDateColumnBecomesDateLiteral) {
+  Schema s = Dates();
+  // d1 - 8552 > 0  ->  d1 > DATE '1993-06-01'
+  ExprPtr raw = BindOrDie(Col("d1") - Lit(8552) > Lit(0), s);
+  ExprPtr pretty = PrettifyDates(raw, s);
+  EXPECT_EQ(pretty->ToString(), "t.d1 > DATE '1993-06-01'");
+}
+
+TEST(PrettifyDatesTest, NegativeCoefficientSwapsComparison) {
+  Schema s = Dates();
+  // 8552 - d1 > 0  ->  d1 < DATE '1993-06-01'
+  ExprPtr raw = BindOrDie(Lit(8552) - Col("d1") > Lit(0), s);
+  ExprPtr pretty = PrettifyDates(raw, s);
+  EXPECT_EQ(pretty->ToString(), "t.d1 < DATE '1993-06-01'");
+}
+
+TEST(PrettifyDatesTest, DateDifferenceForm) {
+  Schema s = Dates();
+  // d1 - d2 + 29 > 0  ->  d1 - d2 > -29
+  ExprPtr raw = BindOrDie(Col("d1") - Col("d2") + Lit(29) > Lit(0), s);
+  ExprPtr pretty = PrettifyDates(raw, s);
+  EXPECT_EQ(pretty->ToString(), "t.d1 - t.d2 > -29");
+}
+
+TEST(PrettifyDatesTest, PreservesSemantics) {
+  Schema s = Dates();
+  const std::vector<ExprPtr> cases = {
+      BindOrDie(Col("d1") - Lit(8552) > Lit(0), s),
+      BindOrDie(Lit(8552) - Col("d1") >= Lit(0), s),
+      BindOrDie(Col("d1") - Col("d2") + Lit(29) > Lit(0), s),
+      BindOrDie((Col("d1") - Lit(100) > Lit(0)) &&
+                    (Col("d2") + Lit(5) < Lit(8552)),
+                s),
+  };
+  for (const ExprPtr& raw : cases) {
+    ExprPtr pretty = PrettifyDates(raw, s);
+    auto eq = VerifyEquivalent(raw, pretty, s);
+    ASSERT_TRUE(eq.ok());
+    EXPECT_EQ(*eq, VerifyResult::kValid)
+        << raw->ToString() << " vs " << pretty->ToString();
+  }
+}
+
+TEST(PrettifyDatesTest, LeavesNonDateShapesAlone) {
+  Schema s = Dates();
+  ExprPtr raw = BindOrDie(Col("n") + Lit(3) > Lit(0), s);
+  EXPECT_EQ(PrettifyDates(raw, s).get(), raw.get());
+  // Coefficient 2 on a date cannot be expressed as a date literal bound.
+  ExprPtr scaled = BindOrDie(Lit(2) * Col("d1") > Lit(17000), s);
+  EXPECT_EQ(PrettifyDates(scaled, s).get(), scaled.get());
+  // Non-linear shapes are left alone.
+  ExprPtr nonlinear = BindOrDie(Col("n") * Col("n") > Lit(4), s);
+  EXPECT_EQ(PrettifyDates(nonlinear, s).get(), nonlinear.get());
+}
+
+// --- SynthesisResult::UsedColumns ----------------------------------------
+
+TEST(SynthesisResultTest, UsedColumnsFromForms) {
+  SynthesisResult r;
+  LearnedPredicate lp;
+  LinearForm f;
+  f.columns = {3, 5};
+  f.coeffs = {1, 0};  // column 5 unused
+  f.constant = 2;
+  lp.models.push_back(f);
+  r.conjuncts.push_back(lp);
+  EXPECT_EQ(r.UsedColumns(), (std::vector<size_t>{3}));
+}
+
+TEST(SynthesisResultTest, UsedColumnsFallsBackToPredicate) {
+  Schema s = Dates();
+  SynthesisResult r;
+  r.predicate = BindOrDie(Col("d2") > Lit(0), s);
+  EXPECT_EQ(r.UsedColumns(), (std::vector<size_t>{1}));
+}
+
+// --- Convergence behavior ---------------------------------------------------
+
+TEST(SynthesizerConvergenceTest, WideGapConvergesWellUnderBudget) {
+  // d1 >= d2 + 1 and d2 >= 8552: the {d1} reduction is d1 >= 8553, with
+  // the initial FALSE samples thousands of days away. Bisection dynamics
+  // must find it in far fewer than the 41-iteration budget.
+  Schema s = Dates();
+  ExprPtr p = BindOrDie(
+      (Col("d1") > Col("d2")) && (Col("d2") >= Lit(8552)), s);
+  auto r = Synthesize(p, s, {0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_predicate());
+  EXPECT_EQ(r->status, SynthesisStatus::kOptimal)
+      << r->predicate->ToString();
+  EXPECT_LT(r->stats.iterations, 25);
+  // A single conjunct should survive subsumption.
+  EXPECT_EQ(r->conjuncts.size(), 1u) << r->predicate->ToString();
+  EXPECT_EQ(r->predicate->ToString(), "t.d1 > DATE '1993-06-01'");
+}
+
+TEST(SynthesizerConvergenceTest, TwoSidedWindowNeedsTwoConjuncts) {
+  Schema s = Dates();
+  // 0 <= d1 - d2 <= 10 and 100 <= d2 <= 200 -> d1 in [100, 210].
+  ExprPtr p = BindOrDie((Col("d1") - Col("d2") >= Lit(0)) &&
+                            (Col("d1") - Col("d2") <= Lit(10)) &&
+                            (Col("d2") >= Lit(100)) && (Col("d2") <= Lit(200)),
+                        s);
+  auto r = Synthesize(p, s, {0});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->has_predicate());
+  // Valid either way; if optimal, the accepted set must be exactly
+  // [100, 210].
+  auto valid = VerifyImplies(p, r->predicate, s);
+  ASSERT_TRUE(valid.ok());
+  EXPECT_EQ(*valid, VerifyResult::kValid);
+  if (r->status == SynthesisStatus::kOptimal) {
+    for (const int64_t v : {99, 100, 210, 211}) {
+      Tuple t({Value::Date(v), Value::Date(0), Value::Integer(0)});
+      EXPECT_EQ(Satisfies(*r->predicate, t).value(), v >= 100 && v <= 210)
+          << "v=" << v << " pred " << r->predicate->ToString();
+    }
+  }
+}
+
+TEST(SynthesizerOptionsTest, IterationBudgetRespected) {
+  Schema s = Dates();
+  ExprPtr p = BindOrDie(
+      (Col("d1") > Col("d2")) && (Col("d2") >= Lit(8552)), s);
+  SynthesisOptions opts;
+  opts.max_iterations = 1;
+  auto r = Synthesize(p, s, {0}, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->stats.iterations, 1);
+}
+
+TEST(SynthesizerOptionsTest, SampleBudgetsRespected) {
+  Schema s = Dates();
+  ExprPtr p = BindOrDie(
+      (Col("d1") > Col("d2")) && (Col("d2") >= Lit(8552)), s);
+  SynthesisOptions opts;
+  opts.initial_true_samples = 4;
+  opts.initial_false_samples = 4;
+  opts.samples_per_iteration = 2;
+  opts.max_iterations = 3;
+  auto r = Synthesize(p, s, {0}, opts);
+  ASSERT_TRUE(r.ok());
+  // 4 + 4 initial, at most 2 per iteration over 3 iterations.
+  EXPECT_LE(r->stats.true_samples + r->stats.false_samples, 8u + 6u);
+}
+
+}  // namespace
+}  // namespace sia

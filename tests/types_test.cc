@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "types/data_type.h"
+#include "types/schema.h"
+#include "types/tuple.h"
+#include "types/value.h"
+
+namespace sia {
+namespace {
+
+TEST(DataTypeTest, Names) {
+  EXPECT_STREQ(DataTypeName(DataType::kInteger), "INTEGER");
+  EXPECT_STREQ(DataTypeName(DataType::kDate), "DATE");
+  EXPECT_STREQ(DataTypeName(DataType::kDouble), "DOUBLE");
+}
+
+TEST(DataTypeTest, Classification) {
+  EXPECT_TRUE(IsIntegral(DataType::kInteger));
+  EXPECT_TRUE(IsIntegral(DataType::kDate));
+  EXPECT_TRUE(IsIntegral(DataType::kBoolean));
+  EXPECT_FALSE(IsIntegral(DataType::kDouble));
+  EXPECT_TRUE(IsNumericLike(DataType::kDouble));
+  EXPECT_FALSE(IsNumericLike(DataType::kBoolean));
+}
+
+TEST(ValueTest, NullBehavior) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "NULL");
+  Value typed = Value::Null(DataType::kDate);
+  EXPECT_TRUE(typed.is_null());
+  EXPECT_EQ(typed.type(), DataType::kDate);
+}
+
+TEST(ValueTest, IntegerRoundTrip) {
+  Value v = Value::Integer(-42);
+  EXPECT_FALSE(v.is_null());
+  EXPECT_EQ(v.AsInt(), -42);
+  EXPECT_EQ(v.ToString(), "-42");
+}
+
+TEST(ValueTest, DatePrintsAsLiteral) {
+  Value v = Value::Date(8552);  // 1993-06-01
+  EXPECT_EQ(v.ToString(), "DATE '1993-06-01'");
+}
+
+TEST(ValueTest, DoubleConversion) {
+  EXPECT_DOUBLE_EQ(Value::Integer(3).AsDouble(), 3.0);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Boolean(true).AsDouble(), 1.0);
+}
+
+TEST(ValueTest, EqualityAcrossKinds) {
+  EXPECT_EQ(Value::Integer(5), Value::Integer(5));
+  EXPECT_FALSE(Value::Integer(5) == Value::Integer(6));
+  EXPECT_EQ(Value::Null(), Value::Null(DataType::kDate));  // both NULL
+  EXPECT_FALSE(Value::Null() == Value::Integer(0));
+  EXPECT_EQ(Value::Integer(2), Value::Double(2.0));  // numeric compare
+}
+
+TEST(SchemaTest, FindUnqualified) {
+  Schema s;
+  s.AddColumn({"lineitem", "l_shipdate", DataType::kDate, false});
+  s.AddColumn({"orders", "o_orderdate", DataType::kDate, false});
+  auto idx = s.FindColumn("l_shipdate");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+}
+
+TEST(SchemaTest, FindQualifiedAndCaseInsensitive) {
+  Schema s;
+  s.AddColumn({"lineitem", "l_shipdate", DataType::kDate, false});
+  auto idx = s.FindColumn("LINEITEM.L_SHIPDATE");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 0u);
+  EXPECT_FALSE(s.FindColumn("orders.l_shipdate").has_value());
+}
+
+TEST(SchemaTest, AmbiguousUnqualifiedLookupFails) {
+  Schema s;
+  s.AddColumn({"a", "id", DataType::kInteger, false});
+  s.AddColumn({"b", "id", DataType::kInteger, false});
+  EXPECT_FALSE(s.FindColumn("id").has_value());
+  EXPECT_TRUE(s.FindColumn("a.id").has_value());
+}
+
+TEST(SchemaTest, Concat) {
+  Schema a;
+  a.AddColumn({"a", "x", DataType::kInteger, false});
+  Schema b;
+  b.AddColumn({"b", "y", DataType::kDate, false});
+  const Schema joint = Schema::Concat(a, b);
+  ASSERT_EQ(joint.size(), 2u);
+  EXPECT_EQ(joint.column(1).QualifiedName(), "b.y");
+}
+
+TEST(TupleTest, BasicsAndEquality) {
+  Tuple t({Value::Integer(1), Value::Null()});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_TRUE(t.at(1).is_null());
+  EXPECT_EQ(t.ToString(), "(1, NULL)");
+  Tuple u({Value::Integer(1), Value::Null()});
+  EXPECT_TRUE(t == u);
+  u.at(0) = Value::Integer(2);
+  EXPECT_FALSE(t == u);
+}
+
+}  // namespace
+}  // namespace sia

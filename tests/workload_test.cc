@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/catalog.h"
+#include "ir/analysis.h"
+#include "ir/binder.h"
+#include "parser/parser.h"
+#include "workload/casestudy.h"
+#include "workload/querygen.h"
+
+namespace sia {
+namespace {
+
+class QueryGenTest : public ::testing::Test {
+ protected:
+  Catalog catalog_ = Catalog::TpchCatalog();
+};
+
+TEST_F(QueryGenTest, GeneratesRequestedCount) {
+  auto queries = GenerateWorkload(catalog_, 10);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  EXPECT_EQ(queries->size(), 10u);
+}
+
+TEST_F(QueryGenTest, Deterministic) {
+  auto a = GenerateWorkload(catalog_, 5);
+  auto b = GenerateWorkload(catalog_, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ((*a)[i].sql, (*b)[i].sql);
+  }
+}
+
+TEST_F(QueryGenTest, MatchesPaperTemplate) {
+  auto queries = GenerateWorkload(catalog_, 20);
+  ASSERT_TRUE(queries.ok());
+  const Schema joint =
+      catalog_.JointSchema({"lineitem", "orders"}).value();
+  for (const GeneratedQuery& g : *queries) {
+    EXPECT_GE(g.term_count, 3);
+    EXPECT_LE(g.term_count, 8);
+    EXPECT_EQ(g.query.tables,
+              (std::vector<std::string>{"lineitem", "orders"}));
+    auto bound = Bind(g.query.where, joint);
+    ASSERT_TRUE(bound.ok()) << g.sql;
+    const auto conjuncts = SplitConjuncts(*bound);
+    // Join condition + term_count predicate terms.
+    EXPECT_EQ(conjuncts.size(), static_cast<size_t>(g.term_count) + 1);
+    // Every predicate term references o_orderdate (§6.3), so no original
+    // conjunct is pushable to lineitem.
+    const size_t o_orderdate = *joint.FindColumn("o_orderdate");
+    for (size_t i = 1; i < conjuncts.size(); ++i) {
+      const auto used = CollectColumnIndices(conjuncts[i]);
+      EXPECT_TRUE(std::find(used.begin(), used.end(), o_orderdate) !=
+                  used.end())
+          << conjuncts[i]->ToString();
+    }
+    // The workload collectively pins all three lineitem date columns.
+    const auto all_used = CollectColumnIndices(*bound);
+    std::set<std::string> names;
+    for (const size_t c : all_used) names.insert(joint.column(c).name);
+    EXPECT_TRUE(names.contains("l_shipdate"));
+    EXPECT_TRUE(names.contains("l_commitdate"));
+    EXPECT_TRUE(names.contains("l_receiptdate"));
+  }
+}
+
+TEST_F(QueryGenTest, EmittedSqlParses) {
+  auto queries = GenerateWorkload(catalog_, 10);
+  ASSERT_TRUE(queries.ok());
+  for (const GeneratedQuery& g : *queries) {
+    auto q = ParseQuery(g.sql);
+    EXPECT_TRUE(q.ok()) << g.sql;
+  }
+}
+
+TEST(CaseStudyTest, ClassificationAndCalibration) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  CaseStudyOptions opts;
+  opts.query_count = 120;
+  auto report = SimulateCaseStudy(catalog, opts);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->records.size(), 120u);
+  EXPECT_EQ(report->prospective_count, 120u);
+  // The relevant slice should be a strict, non-empty minority (the paper
+  // observed ~12.8%).
+  EXPECT_GT(report->relevant_count, 0u);
+  EXPECT_LT(report->relevant_count, report->prospective_count / 2);
+  // Execution-time calibration: majority takes > 10 s.
+  EXPECT_GT(report->frac_over_10s, 0.6);
+  EXPECT_LT(report->frac_over_10s, 0.9);
+}
+
+TEST(CaseStudyTest, PercentileHelper) {
+  std::vector<CaseStudyRecord> records;
+  for (int i = 1; i <= 100; ++i) {
+    CaseStudyRecord r;
+    r.exec_time_s = i;
+    r.relevant = (i % 2) == 0;
+    records.push_back(r);
+  }
+  auto metric = +[](const CaseStudyRecord& r) { return r.exec_time_s; };
+  const auto all = MetricPercentiles(records, false, metric, {0, 50, 100});
+  EXPECT_DOUBLE_EQ(all[0], 1);
+  EXPECT_NEAR(all[1], 50.5, 0.01);
+  EXPECT_DOUBLE_EQ(all[2], 100);
+  const auto rel = MetricPercentiles(records, true, metric, {0, 100});
+  EXPECT_DOUBLE_EQ(rel[0], 2);
+  EXPECT_DOUBLE_EQ(rel[1], 100);
+}
+
+}  // namespace
+}  // namespace sia
