@@ -1,0 +1,25 @@
+-- Example workload for sia_lint (scripts/check.sh lints this file).
+-- All statements are valid in Sia's SQL dialect and must produce zero
+-- diagnostics.
+
+-- The paper's §2 motivating query.
+SELECT * FROM lineitem, orders
+WHERE o_orderkey = l_orderkey
+  AND l_shipdate - o_orderdate < 20
+  AND o_orderdate < '1993-06-01';
+
+-- Mixed-column arithmetic only Sia can reduce onto lineitem.
+SELECT * FROM lineitem, orders
+WHERE o_orderkey = l_orderkey
+  AND l_commitdate - l_shipdate < l_shipdate - o_orderdate + 10
+  AND o_orderdate >= '1994-01-01';
+
+-- Single-table filter: the classical pushdown rule applies as-is.
+SELECT * FROM lineitem
+WHERE l_shipdate < '1995-06-30' AND l_quantity > 25;
+
+-- Aggregation over a join.
+SELECT * FROM lineitem, orders
+WHERE o_orderkey = l_orderkey
+  AND l_receiptdate - l_commitdate > 5
+GROUP BY l_shipdate;

@@ -9,8 +9,8 @@
 //
 //   sia_cli
 //   sia_cli --explain --execute --sf 50
-//   sia_cli --target lineitem --columns l_shipdate \
-//       "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey \
+//   sia_cli --target lineitem --columns l_shipdate
+//       "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey
 //        AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01'"
 #include <cstdio>
 #include <cstring>

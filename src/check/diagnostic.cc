@@ -1,0 +1,135 @@
+#include "check/diagnostic.h"
+
+namespace sia {
+
+const char* DiagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::kExprUnboundColumn:
+      return "expr.unbound-column";
+    case DiagCode::kExprColumnOutOfRange:
+      return "expr.column-out-of-range";
+    case DiagCode::kExprColumnTypeMismatch:
+      return "expr.column-type-mismatch";
+    case DiagCode::kExprColumnNameMismatch:
+      return "expr.column-name-mismatch";
+    case DiagCode::kExprArithTypeError:
+      return "expr.arith-type";
+    case DiagCode::kExprCompareTypeError:
+      return "expr.compare-type";
+    case DiagCode::kExprLogicTypeError:
+      return "expr.logic-type";
+    case DiagCode::kExprResultTypeError:
+      return "expr.result-type";
+    case DiagCode::kExprDateOutOfRange:
+      return "expr.date-out-of-range";
+    case DiagCode::kExprNonFiniteLiteral:
+      return "expr.non-finite-literal";
+    case DiagCode::kExprNullComparison:
+      return "expr.null-comparison";
+    case DiagCode::kExprDivisionByZero:
+      return "expr.division-by-zero";
+    case DiagCode::kExprNotCnf:
+      return "expr.not-cnf";
+    case DiagCode::kPlanArityMismatch:
+      return "plan.arity";
+    case DiagCode::kPlanUnknownTable:
+      return "plan.unknown-table";
+    case DiagCode::kPlanSchemaMismatch:
+      return "plan.schema-mismatch";
+    case DiagCode::kPlanMissingPredicate:
+      return "plan.missing-predicate";
+    case DiagCode::kPlanNonBooleanPredicate:
+      return "plan.non-boolean-predicate";
+    case DiagCode::kPlanPredicateOutOfScope:
+      return "plan.predicate-out-of-scope";
+    case DiagCode::kPlanScanFilterForeignColumn:
+      return "plan.scan-filter-foreign-column";
+    case DiagCode::kPlanColumnOutOfRange:
+      return "plan.column-out-of-range";
+    case DiagCode::kPlanCrossJoin:
+      return "plan.cross-join";
+  }
+  return "unknown";
+}
+
+DiagSeverity DiagCodeSeverity(DiagCode code) {
+  switch (code) {
+    case DiagCode::kExprColumnNameMismatch:
+    case DiagCode::kExprNullComparison:
+    case DiagCode::kExprDivisionByZero:
+    case DiagCode::kPlanCrossJoin:
+      return DiagSeverity::kWarning;
+    default:
+      return DiagSeverity::kError;
+  }
+}
+
+std::string Diagnostic::ToString() const {
+  std::string out = severity == DiagSeverity::kError ? "error" : "warning";
+  out += " [";
+  out += DiagCodeName(code);
+  out += "] ";
+  if (!where.empty()) {
+    out += where;
+    out += ": ";
+  }
+  out += message;
+  return out;
+}
+
+void Diagnostics::Add(DiagCode code, std::string where, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = DiagCodeSeverity(code);
+  d.where = std::move(where);
+  d.message = std::move(message);
+  Add(std::move(d));
+}
+
+void Diagnostics::Add(Diagnostic diag) {
+  if (diag.severity == DiagSeverity::kError) ++error_count_;
+  items_.push_back(std::move(diag));
+}
+
+void Diagnostics::Merge(const Diagnostics& other,
+                        const std::string& where_prefix) {
+  for (Diagnostic d : other.items_) {
+    if (!where_prefix.empty()) {
+      d.where = d.where.empty() ? where_prefix
+                                : where_prefix + "/" + d.where;
+    }
+    Add(std::move(d));
+  }
+}
+
+bool Diagnostics::Has(DiagCode code) const {
+  for (const Diagnostic& d : items_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string Diagnostics::ToString() const {
+  std::string out;
+  for (const Diagnostic& d : items_) {
+    out += d.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+Status Diagnostics::ToStatus(const std::string& context) const {
+  if (ok()) return Status::OK();
+  for (const Diagnostic& d : items_) {
+    if (d.severity != DiagSeverity::kError) continue;
+    std::string msg = context.empty() ? "" : context + ": ";
+    msg += d.ToString();
+    if (error_count_ > 1) {
+      msg += " (+" + std::to_string(error_count_ - 1) + " more errors)";
+    }
+    return Status::InvalidArgument(std::move(msg));
+  }
+  return Status::OK();  // unreachable: error_count_ > 0 implies an error item
+}
+
+}  // namespace sia

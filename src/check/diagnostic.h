@@ -1,0 +1,102 @@
+#ifndef SIA_CHECK_DIAGNOSTIC_H_
+#define SIA_CHECK_DIAGNOSTIC_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sia {
+
+// Structured findings produced by the static validators (check/
+// expr_validator.h, check/plan_validator.h). Every malformed-input class
+// has its own stable code so tests and tooling can assert on *what* went
+// wrong, not on message text.
+enum class DiagCode {
+  // --- Expression-level (expr.*) ---------------------------------------
+  kExprUnboundColumn,        // column ref never resolved by the binder
+  kExprColumnOutOfRange,     // bound index >= schema width
+  kExprColumnTypeMismatch,   // bound type disagrees with the schema slot
+  kExprColumnNameMismatch,   // bound name disagrees with the schema slot
+  kExprArithTypeError,       // arithmetic over boolean / non-numeric
+  kExprCompareTypeError,     // comparison over boolean / non-numeric
+  kExprLogicTypeError,       // AND/OR/NOT over non-boolean operand
+  kExprResultTypeError,      // node's cached type != recomputed type
+  kExprDateOutOfRange,       // DATE literal outside year 1..9999
+  kExprNonFiniteLiteral,     // NaN / infinity DOUBLE literal
+  kExprNullComparison,       // `x = NULL` — always UNKNOWN under 3VL
+  kExprDivisionByZero,       // division by a constant zero
+  kExprNotCnf,               // claimed-CNF predicate is not in CNF
+
+  // --- Plan-level (plan.*) ----------------------------------------------
+  kPlanArityMismatch,          // wrong number of children for node kind
+  kPlanUnknownTable,           // scan table absent from the catalog
+  kPlanSchemaMismatch,         // output schema inconsistent with inputs
+  kPlanMissingPredicate,       // Filter node with no predicate
+  kPlanNonBooleanPredicate,    // filter/join/scan predicate not boolean
+  kPlanPredicateOutOfScope,    // predicate refs a column outside the
+                               // node's input schema
+  kPlanScanFilterForeignColumn,  // pushed-down filter refs another table
+  kPlanColumnOutOfRange,       // aggregate/project column out of range
+  kPlanCrossJoin,              // join without a condition (warning)
+};
+
+enum class DiagSeverity { kWarning, kError };
+
+// Stable identifier, e.g. "expr.unbound-column".
+const char* DiagCodeName(DiagCode code);
+
+// Default severity for a code (everything is an error except the
+// explicit lint-style warnings).
+DiagSeverity DiagCodeSeverity(DiagCode code);
+
+struct Diagnostic {
+  DiagCode code = DiagCode::kExprUnboundColumn;
+  DiagSeverity severity = DiagSeverity::kError;
+  // Where the finding is anchored: a plan-node / pipeline-stage path such
+  // as "Join/Scan(lineitem) filter" plus the offending (sub)expression.
+  std::string where;
+  std::string message;
+
+  // "error [expr.unbound-column] <where>: <message>".
+  std::string ToString() const;
+};
+
+// An append-only collection of diagnostics with severity accounting.
+class Diagnostics {
+ public:
+  void Add(DiagCode code, std::string where, std::string message);
+  void Add(Diagnostic diag);
+
+  // Appends every diagnostic of `other`, prefixing its `where` with
+  // `where_prefix` (used when a sub-validation is embedded in a larger
+  // context, e.g. an expression inside a plan node).
+  void Merge(const Diagnostics& other, const std::string& where_prefix);
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  size_t error_count() const { return error_count_; }
+  size_t warning_count() const { return items_.size() - error_count_; }
+
+  // True when no *errors* were recorded (warnings allowed).
+  bool ok() const { return error_count_ == 0; }
+
+  bool Has(DiagCode code) const;
+
+  const std::vector<Diagnostic>& items() const { return items_; }
+
+  // One diagnostic per line.
+  std::string ToString() const;
+
+  // OK when no errors; otherwise InvalidArgument carrying the first
+  // error's rendering plus an error count, prefixed with `context`.
+  Status ToStatus(const std::string& context) const;
+
+ private:
+  std::vector<Diagnostic> items_;
+  size_t error_count_ = 0;
+};
+
+}  // namespace sia
+
+#endif  // SIA_CHECK_DIAGNOSTIC_H_

@@ -1,0 +1,257 @@
+#include "check/expr_validator.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/date.h"
+#include "common/strings.h"
+
+namespace sia {
+
+namespace {
+
+// DATE literals must denote a proleptic-Gregorian date in year 1..9999
+// (the range FormatDay/DayToCivil round-trip exactly; TPC-H uses
+// 1992-1998). Values outside are almost certainly arithmetic gone wrong.
+int64_t MinEpochDay() {
+  static const int64_t kMin = CivilToDay(CivilDate{1, 1, 1});
+  return kMin;
+}
+
+int64_t MaxEpochDay() {
+  static const int64_t kMax = CivilToDay(CivilDate{9999, 12, 31});
+  return kMax;
+}
+
+bool IsZeroLiteral(const ExprPtr& e) {
+  if (e->kind() != ExprKind::kLiteral || e->literal().is_null()) return false;
+  const Value& v = e->literal();
+  if (v.type() == DataType::kDouble) return v.AsDouble() == 0.0;
+  if (v.type() == DataType::kBoolean) return false;
+  return v.AsInt() == 0;
+}
+
+bool IsNullLiteral(const ExprPtr& e) {
+  return e->kind() == ExprKind::kLiteral && e->literal().is_null();
+}
+
+void ValidateNode(const ExprPtr& expr, const Schema& schema,
+                  Diagnostics* diags, const ExprValidatorOptions& options) {
+  for (const ExprPtr& child : expr->children()) {
+    ValidateNode(child, schema, diags, options);
+  }
+
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      if (!expr->is_bound()) {
+        if (options.require_bound) {
+          diags->Add(DiagCode::kExprUnboundColumn, expr->ToString(),
+                     "column reference was never bound to a schema slot");
+        }
+        return;
+      }
+      if (expr->index() >= schema.size()) {
+        diags->Add(DiagCode::kExprColumnOutOfRange, expr->ToString(),
+                   "bound index " + std::to_string(expr->index()) +
+                       " exceeds schema width " +
+                       std::to_string(schema.size()));
+        return;
+      }
+      const ColumnDef& slot = schema.column(expr->index());
+      if (slot.type != expr->type()) {
+        diags->Add(DiagCode::kExprColumnTypeMismatch, expr->ToString(),
+                   std::string("ref type ") + DataTypeName(expr->type()) +
+                       " but schema slot " + std::to_string(expr->index()) +
+                       " is " + DataTypeName(slot.type));
+      }
+      if (!expr->name().empty() && !slot.name.empty() &&
+          !EqualsIgnoreCase(expr->name(), slot.name)) {
+        diags->Add(DiagCode::kExprColumnNameMismatch, expr->ToString(),
+                   "ref names column '" + expr->name() +
+                       "' but schema slot " + std::to_string(expr->index()) +
+                       " is '" + slot.name + "'");
+      }
+      return;
+    }
+    case ExprKind::kLiteral: {
+      const Value& v = expr->literal();
+      if (v.is_null()) return;
+      if (v.type() == DataType::kDate &&
+          (v.AsInt() < MinEpochDay() || v.AsInt() > MaxEpochDay())) {
+        diags->Add(DiagCode::kExprDateOutOfRange, expr->ToString(),
+                   "epoch day " + std::to_string(v.AsInt()) +
+                       " is outside year 1..9999");
+      }
+      if (v.type() == DataType::kDouble && !std::isfinite(v.AsDouble())) {
+        diags->Add(DiagCode::kExprNonFiniteLiteral, expr->ToString(),
+                   "literal is NaN or infinite");
+      }
+      return;
+    }
+    case ExprKind::kArith: {
+      const ExprPtr& l = expr->left();
+      const ExprPtr& r = expr->right();
+      if (!IsNumericLike(l->type()) || !IsNumericLike(r->type())) {
+        diags->Add(DiagCode::kExprArithTypeError, expr->ToString(),
+                   std::string("arithmetic over ") + DataTypeName(l->type()) +
+                       " and " + DataTypeName(r->type()));
+        return;
+      }
+      if (expr->arith_op() == ArithOp::kDiv && IsZeroLiteral(r)) {
+        diags->Add(DiagCode::kExprDivisionByZero, expr->ToString(),
+                   "division by a constant zero always yields NULL");
+      }
+      // Recompute the result type through the factory so the check can
+      // never drift from the IR's own inference rules.
+      const DataType expected = Expr::Arith(expr->arith_op(), l, r)->type();
+      if (expr->type() != expected) {
+        diags->Add(DiagCode::kExprResultTypeError, expr->ToString(),
+                   std::string("cached type ") + DataTypeName(expr->type()) +
+                       " but operands infer " + DataTypeName(expected));
+      }
+      return;
+    }
+    case ExprKind::kCompare: {
+      const ExprPtr& l = expr->left();
+      const ExprPtr& r = expr->right();
+      if (!IsNumericLike(l->type()) || !IsNumericLike(r->type())) {
+        diags->Add(DiagCode::kExprCompareTypeError, expr->ToString(),
+                   std::string("comparison over ") + DataTypeName(l->type()) +
+                       " and " + DataTypeName(r->type()));
+        return;
+      }
+      if (IsNullLiteral(l) || IsNullLiteral(r)) {
+        diags->Add(DiagCode::kExprNullComparison, expr->ToString(),
+                   "comparison against NULL is always UNKNOWN; no row can "
+                   "satisfy it");
+      }
+      if (expr->type() != DataType::kBoolean) {
+        diags->Add(DiagCode::kExprResultTypeError, expr->ToString(),
+                   std::string("comparison typed as ") +
+                       DataTypeName(expr->type()) + ", expected BOOLEAN");
+      }
+      return;
+    }
+    case ExprKind::kLogic: {
+      if (expr->left()->type() != DataType::kBoolean ||
+          expr->right()->type() != DataType::kBoolean) {
+        diags->Add(DiagCode::kExprLogicTypeError, expr->ToString(),
+                   std::string(LogicOpName(expr->logic_op())) + " over " +
+                       DataTypeName(expr->left()->type()) + " and " +
+                       DataTypeName(expr->right()->type()));
+      }
+      if (expr->type() != DataType::kBoolean) {
+        diags->Add(DiagCode::kExprResultTypeError, expr->ToString(),
+                   "logic node not typed BOOLEAN");
+      }
+      return;
+    }
+    case ExprKind::kNot: {
+      if (expr->operand()->type() != DataType::kBoolean) {
+        diags->Add(DiagCode::kExprLogicTypeError, expr->ToString(),
+                   std::string("NOT over ") +
+                       DataTypeName(expr->operand()->type()));
+      }
+      if (expr->type() != DataType::kBoolean) {
+        diags->Add(DiagCode::kExprResultTypeError, expr->ToString(),
+                   "NOT node not typed BOOLEAN");
+      }
+      return;
+    }
+  }
+}
+
+// An atom for CNF purposes: a comparison or a boolean leaf.
+bool IsCnfAtom(const ExprPtr& e) {
+  switch (e->kind()) {
+    case ExprKind::kCompare:
+      return true;
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return e->type() == DataType::kBoolean;
+    default:
+      return false;
+  }
+}
+
+bool IsCnfLiteral(const ExprPtr& e) {
+  if (e->kind() == ExprKind::kNot) return IsCnfAtom(e->operand());
+  return IsCnfAtom(e);
+}
+
+bool IsClause(const ExprPtr& e) {
+  if (e->kind() == ExprKind::kLogic && e->logic_op() == LogicOp::kOr) {
+    return IsClause(e->left()) && IsClause(e->right());
+  }
+  return IsCnfLiteral(e);
+}
+
+void ValidateClause(const ExprPtr& e, Diagnostics* diags) {
+  if (e->kind() == ExprKind::kLogic) {
+    if (e->logic_op() == LogicOp::kOr) {
+      ValidateClause(e->left(), diags);
+      ValidateClause(e->right(), diags);
+      return;
+    }
+    diags->Add(DiagCode::kExprNotCnf, e->ToString(),
+               "conjunction nested inside a clause");
+    return;
+  }
+  if (e->kind() == ExprKind::kNot && !IsCnfAtom(e->operand())) {
+    diags->Add(DiagCode::kExprNotCnf, e->ToString(),
+               "NOT applied to a non-atomic predicate");
+  }
+}
+
+}  // namespace
+
+void ValidateExpr(const ExprPtr& expr, const Schema& schema,
+                  Diagnostics* diags, const ExprValidatorOptions& options) {
+  if (expr == nullptr) return;
+  ValidateNode(expr, schema, diags, options);
+  if (options.require_boolean && expr->type() != DataType::kBoolean) {
+    diags->Add(DiagCode::kExprLogicTypeError, expr->ToString(),
+               std::string("predicate must be BOOLEAN, got ") +
+                   DataTypeName(expr->type()));
+  }
+}
+
+bool IsCnf(const ExprPtr& expr) {
+  if (expr == nullptr) return true;
+  if (expr->kind() == ExprKind::kLogic &&
+      expr->logic_op() == LogicOp::kAnd) {
+    return IsCnf(expr->left()) && IsCnf(expr->right());
+  }
+  return IsClause(expr);
+}
+
+void ValidateCnf(const ExprPtr& expr, Diagnostics* diags) {
+  if (expr == nullptr) return;
+  if (expr->kind() == ExprKind::kLogic &&
+      expr->logic_op() == LogicOp::kAnd) {
+    ValidateCnf(expr->left(), diags);
+    ValidateCnf(expr->right(), diags);
+    return;
+  }
+  ValidateClause(expr, diags);
+}
+
+Status CheckBoundPredicate(const ExprPtr& expr, const Schema& schema,
+                           const std::string& context) {
+  Diagnostics diags;
+  ExprValidatorOptions options;
+  options.require_bound = true;
+  options.require_boolean = true;
+  ValidateExpr(expr, schema, &diags, options);
+#ifndef NDEBUG
+  if (!diags.ok()) {
+    std::fprintf(stderr, "CheckBoundPredicate(%s) failed:\n%s",
+                 context.c_str(), diags.ToString().c_str());
+    assert(diags.ok() && "invariant violation at a validated pipeline seam");
+  }
+#endif
+  return diags.ToStatus(context);
+}
+
+}  // namespace sia

@@ -1,0 +1,60 @@
+#ifndef SIA_CHECK_EXPR_VALIDATOR_H_
+#define SIA_CHECK_EXPR_VALIDATOR_H_
+
+#include <string>
+
+#include "check/diagnostic.h"
+#include "common/status.h"
+#include "ir/expr.h"
+#include "types/schema.h"
+
+namespace sia {
+
+// Static well-formedness analysis over the expression IR. The binder
+// (ir/binder.h) enforces these properties while it builds a tree; the
+// validator re-checks them on *any* tree, so rewrites, synthesis output,
+// and hand-built plans cannot smuggle a malformed expression deeper into
+// the pipeline. A malformed rewrite silently produces wrong rows — this
+// is the guardrail the paper's equivalence story (§4-§5) rests on.
+struct ExprValidatorOptions {
+  // Every column ref must be bound to a schema slot. Disable for
+  // freshly-parsed (pre-bind) trees.
+  bool require_bound = true;
+  // The root must be boolean-typed (set for WHERE clauses / filters).
+  bool require_boolean = false;
+};
+
+// Appends one diagnostic per violation found in `expr` (checked against
+// `schema`) to `diags`. Checks, per node kind:
+//  - column refs: bound, index < schema width, type/name agree with the
+//    schema slot;
+//  - literals: DATE within year 1..9999, DOUBLE finite;
+//  - arithmetic/comparison: operands numeric-like (no booleans), cached
+//    result type equals the recomputed one, comparison against a NULL
+//    literal flagged (always UNKNOWN under 3VL), division by a constant
+//    zero flagged;
+//  - AND/OR/NOT: operands boolean.
+void ValidateExpr(const ExprPtr& expr, const Schema& schema,
+                  Diagnostics* diags, const ExprValidatorOptions& options = {});
+
+// True iff `expr` is in conjunctive normal form: a conjunction of
+// clauses, each a disjunction of literals (atom or NOT atom, where an
+// atom is a comparison or a boolean leaf). The synthesizer's output
+// (conjoined disjunctions of halfplanes, Alg. 2) must satisfy this.
+bool IsCnf(const ExprPtr& expr);
+
+// Appends kExprNotCnf diagnostics for every subtree violating CNF
+// structure (AND nested under OR, or NOT applied to a non-atom).
+void ValidateCnf(const ExprPtr& expr, Diagnostics* diags);
+
+// Convenience pipeline hook: validates `expr` as a bound boolean
+// predicate over `schema` and converts error diagnostics to a Status.
+// Debug builds additionally assert so a broken invariant fails loudly at
+// the rewrite seam that introduced it; release builds report the error
+// to the caller.
+Status CheckBoundPredicate(const ExprPtr& expr, const Schema& schema,
+                           const std::string& context);
+
+}  // namespace sia
+
+#endif  // SIA_CHECK_EXPR_VALIDATOR_H_

@@ -1,0 +1,254 @@
+#include "check/plan_validator.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "check/expr_validator.h"
+#include "common/strings.h"
+#include "ir/analysis.h"
+
+namespace sia {
+
+namespace {
+
+std::string NodeLabel(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanKind::kScan:
+      return "Scan(" + node.table() + ")";
+    case PlanKind::kFilter:
+      return "Filter";
+    case PlanKind::kJoin:
+      return "Join";
+    case PlanKind::kAggregate:
+      return "Aggregate";
+    case PlanKind::kProject:
+      return "Project";
+  }
+  return "?";
+}
+
+// Schemas agree when widths and column types match; names are compared
+// case-insensitively and only when both sides carry one (derived columns
+// such as Aggregate's count have empty table names).
+bool SchemaEquals(const Schema& a, const Schema& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const ColumnDef& ca = a.column(i);
+    const ColumnDef& cb = b.column(i);
+    if (ca.type != cb.type) return false;
+    if (!ca.name.empty() && !cb.name.empty() &&
+        !EqualsIgnoreCase(ca.name, cb.name)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string SchemaBrief(const Schema& s) {
+  std::string out = "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += s.column(i).name.empty() ? "?" : s.column(i).name;
+    out += ":";
+    out += DataTypeName(s.column(i).type);
+  }
+  out += "]";
+  return out;
+}
+
+bool CheckArity(const PlanNode& node, size_t expected, Diagnostics* diags) {
+  if (node.children().size() == expected) return true;
+  diags->Add(DiagCode::kPlanArityMismatch, NodeLabel(node),
+             "expected " + std::to_string(expected) + " children, got " +
+                 std::to_string(node.children().size()));
+  return false;
+}
+
+// Validates a predicate over the node's input schema. Out-of-range
+// column refs are reported as the plan-level out-of-scope code: at this
+// layer they mean the predicate was bound against (or moved to) the
+// wrong schema.
+void ValidateNodePredicate(const PlanNode& node, const ExprPtr& pred,
+                           const Schema& input, Diagnostics* diags) {
+  Diagnostics sub;
+  ValidateExpr(pred, input, &sub, ExprValidatorOptions{});
+  for (Diagnostic d : sub.items()) {
+    if (d.code == DiagCode::kExprColumnOutOfRange) {
+      d.code = DiagCode::kPlanPredicateOutOfScope;
+    }
+    d.where = NodeLabel(node) + " predicate/" + d.where;
+    diags->Add(std::move(d));
+  }
+  if (pred->type() != DataType::kBoolean) {
+    diags->Add(DiagCode::kPlanNonBooleanPredicate,
+               NodeLabel(node) + " predicate",
+               std::string("typed ") + DataTypeName(pred->type()) +
+                   ", expected BOOLEAN");
+  }
+}
+
+void ValidateNode(const PlanPtr& plan, Diagnostics* diags,
+                  const PlanValidatorOptions& options) {
+  for (const PlanPtr& child : plan->children()) {
+    ValidateNode(child, diags, options);
+  }
+
+  switch (plan->kind()) {
+    case PlanKind::kScan: {
+      CheckArity(*plan, 0, diags);
+      if (options.catalog != nullptr) {
+        auto table = options.catalog->GetTable(plan->table());
+        if (!table.ok()) {
+          diags->Add(DiagCode::kPlanUnknownTable, NodeLabel(*plan),
+                     "table is not in the catalog");
+        } else if (!SchemaEquals(*table, plan->output_schema())) {
+          diags->Add(DiagCode::kPlanSchemaMismatch, NodeLabel(*plan),
+                     "scan schema " + SchemaBrief(plan->output_schema()) +
+                         " disagrees with catalog " + SchemaBrief(*table));
+        }
+      }
+      if (plan->predicate() != nullptr) {
+        ValidateNodePredicate(*plan, plan->predicate(),
+                              plan->output_schema(), diags);
+        // Pushdown safety: a residual scan filter must only touch the
+        // scanned table — a ref to any other table means a join-side mixup.
+        for (const std::string& t : CollectTables(plan->predicate())) {
+          if (!t.empty() && !EqualsIgnoreCase(t, plan->table())) {
+            diags->Add(DiagCode::kPlanScanFilterForeignColumn,
+                       NodeLabel(*plan) + " filter",
+                       "references column of table '" + t + "'");
+          }
+        }
+      }
+      return;
+    }
+    case PlanKind::kFilter: {
+      if (!CheckArity(*plan, 1, diags)) return;
+      const Schema& input = plan->child()->output_schema();
+      if (!SchemaEquals(plan->output_schema(), input)) {
+        diags->Add(DiagCode::kPlanSchemaMismatch, NodeLabel(*plan),
+                   "filter output " + SchemaBrief(plan->output_schema()) +
+                       " differs from its input " + SchemaBrief(input));
+      }
+      if (plan->predicate() == nullptr) {
+        diags->Add(DiagCode::kPlanMissingPredicate, NodeLabel(*plan),
+                   "filter node without a predicate");
+        return;
+      }
+      ValidateNodePredicate(*plan, plan->predicate(), input, diags);
+      return;
+    }
+    case PlanKind::kJoin: {
+      if (!CheckArity(*plan, 2, diags)) return;
+      const Schema input = Schema::Concat(plan->child(0)->output_schema(),
+                                          plan->child(1)->output_schema());
+      if (!SchemaEquals(plan->output_schema(), input)) {
+        diags->Add(DiagCode::kPlanSchemaMismatch, NodeLabel(*plan),
+                   "join output " + SchemaBrief(plan->output_schema()) +
+                       " is not the concatenation of its inputs " +
+                       SchemaBrief(input));
+      }
+      if (plan->predicate() == nullptr) {
+        diags->Add(DiagCode::kPlanCrossJoin, NodeLabel(*plan),
+                   "join without a condition degrades to a cross product");
+        return;
+      }
+      ValidateNodePredicate(*plan, plan->predicate(), input, diags);
+      return;
+    }
+    case PlanKind::kAggregate: {
+      if (!CheckArity(*plan, 1, diags)) return;
+      const Schema& input = plan->child()->output_schema();
+      bool cols_ok = true;
+      for (const size_t c : plan->columns()) {
+        if (c >= input.size()) {
+          diags->Add(DiagCode::kPlanColumnOutOfRange, NodeLabel(*plan),
+                     "group-by column " + std::to_string(c) +
+                         " exceeds input width " +
+                         std::to_string(input.size()));
+          cols_ok = false;
+        }
+      }
+      if (!cols_ok) return;
+      Schema expected;
+      for (const size_t c : plan->columns()) {
+        expected.AddColumn(input.column(c));
+      }
+      expected.AddColumn(ColumnDef{"", "count", DataType::kInteger, false});
+      if (!SchemaEquals(plan->output_schema(), expected)) {
+        diags->Add(DiagCode::kPlanSchemaMismatch, NodeLabel(*plan),
+                   "aggregate output " + SchemaBrief(plan->output_schema()) +
+                       " should be group-by columns plus count " +
+                       SchemaBrief(expected));
+      }
+      return;
+    }
+    case PlanKind::kProject: {
+      if (!CheckArity(*plan, 1, diags)) return;
+      const Schema& input = plan->child()->output_schema();
+      bool cols_ok = true;
+      for (const size_t c : plan->columns()) {
+        if (c >= input.size()) {
+          diags->Add(DiagCode::kPlanColumnOutOfRange, NodeLabel(*plan),
+                     "projected column " + std::to_string(c) +
+                         " exceeds input width " +
+                         std::to_string(input.size()));
+          cols_ok = false;
+        }
+      }
+      if (!cols_ok) return;
+      Schema expected;
+      for (const size_t c : plan->columns()) {
+        expected.AddColumn(input.column(c));
+      }
+      if (!SchemaEquals(plan->output_schema(), expected)) {
+        diags->Add(DiagCode::kPlanSchemaMismatch, NodeLabel(*plan),
+                   "project output " + SchemaBrief(plan->output_schema()) +
+                       " does not match the selected columns " +
+                       SchemaBrief(expected));
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void ValidatePlan(const PlanPtr& plan, Diagnostics* diags,
+                  const PlanValidatorOptions& options) {
+  if (plan == nullptr) return;
+  ValidateNode(plan, diags, options);
+}
+
+Status CheckPlan(const PlanPtr& plan, const std::string& context,
+                 const Catalog* catalog) {
+  Diagnostics diags;
+  PlanValidatorOptions options;
+  options.catalog = catalog;
+  ValidatePlan(plan, &diags, options);
+#ifndef NDEBUG
+  if (!diags.ok()) {
+    std::fprintf(stderr, "CheckPlan(%s) failed:\n%s", context.c_str(),
+                 diags.ToString().c_str());
+    assert(diags.ok() && "plan invariant violation at a validated seam");
+  }
+#endif
+  return diags.ToStatus(context);
+}
+
+void DebugCheckPlan(const PlanPtr& plan, const char* context) {
+#ifndef NDEBUG
+  Diagnostics diags;
+  ValidatePlan(plan, &diags);
+  if (!diags.ok()) {
+    std::fprintf(stderr, "DebugCheckPlan(%s) failed:\n%s", context,
+                 diags.ToString().c_str());
+    assert(diags.ok() && "plan invariant violation after a rewrite rule");
+  }
+#else
+  (void)plan;
+  (void)context;
+#endif
+}
+
+}  // namespace sia

@@ -1,0 +1,48 @@
+#ifndef SIA_CHECK_PLAN_VALIDATOR_H_
+#define SIA_CHECK_PLAN_VALIDATOR_H_
+
+#include <string>
+
+#include "catalog/catalog.h"
+#include "check/diagnostic.h"
+#include "common/status.h"
+#include "rewrite/plan.h"
+
+namespace sia {
+
+// Static well-formedness analysis over logical plans. Validates, per
+// node, the invariants the planner and rewrite rules are supposed to
+// preserve and the executor silently assumes:
+//  - arity: scans are leaves, filters/aggregates/projects unary, joins
+//    binary;
+//  - schema propagation: a filter emits its child's schema, a join emits
+//    Concat(left, right), aggregate emits group-by columns + COUNT,
+//    project emits the selected columns;
+//  - predicates: boolean-typed, bound, every column index inside the
+//    node's input schema (the concatenation of child output schemas);
+//  - pushdown safety: a scan's residual filter may only reference the
+//    scanned table's own columns — never the other side of a join;
+//  - with a catalog: scan tables exist and their schemas match.
+struct PlanValidatorOptions {
+  // When set, scan nodes are checked against the catalog's table
+  // definitions (kPlanUnknownTable / kPlanSchemaMismatch).
+  const Catalog* catalog = nullptr;
+};
+
+// Appends one diagnostic per violation in the plan tree to `diags`.
+void ValidatePlan(const PlanPtr& plan, Diagnostics* diags,
+                  const PlanValidatorOptions& options = {});
+
+// Convenience pipeline hook: validates and converts error diagnostics to
+// a Status (debug builds assert; see CheckBoundPredicate).
+Status CheckPlan(const PlanPtr& plan, const std::string& context,
+                 const Catalog* catalog = nullptr);
+
+// Debug-build-only assertion for seams whose signatures cannot carry a
+// Status (e.g. the plan movement rules, which return PlanPtr). No-op in
+// release builds.
+void DebugCheckPlan(const PlanPtr& plan, const char* context);
+
+}  // namespace sia
+
+#endif  // SIA_CHECK_PLAN_VALIDATOR_H_

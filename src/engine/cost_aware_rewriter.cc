@@ -1,5 +1,6 @@
 #include "engine/cost_aware_rewriter.h"
 
+#include "check/expr_validator.h"
 #include "common/strings.h"
 #include "ir/analysis.h"
 
@@ -37,6 +38,10 @@ Result<CostAwareOutcome> RewriteQueryCostAware(
     remap.emplace_back(c, c - offset);
   }
   ExprPtr local = RemapColumnIndices(out.base.learned, remap);
+  // The remapped predicate is about to be evaluated against the target
+  // table's storage; a stale index here reads the wrong column silently.
+  SIA_RETURN_IF_ERROR(CheckBoundPredicate(
+      local, target_storage.schema(), "learned predicate on target table"));
 
   SIA_ASSIGN_OR_RETURN(
       out.estimate,

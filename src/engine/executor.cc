@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "check/plan_validator.h"
 #include "common/stopwatch.h"
 #include "engine/cursors.h"
 #include "engine/exec_expr.h"
@@ -132,6 +133,23 @@ Result<Relation> Executor::ExecuteScan(const PlanPtr& plan,
                             plan->table() + "'");
   }
   const Table* table = it->second;
+  // The storage attached under this name must shape-match the scan's
+  // logical schema, or every column access below reads the wrong data.
+  if (table->schema().size() != plan->output_schema().size()) {
+    return Status::InvalidArgument(
+        "storage for table '" + plan->table() + "' has " +
+        std::to_string(table->schema().size()) + " columns but the scan " +
+        "expects " + std::to_string(plan->output_schema().size()));
+  }
+  for (size_t i = 0; i < table->schema().size(); ++i) {
+    if (table->schema().column(i).type != plan->output_schema().column(i).type) {
+      return Status::InvalidArgument(
+          "storage for table '" + plan->table() + "' column " +
+          std::to_string(i) + " is " +
+          DataTypeName(table->schema().column(i).type) + " but the scan " +
+          "expects " + DataTypeName(plan->output_schema().column(i).type));
+    }
+  }
   Relation rel;
   rel.parts = {table};
   rel.rows.resize(1);
@@ -353,6 +371,9 @@ Result<Relation> Executor::ExecuteNode(const PlanPtr& plan,
 }
 
 Result<QueryOutput> Executor::Execute(const PlanPtr& plan) {
+  // Last line of defense: never run a structurally invalid plan, however
+  // it was produced (planner, movement rules, or hand assembly).
+  SIA_RETURN_IF_ERROR(CheckPlan(plan, "plan handed to executor"));
   QueryOutput out;
   Stopwatch sw;
   SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan, &out.stats));

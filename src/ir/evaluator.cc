@@ -199,6 +199,8 @@ Result<TruthValue> EvalPredicate(const Expr& expr, const Tuple& tuple) {
       if (v.is_null()) return TruthValue::kUnknown;
       return v.AsBool() ? TruthValue::kTrue : TruthValue::kFalse;
     }
+    case ExprKind::kArith:
+      break;  // arithmetic is never boolean
   }
   return Status::TypeError("expression is not a predicate: " +
                            expr.ToString());

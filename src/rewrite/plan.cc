@@ -36,7 +36,13 @@ PlanPtr PlanNode::Aggregate(std::vector<size_t> group_by_cols,
   n->kind_ = PlanKind::kAggregate;
   Schema out;
   for (const size_t c : group_by_cols) {
-    out.AddColumn(child->output_schema().column(c));
+    // Out-of-range columns get a placeholder slot instead of undefined
+    // behavior; the plan validator reports them as plan.column-out-of-range.
+    if (c < child->output_schema().size()) {
+      out.AddColumn(child->output_schema().column(c));
+    } else {
+      out.AddColumn(ColumnDef{"", "<invalid>", DataType::kInteger, false});
+    }
   }
   out.AddColumn(ColumnDef{"", "count", DataType::kInteger, false});
   n->output_schema_ = std::move(out);
@@ -50,7 +56,11 @@ PlanPtr PlanNode::Project(std::vector<size_t> columns, PlanPtr child) {
   n->kind_ = PlanKind::kProject;
   Schema out;
   for (const size_t c : columns) {
-    out.AddColumn(child->output_schema().column(c));
+    if (c < child->output_schema().size()) {
+      out.AddColumn(child->output_schema().column(c));
+    } else {
+      out.AddColumn(ColumnDef{"", "<invalid>", DataType::kInteger, false});
+    }
   }
   n->output_schema_ = std::move(out);
   n->columns_ = std::move(columns);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/plan_validator.h"
 #include "ir/analysis.h"
 #include "ir/binder.h"
 
@@ -130,6 +131,10 @@ Result<PlanPtr> PlanQuery(const ParsedQuery& query, const Catalog& catalog,
     plan = PlanNode::Aggregate(std::move(group_cols), std::move(plan));
   }
 
+  // Planner output is the contract every downstream consumer (movement
+  // rules, executor) builds on; validate it against the catalog before it
+  // leaves this seam.
+  SIA_RETURN_IF_ERROR(CheckPlan(plan, "planned query", &catalog));
   return plan;
 }
 

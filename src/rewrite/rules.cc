@@ -6,6 +6,7 @@
 #include <set>
 #include <string>
 
+#include "check/plan_validator.h"
 #include "ir/analysis.h"
 #include "ir/simplify.h"
 
@@ -334,6 +335,7 @@ PlanPtr ApplyPredicateMovement(const PlanPtr& plan) {
   for (int i = 0; i < 8; ++i) {
     PlanPtr next = ApplyOnce(current);
     if (next.get() == current.get()) break;
+    DebugCheckPlan(next, "ApplyPredicateMovement iteration");
     current = next;
   }
   return current;

@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "check/expr_validator.h"
 #include "common/strings.h"
 #include "ir/analysis.h"
 #include "ir/binder.h"
@@ -64,6 +65,8 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
 
   SIA_ASSIGN_OR_RETURN(Schema joint, catalog.JointSchema(query.tables));
   SIA_ASSIGN_OR_RETURN(ExprPtr bound, Bind(query.where, joint));
+  SIA_RETURN_IF_ERROR(
+      CheckBoundPredicate(bound, joint, "bound WHERE clause"));
 
   // Determine Cols': explicit list, or every referenced target column.
   std::vector<size_t> cols;
@@ -106,6 +109,17 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
   }
 
   outcome.learned = outcome.synthesis.predicate;
+  // The synthesized predicate enters the plan as a trusted, provably
+  // implied conjunct — re-validate it before conjoining: it must be a
+  // well-formed bound boolean over the joint schema, in the CNF shape
+  // Alg. 2 claims (a conjunction of halfplane disjunctions).
+  SIA_RETURN_IF_ERROR(
+      CheckBoundPredicate(outcome.learned, joint, "learned predicate"));
+  {
+    Diagnostics cnf;
+    ValidateCnf(outcome.learned, &cnf);
+    SIA_RETURN_IF_ERROR(cnf.ToStatus("learned predicate CNF"));
+  }
   outcome.rewritten.where = Expr::Logic(LogicOp::kAnd, query.where,
                                         outcome.learned);
   return outcome;

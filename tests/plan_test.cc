@@ -77,7 +77,7 @@ TEST(StopwatchTest, MeasuresElapsedMonotonically) {
   Stopwatch sw;
   const double a = sw.ElapsedMicros();
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const double b = sw.ElapsedMicros();
   EXPECT_GE(b, a);
   sw.Reset();

@@ -145,7 +145,7 @@ TEST(SynthesisSoundness, WorkloadPredicatesAlwaysVerify) {
   for (const GeneratedQuery& g : *queries) {
     auto bound = Bind(g.query.where, joint);
     ASSERT_TRUE(bound.ok());
-    for (const std::vector<size_t> cols :
+    for (const std::vector<size_t>& cols :
          {std::vector<size_t>{ship}, std::vector<size_t>{ship, commit}}) {
       auto r = Synthesize(*bound, joint, cols, opts);
       ASSERT_TRUE(r.ok()) << g.sql;

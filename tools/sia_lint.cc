@@ -1,0 +1,319 @@
+// sia_lint — static analysis driver for SQL queries and generated
+// workloads. Runs each query through parse -> bind -> plan -> predicate
+// movement (and optionally the full Sia rewrite) and prints every
+// diagnostic the check/ validators produce.
+//
+//   sia_lint [options] [file.sql ...]
+//     --workload N      lint N §6.3 workload-generator queries instead of
+//                       (or in addition to) SQL files
+//     --seed S          workload generator seed (default 2021)
+//     --rewrite         run the Sia rewrite and validate the learned
+//                       predicate (CNF + binding) and the rewritten plan
+//     --max-iterations N  synthesis iteration budget for --rewrite
+//                       (default: the paper's 41; lower is faster and
+//                       still produces real, validatable predicates)
+//     --target TABLE    rewrite target table (default lineitem)
+//     --no-pushdown     plan without filter pushdown
+//     --werror          exit non-zero on warnings too
+//     -q, --quiet       print only the summary line
+//
+// SQL files may hold multiple statements separated by ';'. With no file
+// and no --workload, SQL statements are read from stdin. Queries are
+// checked against the built-in TPC-H catalog. Exit status: 0 clean,
+// 1 diagnostics found (errors, or warnings under --werror), 2 usage or
+// input error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "check/expr_validator.h"
+#include "check/plan_validator.h"
+#include "common/strings.h"
+#include "ir/binder.h"
+#include "parser/parser.h"
+#include "rewrite/planner.h"
+#include "rewrite/rules.h"
+#include "rewrite/sia_rewriter.h"
+#include "workload/querygen.h"
+
+namespace {
+
+struct LintOptions {
+  size_t workload_count = 0;
+  uint64_t seed = 2021;
+  bool rewrite = false;
+  int max_iterations = 0;  // 0 = synthesizer default
+  std::string target_table = "lineitem";
+  bool push_down = true;
+  bool werror = false;
+  bool quiet = false;
+  std::vector<std::string> files;
+};
+
+struct LintTotals {
+  size_t queries = 0;
+  size_t errors = 0;
+  size_t warnings = 0;
+  size_t rewritten = 0;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload N] [--seed S] [--rewrite]\n"
+               "          [--target TABLE] [--no-pushdown] [--werror]\n"
+               "          [-q|--quiet] [file.sql ...]\n",
+               argv0);
+  return 2;
+}
+
+void Report(const std::string& label, const sia::Diagnostics& diags,
+            const LintOptions& options, LintTotals* totals) {
+  totals->errors += diags.error_count();
+  totals->warnings += diags.warning_count();
+  if (options.quiet) return;
+  for (const sia::Diagnostic& d : diags.items()) {
+    std::printf("%s: %s\n", label.c_str(), d.ToString().c_str());
+  }
+}
+
+// parse/bind/plan/movement (+ optional rewrite) for one query; every
+// stage's findings are labeled with the stage that produced them.
+void LintQuery(const std::string& label, const sia::ParsedQuery& query,
+               const sia::Catalog& catalog, const LintOptions& options,
+               LintTotals* totals) {
+  ++totals->queries;
+
+  const auto joint = catalog.JointSchema(query.tables);
+  if (!joint.ok()) {
+    ++totals->errors;
+    if (!options.quiet) {
+      std::printf("%s: error [catalog] %s\n", label.c_str(),
+                  joint.status().message().c_str());
+    }
+    return;
+  }
+
+  if (query.where != nullptr) {
+    auto bound = sia::Bind(query.where, *joint);
+    if (!bound.ok()) {
+      ++totals->errors;
+      if (!options.quiet) {
+        std::printf("%s: error [bind] %s\n", label.c_str(),
+                    bound.status().message().c_str());
+      }
+      return;
+    }
+    sia::Diagnostics diags;
+    sia::ExprValidatorOptions expr_opts;
+    expr_opts.require_boolean = true;
+    sia::ValidateExpr(*bound, *joint, &diags, expr_opts);
+    Report(label + " [where]", diags, options, totals);
+  }
+
+  sia::PlannerOptions planner_options;
+  planner_options.push_down_filters = options.push_down;
+  auto plan = sia::PlanQuery(query, catalog, planner_options);
+  if (!plan.ok()) {
+    ++totals->errors;
+    if (!options.quiet) {
+      std::printf("%s: error [plan] %s\n", label.c_str(),
+                  plan.status().message().c_str());
+    }
+    return;
+  }
+  sia::PlanValidatorOptions plan_opts;
+  plan_opts.catalog = &catalog;
+  {
+    sia::Diagnostics diags;
+    sia::ValidatePlan(*plan, &diags, plan_opts);
+    Report(label + " [plan]", diags, options, totals);
+  }
+  {
+    const sia::PlanPtr moved = sia::ApplyPredicateMovement(*plan);
+    sia::Diagnostics diags;
+    sia::ValidatePlan(moved, &diags, plan_opts);
+    Report(label + " [movement]", diags, options, totals);
+  }
+
+  if (!options.rewrite) return;
+  sia::RewriteOptions rewrite_options;
+  rewrite_options.target_table = options.target_table;
+  if (options.max_iterations > 0) {
+    rewrite_options.synthesis.max_iterations = options.max_iterations;
+  }
+  auto outcome = sia::RewriteQuery(query, catalog, rewrite_options);
+  if (!outcome.ok()) {
+    ++totals->errors;
+    if (!options.quiet) {
+      std::printf("%s: error [rewrite] %s\n", label.c_str(),
+                  outcome.status().message().c_str());
+    }
+    return;
+  }
+  if (!outcome->changed()) return;
+  ++totals->rewritten;
+
+  {
+    sia::Diagnostics diags;
+    sia::ExprValidatorOptions expr_opts;
+    expr_opts.require_boolean = true;
+    sia::ValidateExpr(outcome->learned, *joint, &diags, expr_opts);
+    sia::ValidateCnf(outcome->learned, &diags);
+    Report(label + " [learned]", diags, options, totals);
+  }
+  auto replan = sia::PlanQuery(outcome->rewritten, catalog, planner_options);
+  if (!replan.ok()) {
+    ++totals->errors;
+    if (!options.quiet) {
+      std::printf("%s: error [replan] %s\n", label.c_str(),
+                  replan.status().message().c_str());
+    }
+    return;
+  }
+  sia::Diagnostics diags;
+  sia::ValidatePlan(sia::ApplyPredicateMovement(*replan), &diags, plan_opts);
+  Report(label + " [rewritten-plan]", diags, options, totals);
+}
+
+// Splits file contents into ';'-separated statements, skipping blanks
+// and whole-line "--" comments.
+std::vector<std::string> SplitStatements(const std::string& text) {
+  std::string cleaned;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string_view stripped = sia::StripWhitespace(line);
+    if (stripped.rfind("--", 0) == 0) continue;
+    cleaned += line;
+    cleaned += "\n";
+  }
+  std::vector<std::string> out;
+  for (const std::string& piece : sia::Split(cleaned, ';')) {
+    if (!sia::StripWhitespace(piece).empty()) {
+      out.push_back(std::string(sia::StripWhitespace(piece)));
+    }
+  }
+  return out;
+}
+
+int LintSqlText(const std::string& origin, const std::string& text,
+                const sia::Catalog& catalog, const LintOptions& options,
+                LintTotals* totals) {
+  const std::vector<std::string> statements = SplitStatements(text);
+  size_t index = 0;
+  for (const std::string& sql : statements) {
+    ++index;
+    const std::string label = origin + ":" + std::to_string(index);
+    auto parsed = sia::ParseQuery(sql);
+    if (!parsed.ok()) {
+      ++totals->queries;
+      ++totals->errors;
+      if (!options.quiet) {
+        std::printf("%s: error [parse] %s\n", label.c_str(),
+                    parsed.status().message().c_str());
+      }
+      continue;
+    }
+    LintQuery(label, *parsed, catalog, options, totals);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LintOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (arg == "--workload") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.workload_count = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--target") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.target_table = v;
+    } else if (arg == "--rewrite") {
+      options.rewrite = true;
+    } else if (arg == "--max-iterations") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.max_iterations = std::atoi(v);
+    } else if (arg == "--no-pushdown") {
+      options.push_down = false;
+    } else if (arg == "--werror") {
+      options.werror = true;
+    } else if (arg == "-q" || arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    } else {
+      options.files.push_back(arg);
+    }
+  }
+
+  const sia::Catalog catalog = sia::Catalog::TpchCatalog();
+  LintTotals totals;
+
+  for (const std::string& path : options.files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    LintSqlText(path, buffer.str(), catalog, options, &totals);
+  }
+
+  if (options.workload_count > 0) {
+    sia::QueryGenOptions gen;
+    gen.seed = options.seed;
+    auto queries =
+        sia::GenerateWorkload(catalog, options.workload_count, gen);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload generation failed: %s\n",
+                   queries.status().ToString().c_str());
+      return 2;
+    }
+    for (const sia::GeneratedQuery& q : *queries) {
+      LintQuery("workload:seed" + std::to_string(q.seed), q.query, catalog,
+                options, &totals);
+    }
+  }
+
+  if (options.files.empty() && options.workload_count == 0) {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    LintSqlText("<stdin>", buffer.str(), catalog, options, &totals);
+  }
+
+  std::printf("%zu quer%s checked, %zu error%s, %zu warning%s",
+              totals.queries, totals.queries == 1 ? "y" : "ies",
+              totals.errors, totals.errors == 1 ? "" : "s",
+              totals.warnings, totals.warnings == 1 ? "" : "s");
+  if (options.rewrite) {
+    std::printf(", %zu rewritten", totals.rewritten);
+  }
+  std::printf("\n");
+
+  if (totals.errors > 0) return 1;
+  if (options.werror && totals.warnings > 0) return 1;
+  return 0;
+}
