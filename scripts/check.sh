@@ -2,10 +2,17 @@
 # Static-analysis and sanitizer gate for the Sia tree.
 #
 # Builds everything in a dedicated build dir with ASan+UBSan and
-# -Werror, runs the full test suite under the sanitizers, then runs
-# sia_lint over the example SQL workload and a seeded generated
-# workload (with the full Sia rewrite enabled) and requires zero
-# diagnostics.
+# -Werror, runs the full test suite under the sanitizers, verifies the
+# SIA_ASSIGN_OR_RETURN misuse guard (un-braced `if` body must fail to
+# compile), then runs sia_lint over the example SQL workload and a
+# seeded generated workload (with the full Sia rewrite enabled) and
+# requires zero diagnostics.
+#
+# `check.sh --fault-sweep` additionally runs the robustness fault sweep:
+# for every fault point the pipeline declares, the fault_sweep_test
+# binary is re-run (still under the sanitizers) with SIA_FAULTS forcing
+# that point to fail, asserting no crash, graceful degradation, and
+# results identical to the fault-free baseline.
 #
 # Environment overrides:
 #   BUILD_DIR        build directory (default build-check)
@@ -14,6 +21,7 @@
 #   LINT_ITERATIONS  synthesis iteration budget for the rewrite pass
 #                    (default 3; the paper's default of 41 is much
 #                    slower and adds no validation coverage)
+#   SWEEP_QUERIES    queries per fault-sweep pass (default 8)
 #   JOBS             parallel build/test jobs (default nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -22,7 +30,16 @@ BUILD_DIR=${BUILD_DIR:-build-check}
 SANITIZE=${SANITIZE:-address,undefined}
 LINT_WORKLOAD=${LINT_WORKLOAD:-1000}
 LINT_ITERATIONS=${LINT_ITERATIONS:-3}
+SWEEP_QUERIES=${SWEEP_QUERIES:-8}
 JOBS=${JOBS:-$(nproc)}
+
+FAULT_SWEEP=0
+for arg in "$@"; do
+  case "$arg" in
+    --fault-sweep) FAULT_SWEEP=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== configure (${BUILD_DIR}: SIA_SANITIZE=${SANITIZE}, SIA_WERROR=ON)"
 cmake -B "${BUILD_DIR}" -S . \
@@ -33,6 +50,42 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
 echo "== ctest (under ${SANITIZE})"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== SIA_ASSIGN_OR_RETURN misuse must fail to compile"
+# The macro expands to several statements; as the un-braced body of an
+# `if` it must be a compile error (see src/common/status.h), or a
+# conditional assignment would silently become unconditional.
+COMPILE_OK_SRC=$(mktemp --suffix=.cc)
+COMPILE_FAIL_SRC=$(mktemp --suffix=.cc)
+trap 'rm -f "${COMPILE_OK_SRC}" "${COMPILE_FAIL_SRC}"' EXIT
+# Positive control first: the same macro in a braced body must compile,
+# so a rejection below means the guard fired, not a broken include path.
+cat > "${COMPILE_OK_SRC}" <<'EOF'
+#include "common/status.h"
+sia::Result<int> Source() { return 1; }
+sia::Result<int> Ok(bool flag) {
+  if (flag) {
+    SIA_ASSIGN_OR_RETURN(int v, Source());
+    return v;
+  }
+  return 0;
+}
+EOF
+c++ -std=c++20 -Isrc -fsyntax-only "${COMPILE_OK_SRC}"
+cat > "${COMPILE_FAIL_SRC}" <<'EOF'
+#include "common/status.h"
+sia::Result<int> Source() { return 1; }
+sia::Result<int> Misuse(bool flag) {
+  if (flag)
+    SIA_ASSIGN_OR_RETURN(int v, Source());  // un-braced if body: must not compile
+  return 0;
+}
+EOF
+if c++ -std=c++20 -Isrc -fsyntax-only "${COMPILE_FAIL_SRC}" 2>/dev/null; then
+  echo "ERROR: un-braced SIA_ASSIGN_OR_RETURN misuse compiled" >&2
+  exit 1
+fi
+echo "   (rejected, as required)"
 
 LINT="${BUILD_DIR}/tools/sia_lint"
 
@@ -46,5 +99,26 @@ echo "== sia_lint --workload ${LINT_WORKLOAD} --rewrite" \
      "(learned-predicate + rewritten-plan validation)"
 "${LINT}" --werror -q --workload "${LINT_WORKLOAD}" --rewrite \
   --max-iterations "${LINT_ITERATIONS}"
+
+if [[ "${FAULT_SWEEP}" -eq 1 ]]; then
+  SWEEP_BIN="${BUILD_DIR}/tests/fault_sweep_test"
+  echo "== fault sweep (${SWEEP_QUERIES} queries per point, under ${SANITIZE})"
+  # Only fault_sweep_test runs with SIA_FAULTS set: it is the one suite
+  # written to expect injected failures (the rest of the tests assert
+  # fault-free behavior and already ran above).
+  while read -r point; do
+    for mode in once always; do
+      echo "   -- SIA_FAULTS=${point}=${mode}"
+      SIA_FAULTS="${point}=${mode}" SIA_SWEEP_QUERIES="${SWEEP_QUERIES}" \
+        "${SWEEP_BIN}" --gtest_filter='FaultSweepTest.EnvArmedSweep' \
+        --gtest_brief=1
+    done
+  done < <("${LINT}" --list-fault-points)
+  echo "   -- SIA_FAULTS=smt.check=prob:0.3,engine.scan=latency:5"
+  SIA_FAULTS="smt.check=prob:0.3,engine.scan=latency:5" \
+    SIA_SWEEP_QUERIES="${SWEEP_QUERIES}" \
+    "${SWEEP_BIN}" --gtest_filter='FaultSweepTest.EnvArmedSweep' \
+    --gtest_brief=1
+fi
 
 echo "== check.sh: all gates passed"

@@ -1,0 +1,114 @@
+#ifndef SIA_COMMON_DEADLINE_H_
+#define SIA_COMMON_DEADLINE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sia {
+
+// A point in wall-clock (steady) time by which a pipeline stage must
+// finish. Default-constructed deadlines are infinite, so plumbing one
+// through an options struct costs nothing for callers that never set it.
+//
+// Deadlines are plain values: copying one shares the same end instant,
+// which is exactly what budget propagation wants — the rewriter hands the
+// same deadline to the synthesizer, the sampler, the verifier, and the
+// solver wrapper, and each derives its per-call timeout from whatever
+// wall-clock budget is *left*, not from a fresh per-component allowance.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  Deadline() = default;  // infinite
+
+  static Deadline Infinite() { return Deadline(); }
+
+  // Expires `ms` milliseconds from now (clamped to >= 0).
+  static Deadline FromNowMillis(int64_t ms) {
+    Deadline d;
+    d.finite_ = true;
+    d.end_ = Clock::now() + std::chrono::milliseconds(std::max<int64_t>(0, ms));
+    return d;
+  }
+
+  static Deadline At(Clock::time_point end) {
+    Deadline d;
+    d.finite_ = true;
+    d.end_ = end;
+    return d;
+  }
+
+  // The earlier of the two deadlines (infinite is later than anything).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    if (a.infinite()) return b;
+    if (b.infinite()) return a;
+    return a.end_ <= b.end_ ? a : b;
+  }
+
+  bool infinite() const { return !finite_; }
+  bool expired() const { return finite_ && Clock::now() >= end_; }
+
+  // Milliseconds of budget left, clamped to >= 0. Infinite deadlines
+  // report a large sentinel so min() arithmetic stays simple.
+  int64_t RemainingMillis() const {
+    if (!finite_) return kForeverMillis;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end_ - Clock::now());
+    return std::max<int64_t>(0, left.count());
+  }
+
+  static constexpr int64_t kForeverMillis = INT64_MAX / 2;
+
+ private:
+  Clock::time_point end_{};
+  bool finite_ = false;
+};
+
+// Single source of truth for the per-solver-call timeout that three
+// components (sampler, verifier, interval synthesizer) previously each
+// hardcoded independently.
+inline constexpr uint32_t kDefaultSolverTimeoutMs = 2000;
+
+// A solver time budget: an end-to-end wall-clock deadline plus a cap on
+// any single solver call. Per-call timeouts are derived from the
+// *remaining* budget, so a stage that already burned most of the wall
+// clock cannot stall for a full per-call allowance on top of it.
+struct SolverBudget {
+  Deadline deadline;  // infinite unless a caller set one
+  uint32_t per_call_cap_ms = kDefaultSolverTimeoutMs;
+
+  static SolverBudget Unbounded(uint32_t cap_ms = kDefaultSolverTimeoutMs) {
+    return SolverBudget{Deadline::Infinite(), cap_ms};
+  }
+
+  bool Exhausted() const { return deadline.expired(); }
+
+  // Timeout for the next solver call: min(cap, remaining wall clock),
+  // never below 1ms (Z3 treats 0 as "no timeout").
+  uint32_t CallTimeoutMs() const {
+    const int64_t remaining = deadline.RemainingMillis();
+    const int64_t cap = static_cast<int64_t>(per_call_cap_ms);
+    return static_cast<uint32_t>(std::max<int64_t>(1, std::min(cap, remaining)));
+  }
+
+  // kTimeout naming the stage when the deadline is already spent.
+  Status RequireRemaining(std::string_view stage) const {
+    if (!Exhausted()) return Status::OK();
+    return Status::Timeout("deadline exhausted in stage '" +
+                           std::string(stage) + "'");
+  }
+
+  // The retry rung's budget: same deadline, half the per-call cap.
+  SolverBudget WithCapHalved() const {
+    return SolverBudget{deadline, std::max<uint32_t>(1, per_call_cap_ms / 2)};
+  }
+};
+
+}  // namespace sia
+
+#endif  // SIA_COMMON_DEADLINE_H_

@@ -102,15 +102,27 @@ class Result {
     if (!_st.ok()) return _st;                 \
   } while (0)
 
-// Evaluates a Result expression, assigning the value to `lhs` or
-// propagating the error status to the caller.
+// Evaluates a Result expression, assigning the value to `lhs` (which may
+// be a declaration) or propagating the error status to the caller.
+//
+// The expansion is necessarily more than one statement (it introduces a
+// temporary *and* may declare `lhs` in the enclosing scope), so it is
+// only legal inside a braced block. The temporary is keyed by
+// __COUNTER__, which makes every expansion's name globally unique:
+// using the macro as the un-braced body of an `if`/`else`/loop fails to
+// compile (the follow-up statements reference a temporary that is
+// already out of scope) instead of conditionally evaluating `expr` and
+// then consulting whichever same-named temporary an earlier same-line
+// expansion left in scope, as the previous __LINE__-keyed version could.
 #define SIA_ASSIGN_OR_RETURN(lhs, expr)        \
   SIA_ASSIGN_OR_RETURN_IMPL(                   \
-      SIA_STATUS_CONCAT(_res, __LINE__), lhs, expr)
+      SIA_STATUS_CONCAT(_sia_result_, __COUNTER__), lhs, expr)
 
 #define SIA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
   auto tmp = (expr);                              \
-  if (!tmp.ok()) return tmp.status();             \
+  if (!tmp.ok()) {                                \
+    return tmp.status();                          \
+  }                                               \
   lhs = std::move(tmp).value()
 
 #define SIA_STATUS_CONCAT_INNER(a, b) a##b

@@ -20,17 +20,36 @@ Result<Value> ParseField(const std::string& raw, const ColumnDef& col) {
     return Value::Null(col.type);
   }
   try {
+    // stoll/stod stop at the first non-numeric character instead of
+    // failing, so "12abc" (or "12\0junk" from a truncated/binary file)
+    // would silently load as 12 — require full consumption.
+    size_t consumed = 0;
     switch (col.type) {
-      case DataType::kInteger:
-        return Value::Integer(std::stoll(text));
-      case DataType::kDouble:
-        return Value::Double(std::stod(text));
+      case DataType::kInteger: {
+        const int64_t v = std::stoll(text, &consumed);
+        if (consumed != text.size()) {
+          return Status::ParseError("invalid INTEGER value: '" + text + "'");
+        }
+        return Value::Integer(v);
+      }
+      case DataType::kDouble: {
+        const double v = std::stod(text, &consumed);
+        if (consumed != text.size()) {
+          return Status::ParseError("invalid DOUBLE value: '" + text + "'");
+        }
+        return Value::Double(v);
+      }
       case DataType::kDate: {
         SIA_ASSIGN_OR_RETURN(int64_t day, ParseDateToDay(text));
         return Value::Date(day);
       }
-      case DataType::kTimestamp:
-        return Value::Timestamp(std::stoll(text));
+      case DataType::kTimestamp: {
+        const int64_t v = std::stoll(text, &consumed);
+        if (consumed != text.size()) {
+          return Status::ParseError("invalid TIMESTAMP value: '" + text + "'");
+        }
+        return Value::Timestamp(v);
+      }
       case DataType::kBoolean: {
         if (EqualsIgnoreCase(text, "true") || text == "1") {
           return Value::Boolean(true);

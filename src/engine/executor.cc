@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "check/plan_validator.h"
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 #include "engine/cursors.h"
 #include "engine/exec_expr.h"
@@ -127,6 +128,7 @@ void Executor::RegisterTable(const std::string& name, const Table* table) {
 
 Result<Relation> Executor::ExecuteScan(const PlanPtr& plan,
                                        ExecStats* stats) {
+  SIA_FAULT_INJECT("engine.scan");
   const auto it = tables_.find(plan->table());
   if (it == tables_.end()) {
     return Status::NotFound("no storage registered for table '" +

@@ -20,6 +20,36 @@ Result<QueryOutput> RunSql(const std::string& sql, const Catalog& catalog,
   return RunQuery(q, catalog, executor, planner_options);
 }
 
+Result<ParanoidReport> RunRewriteParanoid(
+    const ParsedQuery& original, const ParsedQuery& rewritten,
+    const Catalog& catalog, Executor& executor,
+    const PlannerOptions& planner_options) {
+  ParanoidReport report;
+  SIA_ASSIGN_OR_RETURN(
+      QueryOutput base, RunQuery(original, catalog, executor, planner_options));
+
+  auto cross = RunQuery(rewritten, catalog, executor, planner_options);
+  if (!cross.ok()) {
+    report.rewritten_failed = true;
+    report.note =
+        "rewritten query failed: " + cross.status().ToString();
+    report.output = std::move(base);
+    return report;
+  }
+  if (cross->row_count != base.row_count ||
+      cross->content_hash != base.content_hash) {
+    report.mismatch = true;
+    report.note = "rewritten result disagrees with original (rows " +
+                  std::to_string(cross->row_count) + " vs " +
+                  std::to_string(base.row_count) + ")";
+    report.output = std::move(base);
+    return report;
+  }
+  report.rewrite_used = true;
+  report.output = std::move(*cross);
+  return report;
+}
+
 namespace {
 
 class TableRow final : public RowAccessor {

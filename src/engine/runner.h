@@ -23,6 +23,29 @@ Result<QueryOutput> RunSql(const std::string& sql, const Catalog& catalog,
                            Executor& executor,
                            const PlannerOptions& planner_options = {});
 
+// Outcome of a paranoid (cross-checked) execution of a rewritten query.
+struct ParanoidReport {
+  // The result handed to the caller — the rewritten plan's when the
+  // cross-check passed, the original's otherwise.
+  QueryOutput output;
+  bool rewrite_used = false;      // rewritten result passed and was kept
+  bool rewritten_failed = false;  // rewritten execution returned an error
+  bool mismatch = false;          // rewritten result disagreed
+  std::string note;               // why the rewrite was discarded, if so
+};
+
+// Paranoid mode: executes BOTH the original and the rewritten query and
+// cross-checks row count and (order-insensitive) content hash. On any
+// disagreement — a wrong learned predicate that slipped past
+// verification — or on a rewritten-side failure, the learned predicate
+// is discarded and the original's result returned, so a broken rewrite
+// can cost time but never correctness. Only an original-side failure
+// surfaces as an error.
+Result<ParanoidReport> RunRewriteParanoid(
+    const ParsedQuery& original, const ParsedQuery& rewritten,
+    const Catalog& catalog, Executor& executor,
+    const PlannerOptions& planner_options = {});
+
 // Fraction of `table` rows that satisfy `predicate` (bound against the
 // table schema). Used for the paper's Table 4 selectivity analysis.
 Result<double> MeasureSelectivity(const Table& table,

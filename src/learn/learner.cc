@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/fault_injection.h"
 #include "learn/rational.h"
 
 namespace sia {
@@ -172,6 +173,7 @@ std::vector<std::vector<int64_t>> CandidateDirections(
 Result<LearnedPredicate> Learn(const TrainingSet& data,
                                const std::vector<size_t>& columns,
                                const LearnOptions& options) {
+  SIA_FAULT_INJECT("learn.train");
   if (data.true_samples.empty()) {
     return Status::InvalidArgument("Learn requires at least one TRUE sample");
   }

@@ -9,8 +9,23 @@
 #include "ir/analysis.h"
 #include "ir/binder.h"
 #include "parser/parser.h"
+#include "synth/interval_synthesizer.h"
 
 namespace sia {
+
+const char* RewriteRungName(RewriteRung rung) {
+  switch (rung) {
+    case RewriteRung::kFull:
+      return "full";
+    case RewriteRung::kRetry:
+      return "retry";
+    case RewriteRung::kInterval:
+      return "interval";
+    case RewriteRung::kOriginal:
+      return "original";
+  }
+  return "?";
+}
 
 namespace {
 
@@ -40,6 +55,29 @@ std::set<size_t> JoinKeyOnlyColumns(const ExprPtr& bound,
     if (join_only) out.insert(col);
   }
   return out;
+}
+
+// Failure categories the degradation ladder absorbs (the next rung runs
+// instead of the error propagating). Anything else — kInvalidArgument,
+// kParseError, kTypeError, ... — indicates malformed input or a caller
+// bug and must surface.
+bool IsDegradable(const Status& st) {
+  return st.code() == StatusCode::kTimeout ||
+         st.code() == StatusCode::kSolverError ||
+         st.code() == StatusCode::kInternal;
+}
+
+// The synthesized predicate enters the plan as a trusted, provably
+// implied conjunct — re-validate it before conjoining: it must be a
+// well-formed bound boolean over the joint schema, in the CNF shape
+// Alg. 2 claims (a conjunction of halfplane disjunctions). A failure
+// here costs the predicate (degradation), never the query.
+Status ValidateLearned(const ExprPtr& learned, const Schema& joint) {
+  SIA_RETURN_IF_ERROR(
+      CheckBoundPredicate(learned, joint, "learned predicate"));
+  Diagnostics cnf;
+  ValidateCnf(learned, &cnf);
+  return cnf.ToStatus("learned predicate CNF");
 }
 
 }  // namespace
@@ -101,27 +139,118 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
     return outcome;
   }
 
-  SIA_ASSIGN_OR_RETURN(SynthesisResult synth,
-                       Synthesize(bound, joint, cols, options.synthesis));
-  outcome.synthesis = std::move(synth);
-  if (!outcome.synthesis.has_predicate()) {
-    return outcome;
+  SynthesisOptions base_opts = options.synthesis;
+  base_opts.deadline = Deadline::Earlier(base_opts.deadline, options.deadline);
+
+  // Adopts a validated predicate as the final outcome.
+  auto adopt = [&](SynthesisResult synth, RewriteRung rung) {
+    outcome.synthesis = std::move(synth);
+    outcome.learned = outcome.synthesis.predicate;
+    outcome.rung = rung;
+    outcome.rewritten.where =
+        Expr::Logic(LogicOp::kAnd, query.where, outcome.learned);
+  };
+
+  // --- Rungs 1-2 of the degradation ladder: CEGIS synthesis, then a
+  // reseeded retry with halved budgets ---
+  struct RungPlan {
+    RewriteRung rung;
+    SynthesisOptions opts;
+  };
+  std::vector<RungPlan> plans;
+  plans.push_back({RewriteRung::kFull, base_opts});
+  if (options.enable_retry) {
+    SynthesisOptions retry = base_opts;
+    // A different solver seed explores a different sample trajectory;
+    // halved per-call caps and iteration count keep the retry from
+    // doubling the worst-case latency.
+    retry.samples.random_seed = base_opts.samples.random_seed + 0x9e37;
+    retry.samples.solver_timeout_ms =
+        std::max<uint32_t>(1, base_opts.samples.solver_timeout_ms / 2);
+    retry.verify.solver_timeout_ms =
+        std::max<uint32_t>(1, base_opts.verify.solver_timeout_ms / 2);
+    retry.max_iterations = std::max(1, base_opts.max_iterations / 2);
+    plans.push_back({RewriteRung::kRetry, retry});
   }
 
-  outcome.learned = outcome.synthesis.predicate;
-  // The synthesized predicate enters the plan as a trusted, provably
-  // implied conjunct — re-validate it before conjoining: it must be a
-  // well-formed bound boolean over the joint schema, in the CNF shape
-  // Alg. 2 claims (a conjunction of halfplane disjunctions).
-  SIA_RETURN_IF_ERROR(
-      CheckBoundPredicate(outcome.learned, joint, "learned predicate"));
-  {
-    Diagnostics cnf;
-    ValidateCnf(outcome.learned, &cnf);
-    SIA_RETURN_IF_ERROR(cnf.ToStatus("learned predicate CNF"));
+  for (const RungPlan& plan : plans) {
+    if (plan.rung != RewriteRung::kFull && base_opts.deadline.expired()) {
+      outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                    " rung skipped: deadline exhausted");
+      break;
+    }
+    auto synth = Synthesize(bound, joint, cols, plan.opts);
+    if (!synth.ok()) {
+      if (!IsDegradable(synth.status())) return synth.status();
+      outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                    " synthesis failed: " +
+                                    synth.status().ToString());
+      continue;
+    }
+    if (synth->has_predicate()) {
+      const Status valid = ValidateLearned(synth->predicate, joint);
+      if (!valid.ok()) {
+        outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                      " predicate discarded: " +
+                                      valid.ToString());
+        continue;
+      }
+      adopt(std::move(*synth), plan.rung);
+      return outcome;
+    }
+    if (!synth->solver_gave_up && !synth->deadline_expired) {
+      // Legitimate kNone: the query is not symbolically relevant. No
+      // lower rung can do better, so this is not a degradation — keep
+      // the original plan and stop.
+      outcome.synthesis = std::move(*synth);
+      return outcome;
+    }
+    outcome.degradation.push_back(
+        std::string(RewriteRungName(plan.rung)) + " synthesis gave up" +
+        (synth->deadline_expired
+             ? " (deadline expired in '" + synth->timeout_stage + "')"
+             : ""));
+    outcome.synthesis = std::move(*synth);  // keep the richest record so far
   }
-  outcome.rewritten.where = Expr::Logic(LogicOp::kAnd, query.where,
-                                        outcome.learned);
+
+  // --- Rung 3: exact single-column interval synthesis. Much cheaper
+  // than the learning loop (two OMT queries per column) and immune to
+  // SVM/learner faults, at the cost of single-column box predicates. ---
+  if (options.enable_interval_fallback) {
+    for (const size_t c : cols) {
+      if (base_opts.deadline.expired()) {
+        outcome.degradation.push_back(
+            "interval rung skipped: deadline exhausted");
+        break;
+      }
+      const DataType type = joint.column(c).type;
+      if (!IsIntegral(type) || type == DataType::kBoolean) continue;
+      IntervalOptions iopts;
+      iopts.solver_timeout_ms = base_opts.samples.solver_timeout_ms;
+      iopts.deadline = base_opts.deadline;
+      auto iv = SynthesizeInterval(bound, joint, c, iopts);
+      if (!iv.ok()) {
+        if (!IsDegradable(iv.status())) return iv.status();
+        outcome.degradation.push_back(
+            "interval synthesis on '" + joint.column(c).QualifiedName() +
+            "' failed: " + iv.status().ToString());
+        continue;
+      }
+      if (!iv->has_predicate()) continue;
+      const Status valid = ValidateLearned(iv->predicate, joint);
+      if (!valid.ok()) {
+        outcome.degradation.push_back(
+            "interval predicate on '" + joint.column(c).QualifiedName() +
+            "' discarded: " + valid.ToString());
+        continue;
+      }
+      adopt(std::move(*iv), RewriteRung::kInterval);
+      return outcome;
+    }
+  }
+
+  // --- Rung 4: every rung failed — run the original query unchanged.
+  // outcome.rung stays kOriginal and `degradation` says why. ---
   return outcome;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/status.h"
 #include "parser/ast.h"
 #include "synth/synthesizer.h"
@@ -22,17 +23,46 @@ struct RewriteOptions {
   // every `target_table` column referenced by the WHERE clause is used.
   std::vector<std::string> target_columns;
   SynthesisOptions synthesis;
+  // End-to-end wall-clock budget for the whole rewrite, shared by every
+  // rung of the degradation ladder (infinite by default). Merged into
+  // the synthesis deadline as the earlier of the two.
+  Deadline deadline;
+  // Degradation ladder toggles. With both off a failed synthesis drops
+  // straight to "no rewrite".
+  bool enable_retry = true;              // rung 2: reseeded, budget-halved
+  bool enable_interval_fallback = true;  // rung 3: single-column interval
 };
+
+// Which rung of the degradation ladder produced the outcome. The ladder
+// never fails a query: synthesis trouble only ever costs the learned
+// predicate, falling through full synthesis -> reseeded budget-halved
+// retry -> exact single-column interval synthesis -> original query.
+enum class RewriteRung {
+  kFull = 0,  // full CEGIS synthesis
+  kRetry,     // budget-halved reseeded retry succeeded
+  kInterval,  // interval-only fallback succeeded
+  kOriginal,  // no rewrite: the query is returned unchanged
+};
+
+const char* RewriteRungName(RewriteRung rung);
 
 struct RewriteOutcome {
   // The rewritten query: original WHERE ∧ learned predicate. Equals the
   // input query when synthesis produced nothing.
   ParsedQuery rewritten;
-  // Synthesis record (status, stats, learned conjuncts).
+  // Synthesis record (status, stats, learned conjuncts) of the rung that
+  // produced the outcome.
   SynthesisResult synthesis;
   // The learned predicate bound against the query's joint schema; null
   // when synthesis produced nothing.
   ExprPtr learned;
+  // The ladder rung that produced this outcome. kOriginal both for
+  // "nothing to learn" (no degradation notes) and for "every rung
+  // failed" (notes say why).
+  RewriteRung rung = RewriteRung::kOriginal;
+  // One human-readable note per abandoned rung, in ladder order. Empty
+  // when the first attempt succeeded or there was nothing to synthesize.
+  std::vector<std::string> degradation;
 
   bool changed() const { return learned != nullptr; }
 };

@@ -1,6 +1,39 @@
 #include "smt/smt_context.h"
 
+#include "common/fault_injection.h"
+
 namespace sia {
+
+Result<z3::check_result> SmtContext::Check(z3::solver* solver,
+                                           z3::params* params,
+                                           std::string_view stage) {
+  SIA_FAULT_INJECT("smt.check");
+  SIA_RETURN_IF_ERROR(budget_.RequireRemaining(stage));
+  try {
+    z3::params p = params != nullptr ? *params : z3::params(ctx_);
+    p.set("timeout", budget_.CallTimeoutMs());
+    solver->set(p);
+    return solver->check();
+  } catch (const z3::exception& e) {
+    return Status::SolverError("Z3 failed in stage '" + std::string(stage) +
+                               "': " + e.msg());
+  }
+}
+
+Result<z3::check_result> SmtContext::CheckOptimize(z3::optimize* opt,
+                                                   std::string_view stage) {
+  SIA_FAULT_INJECT("smt.optimize");
+  SIA_RETURN_IF_ERROR(budget_.RequireRemaining(stage));
+  try {
+    z3::params p(ctx_);
+    p.set("timeout", budget_.CallTimeoutMs());
+    opt->set(p);
+    return opt->check();
+  } catch (const z3::exception& e) {
+    return Status::SolverError("Z3 optimize failed in stage '" +
+                               std::string(stage) + "': " + e.msg());
+  }
+}
 
 z3::expr SmtContext::Intern(
     std::map<std::string, std::unique_ptr<z3::expr>>* pool,

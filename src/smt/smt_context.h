@@ -4,9 +4,12 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include <z3++.h>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "types/data_type.h"
 
 namespace sia {
@@ -27,6 +30,26 @@ class SmtContext {
 
   z3::context& z3() { return ctx_; }
 
+  // Attaches the time budget every subsequent Check/CheckOptimize call
+  // draws from. Defaults to an unbounded budget with the shared per-call
+  // cap, so contexts used outside the rewrite pipeline behave as before.
+  void set_budget(const SolverBudget& budget) { budget_ = budget; }
+  const SolverBudget& budget() const { return budget_; }
+
+  // Runs `solver->check()` under the remaining budget: fires the
+  // `smt.check` fault point, refuses with kTimeout (naming `stage`) when
+  // the deadline is already spent, derives this call's solver timeout
+  // from min(per-call cap, remaining wall clock), and maps Z3 exceptions
+  // to kSolverError. `params` carries caller settings (seeds, tactics)
+  // that must survive the per-call timeout update; pass nullptr when
+  // there are none.
+  Result<z3::check_result> Check(z3::solver* solver, z3::params* params,
+                                 std::string_view stage);
+
+  // Same contract for optimization queries (`smt.optimize` fault point).
+  Result<z3::check_result> CheckOptimize(z3::optimize* opt,
+                                         std::string_view stage);
+
   // Value variable for column `index`.
   z3::expr ColumnVar(size_t index, DataType type);
 
@@ -44,6 +67,7 @@ class SmtContext {
 
  private:
   z3::context ctx_;
+  SolverBudget budget_;
   std::map<std::string, std::unique_ptr<z3::expr>> cache_;
   std::map<std::string, std::unique_ptr<z3::expr>> aux_;
 

@@ -16,22 +16,23 @@ namespace sia {
 namespace {
 
 // Runs one objective query; nullopt when the objective is unbounded or
-// the solver gave up.
-std::optional<int64_t> Optimize(SmtContext* ctx, const z3::expr& formula,
-                                const z3::expr& var, bool maximize,
-                                uint32_t timeout_ms) {
+// the solver gave up. An expired deadline propagates as kTimeout.
+Result<std::optional<int64_t>> Optimize(SmtContext* ctx,
+                                        const z3::expr& formula,
+                                        const z3::expr& var, bool maximize) {
   z3::optimize opt(ctx->z3());
-  z3::params params(ctx->z3());
-  params.set("timeout", timeout_ms);
-  opt.set(params);
   opt.add(formula);
   const z3::optimize::handle handle =
       maximize ? opt.maximize(var) : opt.minimize(var);
-  if (opt.check() != z3::sat) return std::nullopt;
+  SIA_ASSIGN_OR_RETURN(z3::check_result res,
+                       ctx->CheckOptimize(&opt, "synth.interval"));
+  if (res != z3::sat) return std::optional<int64_t>();
   const z3::expr bound = maximize ? opt.upper(handle) : opt.lower(handle);
   int64_t value = 0;
-  if (!bound.is_numeral_i64(value)) return std::nullopt;  // +/- infinity
-  return value;
+  if (!bound.is_numeral_i64(value)) {
+    return std::optional<int64_t>();  // +/- infinity
+  }
+  return std::optional<int64_t>(value);
 }
 
 ExprPtr ColumnRef(const Schema& schema, size_t col) {
@@ -57,30 +58,33 @@ Result<SynthesisResult> SynthesizeInterval(const ExprPtr& predicate,
     return Status::Unsupported("interval synthesis requires an integral column");
   }
 
+  const SolverBudget budget{options.deadline, options.solver_timeout_ms};
+  SIA_RETURN_IF_ERROR(budget.RequireRemaining("synth.interval"));
+
   SynthesisResult result;
   Stopwatch sw;
 
   SmtContext ctx;
+  ctx.set_budget(budget);
   Encoder encoder(&ctx, schema, NullHandling::kIgnore);
   SIA_ASSIGN_OR_RETURN(z3::expr p_true, encoder.EncodeTrue(predicate));
   z3::expr var = encoder.ColumnVar(col);
 
-  const auto lo = Optimize(&ctx, p_true, var, /*maximize=*/false,
-                           options.solver_timeout_ms);
-  const auto hi = Optimize(&ctx, p_true, var, /*maximize=*/true,
-                           options.solver_timeout_ms);
+  SIA_ASSIGN_OR_RETURN(const std::optional<int64_t> lo,
+                       Optimize(&ctx, p_true, var, /*maximize=*/false));
+  SIA_ASSIGN_OR_RETURN(const std::optional<int64_t> hi,
+                       Optimize(&ctx, p_true, var, /*maximize=*/true));
   result.stats.generation_ms = sw.ElapsedMillis();
   result.stats.solver_calls = 2;
 
   // Unsatisfiable predicate: both queries return UNSAT; FALSE is optimal.
   {
     z3::solver solver(ctx.z3());
-    z3::params params(ctx.z3());
-    params.set("timeout", options.solver_timeout_ms);
-    solver.set(params);
     solver.add(p_true);
     ++result.stats.solver_calls;
-    if (solver.check() == z3::unsat) {
+    SIA_ASSIGN_OR_RETURN(z3::check_result sat_res,
+                         ctx.Check(&solver, nullptr, "synth.interval"));
+    if (sat_res == z3::unsat) {
       result.status = SynthesisStatus::kOptimal;
       result.predicate = Expr::BoolLit(false);
       return result;
@@ -115,6 +119,7 @@ Result<SynthesisResult> SynthesizeInterval(const ExprPtr& predicate,
   sw.Reset();
   SampleGenOptions gen_opts;
   gen_opts.solver_timeout_ms = options.solver_timeout_ms;
+  gen_opts.deadline = options.deadline;
   SampleGenerator gen(predicate, schema, {col}, gen_opts);
   auto hole = gen.CounterFalse(result.predicate, 1);
   result.stats.validation_ms = sw.ElapsedMillis();

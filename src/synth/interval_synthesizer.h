@@ -1,6 +1,7 @@
 #ifndef SIA_SYNTH_INTERVAL_SYNTHESIZER_H_
 #define SIA_SYNTH_INTERVAL_SYNTHESIZER_H_
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "ir/expr.h"
 #include "synth/synthesizer.h"
@@ -24,7 +25,12 @@ namespace sia {
 // multi-column optimal reductions are general polytopes and remain the
 // learning loop's domain.
 struct IntervalOptions {
-  uint32_t solver_timeout_ms = 5000;
+  // Deprecated alias: per-solver-call cap; prefer `deadline` for
+  // end-to-end budgets. Both are folded into a SolverBudget per check.
+  uint32_t solver_timeout_ms = kDefaultSolverTimeoutMs;
+  // End-to-end wall-clock budget (infinite by default). Expiry surfaces
+  // as StatusCode::kTimeout naming stage "synth.interval".
+  Deadline deadline;
 };
 
 // `col` must be referenced by `predicate` (bound against `schema`) and

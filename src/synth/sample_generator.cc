@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/fault_injection.h"
 #include "ir/analysis.h"
 
 namespace sia {
@@ -56,6 +57,7 @@ SampleGenerator::SampleGenerator(const ExprPtr& predicate,
       options_(options),
       encoder_(&ctx_, schema, NullHandling::kIgnore) {
   ScanConstants(predicate_, &const_lo_, &const_hi_, &has_consts_);
+  ctx_.set_budget(SolverBudget{options_.deadline, options_.solver_timeout_ms});
 }
 
 Result<z3::expr> SampleGenerator::NotOld(const std::vector<Tuple>& seen) {
@@ -103,20 +105,21 @@ std::vector<z3::expr> SampleGenerator::HintLayers() {
 }
 
 Result<std::vector<Tuple>> SampleGenerator::Sample(
-    const z3::expr& base, size_t count, std::vector<Tuple>* seen) {
+    const z3::expr& base, size_t count, std::vector<Tuple>* seen,
+    std::string_view stage) {
   exhausted_ = false;
+  deadline_expired_ = false;
   std::vector<Tuple> produced;
   z3::context& z = ctx_.z3();
 
   z3::solver solver(z);
   z3::params params(z);
-  params.set("timeout", options_.solver_timeout_ms);
   params.set("random_seed", options_.random_seed);
   // Randomized simplex starting points diversify the returned models
   // (paper §5.3 heuristics); without it Z3 tends to return clustered
-  // near-identical samples.
+  // near-identical samples. The per-call timeout is derived from the
+  // remaining budget inside SmtContext::Check.
   params.set("arith.random_initial_value", true);
-  solver.set(params);
   solver.add(base);
   // NotOld is monotone: every exclusion stays in force for the rest of
   // the run, so each one is asserted exactly once (incremental solving);
@@ -143,7 +146,20 @@ Result<std::vector<Tuple>> SampleGenerator::Sample(
       // Apply hint layers `layer..end` (dropping the strongest first).
       for (size_t h = layer; h < hints.size(); ++h) solver.add(hints[h]);
       ++solver_calls_;
-      const z3::check_result res = solver.check();
+      auto checked = ctx_.Check(&solver, &params, stage);
+      if (!checked.ok()) {
+        solver.pop();
+        if (checked.status().code() == StatusCode::kTimeout) {
+          // End-to-end deadline spent: hand back whatever was produced
+          // (the caller keeps partial progress); an empty return
+          // surfaces the kTimeout so the stage name reaches the caller.
+          deadline_expired_ = true;
+          if (produced.empty()) return checked.status();
+          return produced;
+        }
+        return checked.status();
+      }
+      const z3::check_result res = *checked;
       if (res == z3::sat) {
         z3::model model = solver.get_model();
         auto tuple = encoder_.ExtractTuple(model, cols_);
@@ -195,35 +211,39 @@ Result<z3::expr> SampleGenerator::BuildUnsatCore() {
 }
 
 Result<std::vector<Tuple>> SampleGenerator::GenerateTrue(size_t count) {
+  SIA_FAULT_INJECT("synth.sample");
   SIA_ASSIGN_OR_RETURN(z3::expr p_true, encoder_.EncodeTrue(predicate_));
-  return Sample(p_true, count, &seen_true_);
+  return Sample(p_true, count, &seen_true_, "synth.sample");
 }
 
 Result<std::vector<Tuple>> SampleGenerator::GenerateFalse(size_t count) {
+  SIA_FAULT_INJECT("synth.sample");
   SIA_ASSIGN_OR_RETURN(z3::expr core, BuildUnsatCore());
-  return Sample(core, count, &seen_false_);
+  return Sample(core, count, &seen_false_, "synth.sample");
 }
 
 Result<std::vector<Tuple>> SampleGenerator::CounterTrue(
     const ExprPtr& learned, size_t count) {
+  SIA_FAULT_INJECT("verify.cex");
   if (!UsesOnlyColumns(learned, cols_)) {
     return Status::InvalidArgument(
         "learned predicate uses columns outside Cols'");
   }
   SIA_ASSIGN_OR_RETURN(z3::expr p_true, encoder_.EncodeTrue(predicate_));
   SIA_ASSIGN_OR_RETURN(z3::expr p1_not, encoder_.EncodeNotTrue(learned));
-  return Sample(p_true && p1_not, count, &seen_true_);
+  return Sample(p_true && p1_not, count, &seen_true_, "verify.cex");
 }
 
 Result<std::vector<Tuple>> SampleGenerator::CounterFalse(
     const ExprPtr& learned, size_t count) {
+  SIA_FAULT_INJECT("verify.cex");
   if (!UsesOnlyColumns(learned, cols_)) {
     return Status::InvalidArgument(
         "learned predicate uses columns outside Cols'");
   }
   SIA_ASSIGN_OR_RETURN(z3::expr core, BuildUnsatCore());
   SIA_ASSIGN_OR_RETURN(z3::expr p1_true, encoder_.EncodeTrue(learned));
-  return Sample(core && p1_true, count, &seen_false_);
+  return Sample(core && p1_true, count, &seen_false_, "verify.cex");
 }
 
 }  // namespace sia

@@ -2,10 +2,12 @@
 #define SIA_SYNTH_SAMPLE_GENERATOR_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include <z3++.h>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "ir/expr.h"
 #include "smt/encoder.h"
@@ -17,7 +19,14 @@ namespace sia {
 
 // Options controlling solver-backed sample generation.
 struct SampleGenOptions {
-  uint32_t solver_timeout_ms = 2000;  // per check() call
+  // Deprecated alias: the per-solver-call cap, kept so existing callers
+  // and benches compile; prefer setting `deadline` for end-to-end
+  // budgets. Folded with `deadline` into the SolverBudget every check()
+  // call draws from.
+  uint32_t solver_timeout_ms = kDefaultSolverTimeoutMs;
+  // End-to-end wall-clock budget for the whole generator (infinite by
+  // default); per-call solver timeouts never exceed what remains of it.
+  Deadline deadline;
   uint32_t random_seed = 7;
   // Domain box padding applied around the constants found in the
   // predicate (paper §5.3 "additional heuristics"): samples are first
@@ -67,6 +76,11 @@ class SampleGenerator {
   // paper's optimality certificate (Lemma 4).
   bool exhausted() const { return exhausted_; }
 
+  // True when the most recent Generate*/Counter* call was cut short by
+  // the end-to-end deadline (as opposed to a per-call solver timeout,
+  // which shows up as a plain short return). Counterpart of exhausted().
+  bool deadline_expired() const { return deadline_expired_; }
+
   // Total solver check() calls issued (efficiency accounting).
   size_t solver_calls() const { return solver_calls_; }
 
@@ -77,9 +91,11 @@ class SampleGenerator {
   Result<z3::expr> BuildUnsatCore();
 
   // Shared sampling loop: repeatedly check `base ∧ NotOld (∧ hints)`,
-  // extract Cols' tuples, and extend NotOld.
+  // extract Cols' tuples, and extend NotOld. `stage` names the pipeline
+  // stage for deadline/fault reporting.
   Result<std::vector<Tuple>> Sample(const z3::expr& base, size_t count,
-                                    std::vector<Tuple>* seen);
+                                    std::vector<Tuple>* seen,
+                                    std::string_view stage);
 
   // The conjunction of not-equal-to-previous-sample constraints for the
   // given history.
@@ -99,6 +115,7 @@ class SampleGenerator {
   std::vector<Tuple> seen_true_;
   std::vector<Tuple> seen_false_;
   bool exhausted_ = false;
+  bool deadline_expired_ = false;
   size_t solver_calls_ = 0;
 
   // Cached constant range scanned from the predicate.

@@ -90,15 +90,44 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
   }
 
   SynthesisResult result;
-  SampleGenerator gen(predicate, schema, cols, options.samples);
+
+  // One shared wall-clock budget: the run-level deadline is merged into
+  // the sampler's and verifier's own (the earlier wins), so every solver
+  // call below draws down the same clock.
+  SampleGenOptions gen_opts = options.samples;
+  gen_opts.deadline = Deadline::Earlier(gen_opts.deadline, options.deadline);
+  VerifyOptions verify_opts = options.verify;
+  verify_opts.deadline =
+      Deadline::Earlier(verify_opts.deadline, options.deadline);
+
+  SampleGenerator gen(predicate, schema, cols, gen_opts);
   Stopwatch total;
+
+  // Converts a deadline-expiry Status from `stage` into a graceful
+  // partial result; any other error propagates to the caller.
+  auto note_timeout = [&result](const Status& st, const char* stage) {
+    if (st.code() != StatusCode::kTimeout) return false;
+    result.deadline_expired = true;
+    result.timeout_stage = stage;
+    result.solver_gave_up = true;
+    return true;
+  };
 
   // --- Stage 1: initial training samples (§5.3) ---
   Stopwatch sw;
-  SIA_ASSIGN_OR_RETURN(std::vector<Tuple> ts,
-                       gen.GenerateTrue(options.initial_true_samples));
-  const bool true_exhausted = gen.exhausted();
+  auto ts_r = gen.GenerateTrue(options.initial_true_samples);
   result.stats.generation_ms += sw.ElapsedMillis();
+  if (!ts_r.ok()) {
+    result.stats.solver_calls = gen.solver_calls();
+    if (note_timeout(ts_r.status(), "synth.sample")) return result;
+    return ts_r.status();
+  }
+  std::vector<Tuple> ts = std::move(*ts_r);
+  const bool true_exhausted = gen.exhausted();
+  if (gen.deadline_expired()) {
+    result.deadline_expired = true;
+    result.timeout_stage = "synth.sample";
+  }
 
   if (ts.empty()) {
     if (true_exhausted) {
@@ -109,6 +138,7 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
       return result;
     }
     result.status = SynthesisStatus::kNone;  // solver budget exceeded
+    result.solver_gave_up = true;
     result.stats.solver_calls = gen.solver_calls();
     return result;
   }
@@ -123,16 +153,28 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
   }
 
   sw.Reset();
-  SIA_ASSIGN_OR_RETURN(std::vector<Tuple> fs,
-                       gen.GenerateFalse(options.initial_false_samples));
-  const bool false_exhausted = gen.exhausted();
+  auto fs_r = gen.GenerateFalse(options.initial_false_samples);
   result.stats.generation_ms += sw.ElapsedMillis();
+  if (!fs_r.ok()) {
+    result.stats.true_samples = ts.size();
+    result.stats.solver_calls = gen.solver_calls();
+    if (note_timeout(fs_r.status(), "synth.sample")) return result;
+    return fs_r.status();
+  }
+  std::vector<Tuple> fs = std::move(*fs_r);
+  const bool false_exhausted = gen.exhausted();
+  if (gen.deadline_expired()) {
+    result.deadline_expired = true;
+    result.timeout_stage = "synth.sample";
+  }
 
   if (fs.empty()) {
     // No unsatisfaction tuple exists (TRUE is the only valid & optimal
     // reduction) or the solver gave up: either way there is no useful
-    // predicate — the query is not "symbolically relevant" (§6.2).
-    (void)false_exhausted;
+    // predicate — the query is not "symbolically relevant" (§6.2). The
+    // two cases differ for the degradation ladder, though: only the
+    // gave-up one is worth retrying.
+    result.solver_gave_up = !false_exhausted;
     result.status = SynthesisStatus::kNone;
     result.stats.true_samples = ts.size();
     result.stats.solver_calls = gen.solver_calls();
@@ -181,12 +223,17 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
 
     // Verify p ⟹ p₂ (three-valued logic).
     sw.Reset();
-    auto verdict = VerifyImplies(predicate, p2, schema, options.verify);
+    auto verdict = VerifyImplies(predicate, p2, schema, verify_opts);
     result.stats.validation_ms += sw.ElapsedMillis();
-    if (!verdict.ok()) return verdict.status();
+    if (!verdict.ok()) {
+      // Deadline spent mid-loop: keep whatever is already proved valid.
+      if (note_timeout(verdict.status(), "verify.check")) break;
+      return verdict.status();
+    }
 
     if (*verdict == VerifyResult::kUnknown) {
       // Solver budget exceeded mid-loop; keep whatever is already proved.
+      result.solver_gave_up = true;
       break;
     }
 
@@ -218,10 +265,17 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
       auto fs1 = gen.CounterFalse(accumulated,
                                   options.samples_per_iteration);
       result.stats.generation_ms += sw.ElapsedMillis();
-      if (!fs1.ok()) return fs1.status();
+      if (!fs1.ok()) {
+        if (note_timeout(fs1.status(), "verify.cex")) {
+          ++iteration;
+          break;
+        }
+        return fs1.status();
+      }
       if (fs1->empty()) {
         if (!gen.exhausted()) {
           // Solver budget exceeded: p₃ is valid, optimality unknown.
+          result.solver_gave_up = true;
           ++iteration;
           break;
         }
@@ -254,10 +308,14 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
       sw.Reset();
       auto ts1 = gen.CounterTrue(p2, options.samples_per_iteration);
       result.stats.generation_ms += sw.ElapsedMillis();
-      if (!ts1.ok()) return ts1.status();
+      if (!ts1.ok()) {
+        if (note_timeout(ts1.status(), "verify.cex")) break;
+        return ts1.status();
+      }
       if (ts1->empty()) {
         // Verify's 3VL witness is NULL-only (not reachable with concrete
         // non-NULL samples) or the solver gave up: no progress possible.
+        result.solver_gave_up = true;
         break;
       }
       data.true_samples.insert(data.true_samples.end(), ts1->begin(),

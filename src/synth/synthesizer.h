@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "ir/expr.h"
 #include "learn/learner.h"
@@ -26,6 +27,11 @@ struct SynthesisOptions {
   SampleGenOptions samples;
   VerifyOptions verify;
   LearnOptions learn;
+  // End-to-end wall-clock budget for the whole run (infinite by
+  // default). Merged (as the earlier of the two) into the sampler's and
+  // verifier's own deadlines, so every solver call across the run draws
+  // from one shared budget.
+  Deadline deadline;
 
   // Paper baselines (Table 1).
   static SynthesisOptions Sia() { return SynthesisOptions(); }
@@ -76,6 +82,16 @@ struct SynthesisResult {
   // disjunction-of-halfplanes that was conjoined into `predicate`.
   std::vector<LearnedPredicate> conjuncts;
   SynthesisStats stats;
+  // True when the run was cut short by the end-to-end deadline; anything
+  // already proved valid is still returned. `timeout_stage` names the
+  // pipeline stage that hit the wall (e.g. "synth.sample").
+  bool deadline_expired = false;
+  std::string timeout_stage;
+  // True when the run ended early because a solver gave up (timeout /
+  // unknown / no progress) rather than because the result is complete.
+  // Distinguishes a retryable kNone from a legitimate "not symbolically
+  // relevant" kNone.
+  bool solver_gave_up = false;
 
   bool has_predicate() const { return predicate != nullptr; }
   // Schema indices of the columns actually used (non-zero coefficients).

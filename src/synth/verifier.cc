@@ -2,6 +2,7 @@
 
 #include <z3++.h>
 
+#include "common/fault_injection.h"
 #include "smt/encoder.h"
 #include "smt/smt_context.h"
 
@@ -11,7 +12,9 @@ Result<VerifyResult> VerifyImplies(const ExprPtr& original,
                                    const ExprPtr& learned,
                                    const Schema& schema,
                                    const VerifyOptions& options) {
+  SIA_FAULT_INJECT("verify.check");
   SmtContext ctx;
+  ctx.set_budget(SolverBudget{options.deadline, options.solver_timeout_ms});
   Encoder encoder(&ctx, schema, NullHandling::kThreeValued);
 
   // Validity (Def. 2) fails iff some tuple satisfies p (evaluates to
@@ -21,12 +24,11 @@ Result<VerifyResult> VerifyImplies(const ExprPtr& original,
   SIA_ASSIGN_OR_RETURN(z3::expr p1_not, encoder.EncodeNotTrue(learned));
 
   z3::solver solver(ctx.z3());
-  z3::params params(ctx.z3());
-  params.set("timeout", options.solver_timeout_ms);
-  solver.set(params);
   solver.add(p_true && p1_not);
 
-  switch (solver.check()) {
+  SIA_ASSIGN_OR_RETURN(z3::check_result res,
+                       ctx.Check(&solver, nullptr, "verify.check"));
+  switch (res) {
     case z3::unsat:
       return VerifyResult::kValid;
     case z3::sat:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "ir/expr.h"
 #include "types/schema.h"
@@ -10,7 +11,12 @@
 namespace sia {
 
 struct VerifyOptions {
-  uint32_t solver_timeout_ms = 5000;
+  // Deprecated alias: per-solver-call cap; prefer `deadline` for
+  // end-to-end budgets. Both are folded into a SolverBudget per check.
+  uint32_t solver_timeout_ms = kDefaultSolverTimeoutMs;
+  // End-to-end wall-clock budget (infinite by default). An expired
+  // deadline surfaces as StatusCode::kTimeout, not kUnknown.
+  Deadline deadline;
 };
 
 // Outcome of a validity check.

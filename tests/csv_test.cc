@@ -57,6 +57,64 @@ TEST(CsvTest, FieldErrors) {
   EXPECT_FALSE(ReadCsvString(s, "id,price,shipped,flag,note\n\"1\",1,1993-01-01,true,1\n").ok());
 }
 
+// Malformed / truncated / binary-ish inputs: every case must come back
+// as a Status — never a crash, never a silently corrupted table. The
+// whole suite runs under ASan+UBSan in scripts/check.sh.
+TEST(CsvMalformedTest, UnterminatedQuote) {
+  const Schema s = MixedSchema();
+  // An opening quote with no closing quote (and no quote support at
+  // all): rejected explicitly rather than split on the embedded comma.
+  EXPECT_FALSE(ReadCsvString(
+                   s, "id,price,shipped,flag,note\n\"1,2.5,1993-06-01,true,7\n")
+                   .ok());
+  EXPECT_FALSE(ReadCsvString(s, "\"id,price,shipped,flag,note\n").ok());
+}
+
+TEST(CsvMalformedTest, ShortAndTruncatedRows) {
+  const Schema s = MixedSchema();
+  // Row with too few fields.
+  EXPECT_FALSE(
+      ReadCsvString(s, "id,price,shipped,flag,note\n1,2.5,1993-06-01\n").ok());
+  // File truncated mid-record (no trailing newline, row cut short).
+  EXPECT_FALSE(
+      ReadCsvString(s, "id,price,shipped,flag,note\n1,2.5,1993-06-01,true,7\n2,0.2").ok());
+  // Header truncated mid-name.
+  EXPECT_FALSE(ReadCsvString(s, "id,price,ship").ok());
+}
+
+TEST(CsvMalformedTest, NonNumericCells) {
+  const Schema s = MixedSchema();
+  // Trailing garbage must not silently truncate to the numeric prefix.
+  const auto garbage_int =
+      ReadCsvString(s, "id,price,shipped,flag,note\n12abc,2.5,1993-06-01,true,7\n");
+  ASSERT_FALSE(garbage_int.ok());
+  EXPECT_EQ(garbage_int.status().code(), StatusCode::kParseError);
+  EXPECT_FALSE(
+      ReadCsvString(s, "id,price,shipped,flag,note\n1,2.5x,1993-06-01,true,7\n").ok());
+  EXPECT_FALSE(
+      ReadCsvString(s, "id,price,shipped,flag,note\n1,2.5,1993-06-01,true,7z\n").ok());
+  // Pathologically large exponent (stod throws out_of_range).
+  EXPECT_FALSE(
+      ReadCsvString(s, "id,price,shipped,flag,note\n1,1e99999,1993-06-01,true,7\n").ok());
+}
+
+TEST(CsvMalformedTest, EmbeddedNulBytes) {
+  const Schema s = MixedSchema();
+  // NUL inside a numeric cell: binary junk, not a shorter number.
+  std::string csv = "id,price,shipped,flag,note\n1";
+  csv += '\0';
+  csv += "9,2.5,1993-06-01,true,7\n";
+  const auto in_cell = ReadCsvString(s, csv);
+  ASSERT_FALSE(in_cell.ok());
+  EXPECT_EQ(in_cell.status().code(), StatusCode::kParseError);
+
+  // NUL as the entire first cell.
+  std::string lead = "id,price,shipped,flag,note\n";
+  lead += '\0';
+  lead += ",2.5,1993-06-01,true,7\n";
+  EXPECT_FALSE(ReadCsvString(s, lead).ok());
+}
+
 TEST(CsvTest, SkipsBlankLines) {
   const std::string csv =
       "id,price,shipped,flag,note\n"

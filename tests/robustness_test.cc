@@ -4,13 +4,17 @@
 // synthesis outcome.
 #include <gtest/gtest.h>
 
+#include "catalog/catalog.h"
+#include "common/deadline.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "engine/exec_expr.h"
 #include "ir/binder.h"
 #include "ir/builder.h"
 #include "ir/evaluator.h"
 #include "parser/lexer.h"
 #include "parser/parser.h"
+#include "rewrite/sia_rewriter.h"
 #include "synth/interval_synthesizer.h"
 #include "synth/synthesizer.h"
 #include "synth/verifier.h"
@@ -81,6 +85,64 @@ TEST(StarvedSolverTest, IntervalSynthesizerTimeout) {
   opts.solver_timeout_ms = 1;
   auto r = SynthesizeInterval(p, s, 0);
   ASSERT_TRUE(r.ok());  // may be kNone/kValid/kOptimal, never a crash
+}
+
+TEST(StarvedSolverTest, ExpiredDeadlineSurfacesAsTimeoutNamingTheStage) {
+  Schema s = Abc();
+  ExprPtr p = BindOrDie((Col("a") - Col("b") < Lit(20)) && (Col("b") < Lit(0)),
+                        s);
+  VerifyOptions opts;
+  opts.deadline = Deadline::FromNowMillis(0);
+  auto v = VerifyImplies(p, BindOrDie(Col("a") < Lit(100), s), s, opts);
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kTimeout);
+  EXPECT_NE(v.status().message().find("verify.check"), std::string::npos)
+      << v.status().ToString();
+}
+
+TEST(StarvedSolverTest, StarvedEndToEndRewriteDeadline) {
+  // A 1ms end-to-end deadline on the whole rewrite: every rung must give
+  // up deterministically (kTimeout absorbed into "no rewrite"), in
+  // bounded time, without crashing.
+  Catalog catalog = Catalog::TpchCatalog();
+  const std::string sql =
+      "SELECT * FROM lineitem, orders WHERE o_orderkey = l_orderkey "
+      "AND l_shipdate - o_orderdate < 20 AND o_orderdate < '1993-06-01'";
+  RewriteOptions opts;
+  opts.target_table = "lineitem";
+  opts.deadline = Deadline::FromNowMillis(1);
+
+  Stopwatch sw;
+  auto outcome = RewriteQuery(sql, catalog, opts);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_FALSE(outcome->changed());
+  EXPECT_EQ(outcome->rung, RewriteRung::kOriginal);
+  EXPECT_FALSE(outcome->degradation.empty());
+  // "Bounded": parse/bind plus a handful of refused solver calls. The
+  // margin is generous for sanitizer builds; the point is that a starved
+  // deadline cannot cost a full solver timeout per call.
+  EXPECT_LT(sw.ElapsedMillis(), 10000.0);
+
+  // Deterministic: a second starved run reaches the same outcome.
+  opts.deadline = Deadline::FromNowMillis(0);
+  auto again = RewriteQuery(sql, catalog, opts);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->changed());
+  EXPECT_EQ(again->rung, RewriteRung::kOriginal);
+}
+
+TEST(StarvedSolverTest, SynthesisRecordsDeadlineExpiry) {
+  Schema s = Abc();
+  ExprPtr p = BindOrDie((Col("a") - Col("b") < Lit(20)) && (Col("b") < Lit(0)),
+                        s);
+  SynthesisOptions opts;
+  opts.deadline = Deadline::FromNowMillis(0);
+  auto r = Synthesize(p, s, {0}, opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();  // graceful, not an error
+  EXPECT_EQ(r->status, SynthesisStatus::kNone);
+  EXPECT_TRUE(r->deadline_expired);
+  EXPECT_TRUE(r->solver_gave_up);
+  EXPECT_EQ(r->timeout_stage, "synth.sample");
 }
 
 // --- Hostile parser inputs ---------------------------------------------------

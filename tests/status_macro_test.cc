@@ -1,0 +1,96 @@
+// Regression tests for the SIA_ASSIGN_OR_RETURN / SIA_RETURN_IF_ERROR
+// macro hygiene: unique __COUNTER__-keyed temporaries, same-line double
+// expansion, move-only payloads, and error propagation. The companion
+// negative test — that using SIA_ASSIGN_OR_RETURN as the un-braced body
+// of an `if` fails to COMPILE — lives in scripts/check.sh, since a
+// compile failure cannot be asserted from inside a test binary.
+
+#include "common/status.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sia {
+namespace {
+
+Result<int> Ok(int v) { return v; }
+Result<int> Fail(const std::string& msg) {
+  return Status::InvalidArgument(msg);
+}
+
+Result<std::unique_ptr<int>> OkPtr(int v) {
+  return std::make_unique<int>(v);
+}
+
+Result<int> UseTwoOnOneLine() {
+  // Both expansions share a source line; under the old __LINE__-keyed
+  // temporaries this redeclared the same identifier and failed to
+  // compile (or, in nested scopes, silently read the wrong temporary).
+  // clang-format off
+  SIA_ASSIGN_OR_RETURN(const int a, Ok(20)); SIA_ASSIGN_OR_RETURN(const int b, Ok(22));
+  // clang-format on
+  return a + b;
+}
+
+Result<int> PropagatesFirstError() {
+  SIA_ASSIGN_OR_RETURN(const int a, Fail("first"));
+  SIA_ASSIGN_OR_RETURN(const int b, Ok(1));
+  return a + b;
+}
+
+Result<int> MoveOnlyPayload() {
+  SIA_ASSIGN_OR_RETURN(const std::unique_ptr<int> p, OkPtr(17));
+  return *p;
+}
+
+Result<int> AssignsToExisting() {
+  int out = 0;
+  SIA_ASSIGN_OR_RETURN(out, Ok(5));
+  SIA_ASSIGN_OR_RETURN(out, Ok(out + 2));
+  return out;
+}
+
+Status ReturnIfErrorInUnbracedIf(bool fail) {
+  // SIA_RETURN_IF_ERROR expands to a single do-while statement, so the
+  // un-braced form is legal and must behave like a braced one.
+  if (fail)
+    SIA_RETURN_IF_ERROR(Status::Timeout("budget spent"));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, TwoExpansionsOnOneLine) {
+  const Result<int> r = UseTwoOnOneLine();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(StatusMacroTest, PropagatesError) {
+  const Result<int> r = PropagatesFirstError();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.status().message(), "first");
+}
+
+TEST(StatusMacroTest, MoveOnlyPayload) {
+  const Result<int> r = MoveOnlyPayload();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 17);
+}
+
+TEST(StatusMacroTest, AssignsToExistingVariable) {
+  const Result<int> r = AssignsToExisting();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorUnbracedIf) {
+  EXPECT_TRUE(ReturnIfErrorInUnbracedIf(false).ok());
+  const Status st = ReturnIfErrorInUnbracedIf(true);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace sia

@@ -12,8 +12,12 @@
 //     --max-iterations N  synthesis iteration budget for --rewrite
 //                       (default: the paper's 41; lower is faster and
 //                       still produces real, validatable predicates)
+//     --deadline-ms N   end-to-end wall-clock budget per --rewrite query;
+//                       queries that hit it report which stage burned the
+//                       budget and which degradation-ladder rung answered
 //     --target TABLE    rewrite target table (default lineitem)
 //     --no-pushdown     plan without filter pushdown
+//     --list-fault-points  print the pipeline's SIA_FAULTS points & exit
 //     --werror          exit non-zero on warnings too
 //     -q, --quiet       print only the summary line
 //
@@ -33,6 +37,8 @@
 #include "catalog/catalog.h"
 #include "check/expr_validator.h"
 #include "check/plan_validator.h"
+#include "common/deadline.h"
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "ir/binder.h"
 #include "parser/parser.h"
@@ -47,7 +53,8 @@ struct LintOptions {
   size_t workload_count = 0;
   uint64_t seed = 2021;
   bool rewrite = false;
-  int max_iterations = 0;  // 0 = synthesizer default
+  int max_iterations = 0;   // 0 = synthesizer default
+  int64_t deadline_ms = 0;  // 0 = unlimited
   std::string target_table = "lineitem";
   bool push_down = true;
   bool werror = false;
@@ -60,13 +67,15 @@ struct LintTotals {
   size_t errors = 0;
   size_t warnings = 0;
   size_t rewritten = 0;
+  size_t degraded = 0;  // rewrites that fell down the ladder
 };
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload N] [--seed S] [--rewrite]\n"
+               "          [--max-iterations N] [--deadline-ms N]\n"
                "          [--target TABLE] [--no-pushdown] [--werror]\n"
-               "          [-q|--quiet] [file.sql ...]\n",
+               "          [--list-fault-points] [-q|--quiet] [file.sql ...]\n",
                argv0);
   return 2;
 }
@@ -146,6 +155,11 @@ void LintQuery(const std::string& label, const sia::ParsedQuery& query,
   if (options.max_iterations > 0) {
     rewrite_options.synthesis.max_iterations = options.max_iterations;
   }
+  if (options.deadline_ms > 0) {
+    // The budget starts now and is shared by every solver call the
+    // rewrite makes, across all ladder rungs.
+    rewrite_options.deadline = sia::Deadline::FromNowMillis(options.deadline_ms);
+  }
   auto outcome = sia::RewriteQuery(query, catalog, rewrite_options);
   if (!outcome.ok()) {
     ++totals->errors;
@@ -154,6 +168,25 @@ void LintQuery(const std::string& label, const sia::ParsedQuery& query,
                   outcome.status().message().c_str());
     }
     return;
+  }
+  if (!outcome->degradation.empty()) {
+    ++totals->degraded;
+    if (!options.quiet) {
+      std::printf("%s: note [rewrite] degraded to rung '%s'\n", label.c_str(),
+                  sia::RewriteRungName(outcome->rung));
+      for (const std::string& why : outcome->degradation) {
+        std::printf("%s: note [rewrite]   %s\n", label.c_str(), why.c_str());
+      }
+      const sia::SynthesisStats& st = outcome->synthesis.stats;
+      std::printf("%s: note [rewrite]   stage time: generation %.1fms, "
+                  "learning %.1fms, validation %.1fms (%zu solver calls)\n",
+                  label.c_str(), st.generation_ms, st.learning_ms,
+                  st.validation_ms, st.solver_calls);
+      if (outcome->synthesis.deadline_expired) {
+        std::printf("%s: note [rewrite]   deadline expired in stage '%s'\n",
+                    label.c_str(), outcome->synthesis.timeout_stage.c_str());
+      }
+    }
   }
   if (!outcome->changed()) return;
   ++totals->rewritten;
@@ -251,6 +284,19 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       options.max_iterations = std::atoi(v);
+    } else if (arg == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.deadline_ms = std::atoll(v);
+      if (options.deadline_ms <= 0) {
+        std::fprintf(stderr, "--deadline-ms wants a positive integer\n");
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--list-fault-points") {
+      for (const std::string& point : sia::FaultRegistry::KnownPoints()) {
+        std::printf("%s\n", point.c_str());
+      }
+      return 0;
     } else if (arg == "--no-pushdown") {
       options.push_down = false;
     } else if (arg == "--werror") {
@@ -309,7 +355,8 @@ int main(int argc, char** argv) {
               totals.errors, totals.errors == 1 ? "" : "s",
               totals.warnings, totals.warnings == 1 ? "" : "s");
   if (options.rewrite) {
-    std::printf(", %zu rewritten", totals.rewritten);
+    std::printf(", %zu rewritten, %zu degraded", totals.rewritten,
+                totals.degraded);
   }
   std::printf("\n");
 
