@@ -36,6 +36,7 @@ void PrintCdf(const char* title, const std::vector<CaseStudyRecord>& records,
 }  // namespace
 
 int main() {
+  sia::bench::EnableBenchObservability();
   const Catalog catalog = Catalog::TpchCatalog();
   CaseStudyOptions opts;
   // The case-study CDFs need a population in the hundreds regardless of
@@ -72,5 +73,10 @@ int main() {
       "the queries run longer than 10 s. Expected shape here: a relevant\n"
       "minority around 10-20%%, ~75%% over 10 s, heavy-tailed CDFs with the\n"
       "relevant class skewing slightly heavier.\n");
-  return 0;
+  const std::string summary =
+      "{\"prospective\":" + std::to_string(report->prospective_count) +
+      ",\"relevant\":" + std::to_string(report->relevant_count) +
+      ",\"frac_over_10s\":" +
+      sia::bench::JsonNum(report->frac_over_10s) + "}";
+  return sia::bench::EmitBenchReport("fig6_casestudy", summary) ? 0 : 1;
 }

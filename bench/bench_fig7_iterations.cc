@@ -16,6 +16,7 @@ using sia::bench::PrintHeader;
 using sia::bench::Technique;
 
 int main() {
+  sia::bench::EnableBenchObservability();
   EfficacyConfig config = EfficacyConfig::FromEnv();
   config.techniques = {Technique::kSia};
   PrintHeader("Fig. 7: learning-loop iterations to converge (SIA, queries=" +
@@ -72,5 +73,22 @@ int main() {
       "buckets (our bisection needs ~log2(date range) ~ 13 iterations,\n"
       "so mass sits in <=10 and <=20); the 'not optimal' column grows\n"
       "with subset size.\n");
-  return 0;
+
+  std::string summary =
+      "{\"queries\":" + std::to_string(config.query_count) + ",\"rows\":[";
+  for (const size_t size : {size_t{1}, size_t{2}, size_t{3}}) {
+    if (size > 1) summary += ',';
+    auto& hist = optimal_hist[size];
+    hist.resize(buckets.size(), 0);
+    summary += "{\"cols\":" + std::to_string(size) +
+               ",\"valid\":" + std::to_string(generated[size]) +
+               ",\"buckets\":[";
+    for (size_t b = 0; b < buckets.size(); ++b) {
+      if (b > 0) summary += ',';
+      summary += std::to_string(hist[b]);
+    }
+    summary += "],\"not_optimal\":" + std::to_string(not_optimal[size]) + '}';
+  }
+  summary += "]}";
+  return sia::bench::EmitBenchReport("fig7_iterations", summary) ? 0 : 1;
 }

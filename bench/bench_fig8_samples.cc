@@ -47,6 +47,7 @@ void PrintHistogram(const char* title,
 }  // namespace
 
 int main() {
+  sia::bench::EnableBenchObservability();
   EfficacyConfig config = EfficacyConfig::FromEnv();
   config.techniques = {Technique::kSia};
   PrintHeader("Fig. 8: training-sample counts at the final iteration (SIA, "
@@ -76,5 +77,24 @@ int main() {
       "consume more of both.\n"
       "Expected shape: one-column mass concentrated in the small buckets,\n"
       "shifting right as the subset size grows.\n");
-  return 0;
+
+  // Per-subset-size mean TRUE/FALSE sample counts over valid runs.
+  std::string summary =
+      "{\"queries\":" + std::to_string(config.query_count) + ",\"rows\":[";
+  for (const size_t size : {size_t{1}, size_t{2}, size_t{3}}) {
+    if (size > 1) summary += ',';
+    auto mean = [](const std::vector<size_t>& v) {
+      double sum = 0;
+      for (const size_t n : v) sum += static_cast<double>(n);
+      return v.empty() ? 0.0 : sum / static_cast<double>(v.size());
+    };
+    summary += "{\"cols\":" + std::to_string(size) + ",\"valid\":" +
+               std::to_string(true_counts[size].size()) +
+               ",\"mean_true_samples\":" +
+               sia::bench::JsonNum(mean(true_counts[size])) +
+               ",\"mean_false_samples\":" +
+               sia::bench::JsonNum(mean(false_counts[size])) + '}';
+  }
+  summary += "]}";
+  return sia::bench::EmitBenchReport("fig8_samples", summary) ? 0 : 1;
 }

@@ -18,7 +18,7 @@ using sia::bench::Summarize;
 
 namespace {
 
-int RunAtScale(double sf, const char* label) {
+int RunAtScale(double sf, const char* label, std::string* summary_rows) {
   RuntimeConfig config = RuntimeConfig::FromEnv(sf);
   config.scale_factor = sf;
   std::printf("\n--- %s (engine SF %.2f, queries=%zu) ---\n", label,
@@ -46,21 +46,34 @@ int RunAtScale(double sf, const char* label) {
   std::printf(
       "\nsummary: rewritten=%d faster=%d (2x: %d) slower=%d (2x: %d)\n",
       s.rewritten, s.faster, s.faster_2x, s.slower, s.slower_2x);
+  if (!summary_rows->empty()) *summary_rows += ',';
+  *summary_rows += "{\"sf\":" + sia::bench::JsonNum(sf) +
+                   ",\"rewritten\":" + std::to_string(s.rewritten) +
+                   ",\"faster\":" + std::to_string(s.faster) +
+                   ",\"faster_2x\":" + std::to_string(s.faster_2x) +
+                   ",\"slower\":" + std::to_string(s.slower) +
+                   ",\"slower_2x\":" + std::to_string(s.slower_2x) + '}';
   return 0;
 }
 
 }  // namespace
 
 int main() {
+  sia::bench::EnableBenchObservability();
   PrintHeader("Fig. 9: runtime impact of SIA rewrites (original vs "
               "rewritten)");
-  int rc = RunAtScale(0.05, "Fig 9a — small scale (paper: SF 1)");
-  rc |= RunAtScale(0.2, "Fig 9b — large scale (paper: SF 10)");
+  std::string rows;
+  int rc = RunAtScale(0.05, "Fig 9a — small scale (paper: SF 1)", &rows);
+  rc |= RunAtScale(0.2, "Fig 9b — large scale (paper: SF 10)", &rows);
   std::printf(
       "\nPaper: SF1 -> 85/114 faster (36 of them 2x), 29 slower (2 of them "
       "2x);\nSF10 -> 95/114 faster (66 of them 2x), 19 slower (4 of them "
       "2x).\nExpected shape: most rewrites win, and the win rate and 2x "
       "share grow\nwith the scale factor; every row must report equal "
       "results.\n");
+  if (!sia::bench::EmitBenchReport("fig9_runtime",
+                                   "{\"scales\":[" + rows + "]}")) {
+    rc |= 1;
+  }
   return rc;
 }

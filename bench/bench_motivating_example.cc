@@ -18,6 +18,7 @@
 using namespace sia;  // NOLINT: single-binary harness
 
 int main() {
+  bench::EnableBenchObservability();
   bench::PrintHeader("Motivating example (paper §2): Q1 -> Q2");
 
   const std::string q1 =
@@ -89,5 +90,14 @@ int main() {
   std::printf("\nPaper: 2x speedup on Postgres SF10 (94 s -> 50 s). Expected "
               "shape:\nQ2 faster with a materially smaller join probe input "
               "and identical\nresults.\n");
-  return out1->content_hash == out2->content_hash ? 0 : 1;
+  const bool identical = out1->content_hash == out2->content_hash;
+  const std::string summary =
+      "{\"q1_ms\":" + bench::JsonNum(t1) +
+      ",\"q2_ms\":" + bench::JsonNum(t2) +
+      ",\"speedup\":" + bench::JsonNum(t2 > 0 ? t1 / t2 : 0.0) +
+      ",\"iterations\":" +
+      std::to_string(outcome->synthesis.stats.iterations) +
+      ",\"identical\":" + (identical ? "true" : "false") + "}";
+  if (!bench::EmitBenchReport("motivating_example", summary)) return 1;
+  return identical ? 0 : 1;
 }

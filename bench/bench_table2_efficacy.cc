@@ -20,6 +20,7 @@ using sia::bench::Technique;
 using sia::bench::TechniqueName;
 
 int main() {
+  sia::bench::EnableBenchObservability();
   const EfficacyConfig config = EfficacyConfig::FromEnv();
   PrintHeader("Table 2: Efficacy of SIA — valid / optimal predicates "
               "(queries=" + std::to_string(config.query_count) + ")");
@@ -74,5 +75,21 @@ int main() {
       "three-col possible=30, SIA=20/0, TC=0/-, v1=2/0, v2=1/0.\n"
       "Expected shape: SIA synthesizes the most valid predicates in every "
       "row, and its advantage grows with the number of columns.\n");
-  return 0;
+
+  std::string summary =
+      "{\"queries\":" + std::to_string(config.query_count) + ",\"rows\":[";
+  for (const size_t size : {size_t{1}, size_t{2}, size_t{3}}) {
+    if (size > 1) summary += ',';
+    summary += "{\"cols\":" + std::to_string(size) +
+               ",\"possible\":" + std::to_string(possible[size]);
+    for (const Technique t : config.techniques) {
+      const Cell c = cells[{size, t}];
+      summary += std::string(",\"") + TechniqueName(t) +
+                 "\":{\"valid\":" + std::to_string(c.valid) +
+                 ",\"optimal\":" + std::to_string(c.optimal) + "}";
+    }
+    summary += '}';
+  }
+  summary += "]}";
+  return sia::bench::EmitBenchReport("table2_efficacy", summary) ? 0 : 1;
 }

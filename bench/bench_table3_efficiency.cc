@@ -15,6 +15,7 @@ using sia::bench::Technique;
 using sia::bench::TechniqueName;
 
 int main() {
+  sia::bench::EnableBenchObservability();
   EfficacyConfig config = EfficacyConfig::FromEnv();
   config.techniques = {Technique::kSia, Technique::kSiaV1,
                        Technique::kSiaV2};
@@ -66,5 +67,23 @@ int main() {
       "Expected shape: generation dominates everywhere; SIA_v2 is the\n"
       "slowest (2x the samples of v1); SIA spends more on validation than\n"
       "the non-iterative baselines because it verifies every iteration.\n");
-  return 0;
+
+  std::string summary =
+      "{\"queries\":" + std::to_string(config.query_count) + ",\"rows\":[";
+  for (const size_t size : {size_t{1}, size_t{2}, size_t{3}}) {
+    if (size > 1) summary += ',';
+    summary += "{\"cols\":" + std::to_string(size);
+    for (const Technique t : config.techniques) {
+      const Acc& x = acc[{size, t}];
+      const double n = x.n > 0 ? x.n : 1;
+      summary += std::string(",\"") + TechniqueName(t) +
+                 "\":{\"gen_ms\":" + sia::bench::JsonNum(x.gen / n) +
+                 ",\"learn_ms\":" + sia::bench::JsonNum(x.learn / n) +
+                 ",\"validate_ms\":" + sia::bench::JsonNum(x.validate / n) +
+                 "}";
+    }
+    summary += '}';
+  }
+  summary += "]}";
+  return sia::bench::EmitBenchReport("table3_efficiency", summary) ? 0 : 1;
 }

@@ -15,8 +15,10 @@ using sia::bench::RuntimeSummary;
 using sia::bench::Summarize;
 
 int main() {
+  sia::bench::EnableBenchObservability();
   PrintHeader("Table 4: average selectivity of synthesized predicates by "
               "impact class");
+  std::string rows;
   std::printf("%-12s | %-9s %-9s | %-9s %-9s | %-9s %-9s | %-9s %-9s\n",
               "scale", "#faster", "avg sel", "#2xfaster", "avg sel",
               "#slower", "avg sel", "#2xslower", "avg sel");
@@ -35,11 +37,26 @@ int main() {
                 sf, s.faster, s.avg_sel_faster, s.faster_2x,
                 s.avg_sel_faster_2x, s.slower, s.avg_sel_slower, s.slower_2x,
                 s.avg_sel_slower_2x);
+    if (!rows.empty()) rows += ',';
+    rows += "{\"sf\":" + sia::bench::JsonNum(sf) +
+            ",\"faster\":" + std::to_string(s.faster) +
+            ",\"avg_sel_faster\":" + sia::bench::JsonNum(s.avg_sel_faster) +
+            ",\"faster_2x\":" + std::to_string(s.faster_2x) +
+            ",\"avg_sel_faster_2x\":" +
+            sia::bench::JsonNum(s.avg_sel_faster_2x) +
+            ",\"slower\":" + std::to_string(s.slower) +
+            ",\"avg_sel_slower\":" + sia::bench::JsonNum(s.avg_sel_slower) +
+            ",\"slower_2x\":" + std::to_string(s.slower_2x) +
+            ",\"avg_sel_slower_2x\":" +
+            sia::bench::JsonNum(s.avg_sel_slower_2x) + '}';
   }
   std::printf(
       "\nPaper: SF1 faster=85 @0.76, 2x=36 @0.69, slower=29 @0.97, "
       "2x-slower=2 @0.98;\nSF10 faster=95 @0.78, 2x=66 @0.74, slower=19 "
       "@0.96, 2x-slower=4 @0.94.\nExpected shape: the faster classes have "
       "materially lower average\nselectivity than the slower classes.\n");
-  return 0;
+  return sia::bench::EmitBenchReport("table4_selectivity",
+                                     "{\"scales\":[" + rows + "]}")
+             ? 0
+             : 1;
 }

@@ -1,10 +1,12 @@
 #include "bench/experiment_lib.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 
 #include "ir/analysis.h"
 #include "ir/binder.h"
+#include "obs/metrics.h"
 #include "rewrite/rules.h"
 #include "synth/sample_generator.h"
 #include "synth/verifier.h"
@@ -44,6 +46,43 @@ void PrintHeader(const std::string& title) {
   std::cout << "\n" << std::string(78, '=') << "\n";
   std::cout << title << "\n";
   std::cout << std::string(78, '=') << "\n";
+}
+
+std::string JsonNum(double v) { return obs::internal::JsonNumber(v); }
+
+void EnableBenchObservability() {
+  const char* path = std::getenv("SIA_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return;
+  obs::MetricsRegistry::SetEnabled(true);
+}
+
+bool EmitBenchReport(const std::string& name,
+                     const std::string& summary_json) {
+  const char* path = std::getenv("SIA_BENCH_JSON");
+  if (path == nullptr || *path == '\0') return true;
+  std::string out = "{\"bench\":\"";
+  out += obs::internal::JsonEscape(name);
+  out += "\",\"summary\":";
+  out += summary_json;
+  out += ",\"metrics\":";
+  out += obs::MetricsRegistry::Instance().SnapshotJson();
+  out += "}\n";
+  const std::string dest(path);
+  if (dest == "-" || dest == "stdout") {
+    std::fputs(out.c_str(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(dest.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "SIA_BENCH_JSON: cannot open %s\n", dest.c_str());
+    return false;
+  }
+  const bool wrote = std::fputs(out.c_str(), f) >= 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::fprintf(stderr, "SIA_BENCH_JSON: cannot write %s\n", dest.c_str());
+    return false;
+  }
+  return true;
 }
 
 namespace {

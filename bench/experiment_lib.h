@@ -58,6 +58,23 @@ int64_t EnvInt(const char* name, int64_t fallback);
 // Prints a horizontal rule + centered title, matching the other benches.
 void PrintHeader(const std::string& title);
 
+// Turns the src/obs metrics registry on when SIA_BENCH_JSON is set, so
+// the pipeline's counters and latency histograms accumulate during the
+// run and EmitBenchReport can embed them. Call first thing in main().
+void EnableBenchObservability();
+
+// When SIA_BENCH_JSON is set, writes
+//   {"bench":"<name>","summary":<summary_json>,"metrics":<snapshot>}
+// to that path ("-" or "stdout" for stdout). `summary_json` must be a
+// complete JSON value. No-op (returning true) when the env var is
+// unset; returns false after printing to stderr when the write fails.
+bool EmitBenchReport(const std::string& name,
+                     const std::string& summary_json);
+
+// Formats a double as a JSON number (non-finite values become 0), for
+// hand-built bench summary objects.
+std::string JsonNum(double v);
+
 }  // namespace sia::bench
 
 #endif  // SIA_BENCH_EXPERIMENT_LIB_H_

@@ -8,6 +8,15 @@
 # seeded generated workload (with the full Sia rewrite enabled) and
 # requires zero diagnostics.
 #
+# Two observability gates run as part of the standard pass:
+#   - the src/obs concurrency tests are rebuilt and re-run under
+#     ThreadSanitizer (a dedicated build dir holding only sia_obs +
+#     obs_test, so the pass stays cheap);
+#   - an overhead guard builds bench_micro twice — observability
+#     compiled in but disabled (the shipping configuration) vs compiled
+#     out via -DSIA_DISABLE_OBS=ON — and asserts the instrumented hot
+#     paths stay within OBS_OVERHEAD_PCT of the obs-free baseline.
+#
 # `check.sh --fault-sweep` additionally runs the robustness fault sweep:
 # for every fault point the pipeline declares, the fault_sweep_test
 # binary is re-run (still under the sanitizers) with SIA_FAULTS forcing
@@ -22,6 +31,10 @@
 #                    (default 3; the paper's default of 41 is much
 #                    slower and adds no validation coverage)
 #   SWEEP_QUERIES    queries per fault-sweep pass (default 8)
+#   OBS_OVERHEAD_PCT max tolerated bench_micro slowdown, percent, of the
+#                    obs-disabled build over the obs-free build
+#                    (default 10 — the gate is one relaxed atomic load
+#                    per site, so real regressions blow well past this)
 #   JOBS             parallel build/test jobs (default nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -31,6 +44,7 @@ SANITIZE=${SANITIZE:-address,undefined}
 LINT_WORKLOAD=${LINT_WORKLOAD:-1000}
 LINT_ITERATIONS=${LINT_ITERATIONS:-3}
 SWEEP_QUERIES=${SWEEP_QUERIES:-8}
+OBS_OVERHEAD_PCT=${OBS_OVERHEAD_PCT:-10}
 JOBS=${JOBS:-$(nproc)}
 
 FAULT_SWEEP=0
@@ -100,13 +114,96 @@ echo "== sia_lint --workload ${LINT_WORKLOAD} --rewrite" \
 "${LINT}" --werror -q --workload "${LINT_WORKLOAD}" --rewrite \
   --max-iterations "${LINT_ITERATIONS}"
 
+# --- Observability gates -------------------------------------------------
+# src/obs is lock-light by design (relaxed atomics on counters, one
+# mutex per thread-local trace ring); run its concurrency tests under
+# ThreadSanitizer in a dedicated build dir. The obs_test binary links
+# only sia_obs, so this build is a handful of translation units — it
+# does not rebuild the solver-heavy rest of the tree. TSan is
+# incompatible with ASan, hence the separate dir.
+TSAN_DIR="${BUILD_DIR}-tsan"
+echo "== obs concurrency tests under ThreadSanitizer (${TSAN_DIR})"
+cmake -B "${TSAN_DIR}" -S . -DSIA_SANITIZE=thread >/dev/null
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target obs_test
+"${TSAN_DIR}/tests/obs_test" --gtest_brief=1
+
+# Overhead guard: with SIA_METRICS/SIA_TRACE unset, the entire cost of
+# the compiled-in instrumentation is one relaxed atomic load per site.
+# Build bench_micro twice — observability compiled in (and left
+# disabled) vs compiled out with -DSIA_DISABLE_OBS=ON — and require the
+# instrumented hot paths to stay within OBS_OVERHEAD_PCT. Neither dir
+# carries sanitizers: the numbers have to reflect shipping codegen.
+OBS_ON_DIR="${BUILD_DIR}-obs-on"
+OBS_OFF_DIR="${BUILD_DIR}-obs-off"
+echo "== obs overhead guard (disabled-at-runtime vs compiled-out," \
+     "tolerance ${OBS_OVERHEAD_PCT}%)"
+cmake -B "${OBS_ON_DIR}" -S . >/dev/null
+cmake -B "${OBS_OFF_DIR}" -S . -DSIA_DISABLE_OBS=ON >/dev/null
+cmake --build "${OBS_ON_DIR}" -j "${JOBS}" --target bench_micro
+cmake --build "${OBS_OFF_DIR}" -j "${JOBS}" --target bench_micro
+OBS_BENCH_FILTER='BM_ParseQuery|BM_BindPredicate|BM_EngineScanFilter'
+unset SIA_METRICS SIA_TRACE  # the guard measures the idle gate
+# Interleave separate runs of the two binaries and take the per-benchmark
+# minimum across all of them: alternation cancels machine-load drift that
+# would otherwise swamp the ~1ns/site cost being measured.
+for rep in 1 2 3; do
+  "${OBS_ON_DIR}/bench/bench_micro" \
+    --benchmark_filter="${OBS_BENCH_FILTER}" \
+    --benchmark_format=json > "${OBS_ON_DIR}/obs_overhead.${rep}.json"
+  "${OBS_OFF_DIR}/bench/bench_micro" \
+    --benchmark_filter="${OBS_BENCH_FILTER}" \
+    --benchmark_format=json > "${OBS_OFF_DIR}/obs_overhead.${rep}.json"
+done
+python3 - "${OBS_OVERHEAD_PCT}" \
+    "${OBS_ON_DIR}"/obs_overhead.*.json -- \
+    "${OBS_OFF_DIR}"/obs_overhead.*.json <<'EOF'
+import json, sys
+
+def best(paths):
+    """Min real_time per benchmark across all runs (noise floor)."""
+    out = {}
+    for path in paths:
+        with open(path) as f:
+            doc = json.load(f)
+        for b in doc["benchmarks"]:
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"].split("/")[0]
+            t = float(b["real_time"])
+            if name not in out or t < out[name]:
+                out[name] = t
+    return out
+
+tol = float(sys.argv[1])
+sep = sys.argv.index("--")
+on, off = best(sys.argv[2:sep]), best(sys.argv[sep + 1:])
+failed = False
+for name in sorted(off):
+    if name not in on:
+        print(f"   {name}: missing from obs-on run", file=sys.stderr)
+        failed = True
+        continue
+    pct = (on[name] - off[name]) / off[name] * 100.0
+    status = "ok" if pct <= tol else "FAIL"
+    print(f"   {name}: obs-on {on[name]:.1f}ns vs obs-off {off[name]:.1f}ns "
+          f"({pct:+.2f}%) {status}")
+    if pct > tol:
+        failed = True
+if failed:
+    print(f"ERROR: disabled observability exceeds {tol}% overhead",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+
 if [[ "${FAULT_SWEEP}" -eq 1 ]]; then
   SWEEP_BIN="${BUILD_DIR}/tests/fault_sweep_test"
   echo "== fault sweep (${SWEEP_QUERIES} queries per point, under ${SANITIZE})"
   # Only fault_sweep_test runs with SIA_FAULTS set: it is the one suite
   # written to expect injected failures (the rest of the tests assert
   # fault-free behavior and already ran above).
-  while read -r point; do
+  # --list-fault-points lines are `<point> fired=N injected=M`; the
+  # counts are all zero here (nothing ran) — keep only the point name.
+  while read -r point _counts; do
     for mode in once always; do
       echo "   -- SIA_FAULTS=${point}=${mode}"
       SIA_FAULTS="${point}=${mode}" SIA_SWEEP_QUERIES="${SWEEP_QUERIES}" \

@@ -8,6 +8,7 @@
 #include <string_view>
 
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace sia {
 
@@ -99,6 +100,10 @@ struct SolverBudget {
   // kTimeout naming the stage when the deadline is already spent.
   Status RequireRemaining(std::string_view stage) const {
     if (!Exhausted()) return Status::OK();
+    if (obs::MetricsRegistry::Enabled()) {
+      obs::IncrementCounter("deadline.exhausted");
+      obs::IncrementCounter("deadline.exhausted." + std::string(stage));
+    }
     return Status::Timeout("deadline exhausted in stage '" +
                            std::string(stage) + "'");
   }

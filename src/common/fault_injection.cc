@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/strings.h"
+#include "obs/metrics.h"
 
 namespace sia {
 
@@ -105,6 +106,15 @@ FaultRegistry& FaultRegistry::Instance() {
   return *registry;
 }
 
+namespace {
+
+// Forces SIA_FAULTS to load at process start: the SIA_FAULT_INJECT
+// hot-path gate checks armed_points_ before ever constructing the
+// registry, so env arming must not wait for the first Instance() call.
+const bool kFaultEnvAnchor = (FaultRegistry::Instance(), true);
+
+}  // namespace
+
 FaultRegistry::FaultRegistry() {
   const char* env = std::getenv("SIA_FAULTS");
   if (env == nullptr || env[0] == '\0') return;
@@ -158,10 +168,12 @@ void FaultRegistry::DisarmAll() {
 Status FaultRegistry::Fire(std::string_view point) {
   uint32_t sleep_ms = 0;
   Status injected = Status::OK();
+  bool armed_hit = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = armed_.find(point);
     if (it == armed_.end()) return Status::OK();
+    armed_hit = true;
     Armed& armed = it->second;
     ++armed.hits;
     bool fail = false;
@@ -188,6 +200,14 @@ Status FaultRegistry::Fire(std::string_view point) {
       injected = Status::Internal("injected fault at '" + std::string(point) +
                                   "' (" + FaultModeName(armed.spec.mode) +
                                   ", hit " + std::to_string(armed.hits) + ")");
+    }
+  }
+  // Metrics outside the lock: the obs registry has its own mutex and the
+  // dynamic-name lookup should not extend the fault critical section.
+  if (armed_hit && obs::MetricsRegistry::Enabled()) {
+    obs::IncrementCounter("fault.hit." + std::string(point));
+    if (!injected.ok()) {
+      obs::IncrementCounter("fault.injected." + std::string(point));
     }
   }
   // Sleep outside the lock so latency faults do not serialize other

@@ -12,6 +12,8 @@
 #include "engine/exec_expr.h"
 #include "engine/vector_filter.h"
 #include "ir/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sia {
 
@@ -128,6 +130,7 @@ void Executor::RegisterTable(const std::string& name, const Table* table) {
 
 Result<Relation> Executor::ExecuteScan(const PlanPtr& plan,
                                        ExecStats* stats) {
+  SIA_TRACE_SPAN("exec.scan");  // per plan node, never per row
   SIA_FAULT_INJECT("engine.scan");
   const auto it = tables_.find(plan->table());
   if (it == tables_.end()) {
@@ -191,6 +194,7 @@ Result<Relation> Executor::ExecuteScan(const PlanPtr& plan,
 Result<Relation> Executor::ExecuteFilter(const PlanPtr& plan,
                                          ExecStats* stats) {
   SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan->child(), stats));
+  SIA_TRACE_SPAN("exec.filter");  // opened after the child so spans nest
   SIA_ASSIGN_OR_RETURN(CompiledExpr pred,
                        CompiledExpr::Compile(plan->predicate()));
   FilterRelation(&rel, pred);
@@ -201,6 +205,7 @@ Result<Relation> Executor::ExecuteJoin(const PlanPtr& plan,
                                        ExecStats* stats) {
   SIA_ASSIGN_OR_RETURN(Relation left, ExecuteNode(plan->child(0), stats));
   SIA_ASSIGN_OR_RETURN(Relation right, ExecuteNode(plan->child(1), stats));
+  SIA_TRACE_SPAN("exec.join");
 
   const size_t left_width = plan->child(0)->output_schema().size();
 
@@ -316,6 +321,7 @@ Result<Relation> Executor::ExecuteNode(const PlanPtr& plan,
       return ExecuteJoin(plan, stats);
     case PlanKind::kAggregate: {
       SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan->child(), stats));
+      SIA_TRACE_SPAN("exec.aggregate");
       RelationRow row(rel);
       std::map<std::vector<int64_t>, int64_t> groups;
       std::vector<int64_t> key(plan->columns().size());
@@ -347,6 +353,7 @@ Result<Relation> Executor::ExecuteNode(const PlanPtr& plan,
     }
     case PlanKind::kProject: {
       SIA_ASSIGN_OR_RETURN(Relation rel, ExecuteNode(plan->child(), stats));
+      SIA_TRACE_SPAN("exec.project");
       RelationRow row(rel);
       auto out_table = std::make_shared<Table>(plan->output_schema());
       const auto& cols = plan->columns();
@@ -373,6 +380,8 @@ Result<Relation> Executor::ExecuteNode(const PlanPtr& plan,
 }
 
 Result<QueryOutput> Executor::Execute(const PlanPtr& plan) {
+  SIA_TRACE_SPAN("exec.query");
+  SIA_COUNTER_INC("exec.queries");
   // Last line of defense: never run a structurally invalid plan, however
   // it was produced (planner, movement rules, or hand assembly).
   SIA_RETURN_IF_ERROR(CheckPlan(plan, "plan handed to executor"));
@@ -391,6 +400,18 @@ Result<QueryOutput> Executor::Execute(const PlanPtr& plan) {
   }
   out.content_hash = hash;
   out.elapsed_ms = sw.ElapsedMillis();
+  // Bridge the per-query ExecStats onto the registry (the struct remains
+  // the per-call API; these are the process-wide running totals).
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::IncrementCounter("exec.rows_scanned", out.stats.rows_scanned);
+    obs::IncrementCounter("exec.rows_after_scan_filter",
+                          out.stats.rows_after_scan_filter);
+    obs::IncrementCounter("exec.join_build_rows", out.stats.join_build_rows);
+    obs::IncrementCounter("exec.join_probe_rows", out.stats.join_probe_rows);
+    obs::IncrementCounter("exec.join_output_rows", out.stats.join_output_rows);
+    obs::IncrementCounter("exec.output_rows", out.stats.output_rows);
+    obs::RecordHistogram("exec.query_ms", out.elapsed_ms);
+  }
   return out;
 }
 

@@ -1,6 +1,8 @@
 #include "engine/runner.h"
 
 #include "engine/exec_expr.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 
 namespace sia {
@@ -24,12 +26,15 @@ Result<ParanoidReport> RunRewriteParanoid(
     const ParsedQuery& original, const ParsedQuery& rewritten,
     const Catalog& catalog, Executor& executor,
     const PlannerOptions& planner_options) {
+  SIA_TRACE_SPAN("exec.paranoid");
+  SIA_COUNTER_INC("exec.paranoid.runs");
   ParanoidReport report;
   SIA_ASSIGN_OR_RETURN(
       QueryOutput base, RunQuery(original, catalog, executor, planner_options));
 
   auto cross = RunQuery(rewritten, catalog, executor, planner_options);
   if (!cross.ok()) {
+    SIA_COUNTER_INC("exec.paranoid.rewrite_failed");
     report.rewritten_failed = true;
     report.note =
         "rewritten query failed: " + cross.status().ToString();
@@ -38,6 +43,7 @@ Result<ParanoidReport> RunRewriteParanoid(
   }
   if (cross->row_count != base.row_count ||
       cross->content_hash != base.content_hash) {
+    SIA_COUNTER_INC("exec.paranoid.mismatch");
     report.mismatch = true;
     report.note = "rewritten result disagrees with original (rows " +
                   std::to_string(cross->row_count) + " vs " +

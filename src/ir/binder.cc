@@ -1,8 +1,15 @@
 #include "ir/binder.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sia {
 
-Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
+namespace {
+
+// The recursion lives here so the public Bind instruments once per
+// top-level expression, not once per AST node.
+Result<ExprPtr> BindImpl(const ExprPtr& expr, const Schema& schema) {
   switch (expr->kind()) {
     case ExprKind::kColumnRef: {
       const std::string qualified = expr->table().empty()
@@ -19,8 +26,8 @@ Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
     case ExprKind::kLiteral:
       return expr;
     case ExprKind::kArith: {
-      SIA_ASSIGN_OR_RETURN(ExprPtr l, Bind(expr->left(), schema));
-      SIA_ASSIGN_OR_RETURN(ExprPtr r, Bind(expr->right(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr l, BindImpl(expr->left(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr r, BindImpl(expr->right(), schema));
       if (!IsNumericLike(l->type()) || !IsNumericLike(r->type())) {
         return Status::TypeError("arithmetic on non-numeric operand in: " +
                                  expr->ToString());
@@ -28,8 +35,8 @@ Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
       return Expr::Arith(expr->arith_op(), std::move(l), std::move(r));
     }
     case ExprKind::kCompare: {
-      SIA_ASSIGN_OR_RETURN(ExprPtr l, Bind(expr->left(), schema));
-      SIA_ASSIGN_OR_RETURN(ExprPtr r, Bind(expr->right(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr l, BindImpl(expr->left(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr r, BindImpl(expr->right(), schema));
       if (!IsNumericLike(l->type()) || !IsNumericLike(r->type())) {
         return Status::TypeError("comparison on non-numeric operand in: " +
                                  expr->ToString());
@@ -37,8 +44,8 @@ Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
       return Expr::Compare(expr->compare_op(), std::move(l), std::move(r));
     }
     case ExprKind::kLogic: {
-      SIA_ASSIGN_OR_RETURN(ExprPtr l, Bind(expr->left(), schema));
-      SIA_ASSIGN_OR_RETURN(ExprPtr r, Bind(expr->right(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr l, BindImpl(expr->left(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr r, BindImpl(expr->right(), schema));
       if (l->type() != DataType::kBoolean || r->type() != DataType::kBoolean) {
         return Status::TypeError("logical operator on non-boolean in: " +
                                  expr->ToString());
@@ -46,7 +53,7 @@ Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
       return Expr::Logic(expr->logic_op(), std::move(l), std::move(r));
     }
     case ExprKind::kNot: {
-      SIA_ASSIGN_OR_RETURN(ExprPtr v, Bind(expr->operand(), schema));
+      SIA_ASSIGN_OR_RETURN(ExprPtr v, BindImpl(expr->operand(), schema));
       if (v->type() != DataType::kBoolean) {
         return Status::TypeError("NOT on non-boolean in: " +
                                  expr->ToString());
@@ -55,6 +62,16 @@ Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
     }
   }
   return Status::Internal("unreachable expression kind in Bind");
+}
+
+}  // namespace
+
+Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema) {
+  SIA_TRACE_SPAN("bind.expr");
+  SIA_COUNTER_INC("bind.exprs");
+  Result<ExprPtr> bound = BindImpl(expr, schema);
+  if (!bound.ok()) SIA_COUNTER_INC("bind.errors");
+  return bound;
 }
 
 }  // namespace sia

@@ -6,6 +6,8 @@
 
 #include "common/fault_injection.h"
 #include "learn/rational.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sia {
 
@@ -173,6 +175,8 @@ std::vector<std::vector<int64_t>> CandidateDirections(
 Result<LearnedPredicate> Learn(const TrainingSet& data,
                                const std::vector<size_t>& columns,
                                const LearnOptions& options) {
+  SIA_TRACE_SPAN("learn.train");
+  SIA_COUNTER_INC("learn.train.calls");
   SIA_FAULT_INJECT("learn.train");
   if (data.true_samples.empty()) {
     return Status::InvalidArgument("Learn requires at least one TRUE sample");

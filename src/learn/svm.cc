@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace sia {
 
 double SvmModel::Decision(const std::vector<double>& x) const {
@@ -17,6 +20,7 @@ double SvmModel::Decision(const std::vector<double>& x) const {
 SvmModel TrainLinearSvm(const std::vector<std::vector<double>>& points,
                         const std::vector<int>& labels,
                         const SvmOptions& options) {
+  SIA_TRACE_SPAN("learn.svm");
   SvmModel model;
   if (points.empty()) return model;
   const size_t n = points.size();
@@ -59,7 +63,9 @@ SvmModel TrainLinearSvm(const std::vector<std::vector<double>>& points,
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
 
+  int epochs_run = 0;
   for (int epoch = 0; epoch < options.max_epochs; ++epoch) {
+    ++epochs_run;
     double max_violation = 0.0;
     // Deterministic shuffled order (simple LCG keyed by epoch) improves
     // convergence vs strictly sequential sweeps while staying repeatable.
@@ -89,6 +95,8 @@ SvmModel TrainLinearSvm(const std::vector<std::vector<double>>& points,
     }
     if (max_violation < options.tolerance) break;
   }
+  SIA_COUNTER_INC("learn.svm.trainings");
+  SIA_COUNTER_ADD("learn.svm.epochs", epochs_run);
 
   // Map back to the original feature space:
   //   w_scaled · (x - mean)/scale + b = Σ (w_j/scale_j) x_j +

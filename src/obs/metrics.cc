@@ -1,0 +1,329 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace sia::obs {
+
+std::atomic<bool> MetricsRegistry::enabled_{false};
+
+namespace {
+
+// Force the SIA_METRICS / SIA_TRACE environment scan to run during static
+// initialization of any binary that links an instrumented translation
+// unit (every instrumented TU includes this header's library). Anchored
+// here (and in trace.cc) because these TUs are always retained by the
+// linker once any obs symbol is referenced.
+const bool kEnvInitAnchor = (EnsureEnvInit(), true);
+
+void AtomicDoubleAdd(std::atomic<double>& target, double delta) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(observed, observed + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMin(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value < observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicDoubleMax(std::atomic<double>& target, double value) {
+  double observed = target.load(std::memory_order_relaxed);
+  while (value > observed &&
+         !target.compare_exchange_weak(observed, value,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Gauge::Add(double delta) { AtomicDoubleAdd(value_, delta); }
+
+Histogram::Histogram()
+    : min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {}
+
+int Histogram::BucketIndex(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN land in bucket 0
+  const double cap = static_cast<double>(uint64_t{1} << (kBuckets - 2));
+  if (value >= cap) return kBuckets - 1;
+  // value in [1, 2^(kBuckets-2)): bucket = floor(log2(value)) + 1, via the
+  // bit width of the truncated value.
+  const auto truncated = static_cast<uint64_t>(value);
+  return std::bit_width(truncated);
+}
+
+double Histogram::BucketLowerBound(int index) {
+  if (index <= 0) return 0.0;
+  return static_cast<double>(uint64_t{1} << (index - 1));
+}
+
+double Histogram::BucketUpperBound(int index) {
+  if (index >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(uint64_t{1} << index);
+}
+
+void Histogram::Record(double value) {
+  if (std::isnan(value)) return;
+  if (value < 0.0) value = 0.0;
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicDoubleAdd(sum_, value);
+  AtomicDoubleMin(min_, value);
+  AtomicDoubleMax(max_, value);
+}
+
+double Histogram::Min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::Max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return std::isinf(v) ? 0.0 : v;
+}
+
+double Histogram::Percentile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the requested quantile in [1, total]; linear interpolation
+  // inside the bucket that owns that rank.
+  const double target_rank = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const uint64_t in_bucket =
+        buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target_rank) {
+      const double lower = BucketLowerBound(i);
+      double upper = BucketUpperBound(i);
+      if (std::isinf(upper)) upper = Max();
+      if (upper < lower) upper = lower;
+      const double fraction =
+          (target_rank - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      double result = lower + fraction * (upper - lower);
+      if (result < Min()) result = Min();
+      if (result > Max()) result = Max();
+      return result;
+    }
+    cumulative += in_bucket;
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Instance() {
+  static MetricsRegistry* const instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+namespace internal {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+}  // namespace internal
+
+std::string MetricsRegistry::SnapshotJson() const {
+  using internal::JsonEscape;
+  using internal::JsonNumber;
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, counter->Value());
+    out += buf;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":";
+    out += JsonNumber(gauge->Value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += JsonEscape(name);
+    out += "\":{\"count\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, histogram->Count());
+    out += buf;
+    out += ",\"sum\":";
+    out += JsonNumber(histogram->Sum());
+    out += ",\"min\":";
+    out += JsonNumber(histogram->Min());
+    out += ",\"max\":";
+    out += JsonNumber(histogram->Max());
+    out += ",\"p50\":";
+    out += JsonNumber(histogram->Percentile(0.50));
+    out += ",\"p95\":";
+    out += JsonNumber(histogram->Percentile(0.95));
+    out += ",\"p99\":";
+    out += JsonNumber(histogram->Percentile(0.99));
+    out += ",\"buckets\":[";
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (i > 0) out += ',';
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, histogram->BucketCountAt(i));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool MetricsRegistry::WriteSnapshot(std::string_view dest,
+                                    std::string* error) const {
+  const std::string json = SnapshotJson();
+  if (dest == "stderr") {
+    std::fprintf(stderr, "%s\n", json.c_str());
+    return true;
+  }
+  const std::string path(dest);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open metrics file: " + path;
+    return false;
+  }
+  const bool ok = std::fputs(json.c_str(), f) >= 0 && std::fputc('\n', f) >= 0;
+  if (std::fclose(f) != 0 || !ok) {
+    if (error != nullptr) *error = "cannot write metrics file: " + path;
+    return false;
+  }
+  return true;
+}
+
+void IncrementCounter(std::string_view name, uint64_t delta) {
+  if (!MetricsRegistry::Enabled()) return;
+  MetricsRegistry::Instance().GetCounter(name).Increment(delta);
+}
+
+void SetGauge(std::string_view name, double value) {
+  if (!MetricsRegistry::Enabled()) return;
+  MetricsRegistry::Instance().GetGauge(name).Set(value);
+}
+
+void AddGauge(std::string_view name, double delta) {
+  if (!MetricsRegistry::Enabled()) return;
+  MetricsRegistry::Instance().GetGauge(name).Add(delta);
+}
+
+void RecordHistogram(std::string_view name, double value) {
+  if (!MetricsRegistry::Enabled()) return;
+  MetricsRegistry::Instance().GetHistogram(name).Record(value);
+}
+
+}  // namespace sia::obs

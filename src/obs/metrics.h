@@ -1,0 +1,199 @@
+#ifndef SIA_OBS_METRICS_H_
+#define SIA_OBS_METRICS_H_
+
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// latency histograms with JSON snapshot export.
+//
+// Layering: src/obs sits *below* src/common (sia_common links sia_obs so
+// fault injection and deadlines can report), so this library depends only
+// on the C++ standard library — errors are surfaced as bool + message, not
+// sia::Status.
+//
+// Cost discipline (mirrors FaultRegistry in src/common/fault_injection.h):
+// when no metrics sink is armed, every instrumentation site costs exactly
+// one relaxed atomic load. The SIA_COUNTER_* / SIA_HISTOGRAM_* macros
+// additionally cache the registry lookup in a function-local static, so an
+// armed hot-path site is one relaxed load + one relaxed RMW. Building with
+// -DSIA_OBS_DISABLED (CMake option SIA_DISABLE_OBS) compiles every site
+// out entirely; that build is the overhead-guard baseline in check.sh.
+//
+// Metric names are dotted lowercase `stage.substage[.detail]` strings; the
+// catalog lives in DESIGN.md ("Observability").
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace sia::obs {
+
+// Monotonic event count. All operations are relaxed: totals are exact,
+// but readers may observe increments out of order with other metrics.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-writer-wins instantaneous value. Add() is a CAS loop because
+// std::atomic<double>::fetch_add is not guaranteed lock-free everywhere.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta);
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram for non-negative samples (latencies in
+// microseconds by convention). Buckets are powers of two: bucket 0 holds
+// [0, 1), bucket i holds [2^(i-1), 2^i) for 1 <= i < kBuckets-1, and the
+// last bucket is the overflow [2^(kBuckets-2), inf) — 28 buckets cover
+// sub-microsecond through ~67 s, plenty for any solver call we allow.
+// Percentiles interpolate linearly inside the owning bucket and are
+// clamped to the observed [min, max].
+class Histogram {
+ public:
+  static constexpr int kBuckets = 28;
+
+  void Record(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  // Min()/Max() are 0 until the first Record().
+  double Min() const;
+  double Max() const;
+  // q in [0, 1]; returns 0 when empty.
+  double Percentile(double q) const;
+
+  static int BucketIndex(double value);
+  static double BucketLowerBound(int index);
+  static double BucketUpperBound(int index);  // +inf for the last bucket
+  uint64_t BucketCountAt(int index) const {
+    return buckets_[static_cast<size_t>(index)].load(std::memory_order_relaxed);
+  }
+
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Stored as +/-inf sentinels until the first sample; accessors hide that.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+
+ public:
+  Histogram();
+};
+
+// Leaky process-wide singleton. Metric objects are created on first use
+// and never destroyed or erased — ResetAll() zeroes values but keeps every
+// entry, so references cached by the macros below stay valid forever.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Instance();
+
+  // One relaxed load; the gate every instrumentation site checks first.
+  static bool Enabled() {
+#ifdef SIA_OBS_DISABLED
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // Zero every value; never removes entries (cached references stay valid).
+  void ResetAll();
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+  //  p50,p95,p99,buckets:[...]}}} with names in sorted order.
+  std::string SnapshotJson() const;
+
+  // dest is "stderr" or a file path. Returns false and sets *error (if
+  // non-null) on I/O failure.
+  bool WriteSnapshot(std::string_view dest, std::string* error = nullptr) const;
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+
+  static std::atomic<bool> enabled_;
+};
+
+// Convenience helpers for sites whose metric name is built at runtime
+// (e.g. "fault.hit." + point). No-ops when the registry is disabled; the
+// name lookup happens on every call, so prefer the macros for hot paths
+// with literal names.
+void IncrementCounter(std::string_view name, uint64_t delta = 1);
+void SetGauge(std::string_view name, double value);
+void AddGauge(std::string_view name, double delta);
+void RecordHistogram(std::string_view name, double value);
+
+namespace internal {
+// Escapes a string for embedding in a JSON string literal (shared with
+// the tracer's Chrome-trace export).
+std::string JsonEscape(std::string_view s);
+// Formats a double as a JSON number; non-finite values become 0.
+std::string JsonNumber(double value);
+}  // namespace internal
+
+}  // namespace sia::obs
+
+#define SIA_OBS_CONCAT_INNER_(a, b) a##b
+#define SIA_OBS_CONCAT_(a, b) SIA_OBS_CONCAT_INNER_(a, b)
+
+#ifdef SIA_OBS_DISABLED
+#define SIA_COUNTER_INC(name) static_cast<void>(0)
+#define SIA_COUNTER_ADD(name, delta) static_cast<void>(0)
+#define SIA_HISTOGRAM_RECORD(name, value) static_cast<void>(0)
+#else
+// `name` must be a string literal (the registry lookup is cached in a
+// function-local static, one per expansion site).
+#define SIA_COUNTER_INC(name) SIA_COUNTER_ADD(name, 1)
+#define SIA_COUNTER_ADD(name, delta)                                       \
+  do {                                                                     \
+    if (::sia::obs::MetricsRegistry::Enabled()) {                          \
+      static ::sia::obs::Counter& sia_obs_counter_ =                       \
+          ::sia::obs::MetricsRegistry::Instance().GetCounter(name);        \
+      sia_obs_counter_.Increment(static_cast<uint64_t>(delta));            \
+    }                                                                      \
+  } while (0)
+#define SIA_HISTOGRAM_RECORD(name, value)                                  \
+  do {                                                                     \
+    if (::sia::obs::MetricsRegistry::Enabled()) {                          \
+      static ::sia::obs::Histogram& sia_obs_histogram_ =                   \
+          ::sia::obs::MetricsRegistry::Instance().GetHistogram(name);      \
+      sia_obs_histogram_.Record(static_cast<double>(value));               \
+    }                                                                      \
+  } while (0)
+#endif  // SIA_OBS_DISABLED
+
+#endif  // SIA_OBS_METRICS_H_

@@ -1,0 +1,52 @@
+#include "obs/obs.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace sia::obs {
+
+namespace {
+
+// Set once by EnsureEnvInit, then only read (including from atexit).
+// Leaked strings: atexit handlers must not race static destructors.
+const std::string* metrics_dest = nullptr;
+const std::string* trace_dest = nullptr;
+
+void FlushAtExit() { FlushEnvConfiguredOutputs(); }
+
+}  // namespace
+
+void FlushEnvConfiguredOutputs() {
+  std::string error;
+  if (metrics_dest != nullptr &&
+      !MetricsRegistry::Instance().WriteSnapshot(*metrics_dest, &error)) {
+    std::fprintf(stderr, "sia: SIA_METRICS flush failed: %s\n", error.c_str());
+  }
+  if (trace_dest != nullptr &&
+      !Tracer::Instance().WriteChromeTrace(*trace_dest, &error)) {
+    std::fprintf(stderr, "sia: SIA_TRACE flush failed: %s\n", error.c_str());
+  }
+}
+
+void EnsureEnvInit() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* metrics_env = std::getenv("SIA_METRICS");
+    if (metrics_env != nullptr && metrics_env[0] != '\0') {
+      metrics_dest = new std::string(metrics_env);
+      MetricsRegistry::SetEnabled(true);
+    }
+    const char* trace_env = std::getenv("SIA_TRACE");
+    if (trace_env != nullptr && trace_env[0] != '\0') {
+      trace_dest = new std::string(trace_env);
+      Tracer::SetEnabled(true);
+    }
+    if (metrics_dest != nullptr || trace_dest != nullptr) {
+      std::atexit(FlushAtExit);
+    }
+  });
+}
+
+}  // namespace sia::obs

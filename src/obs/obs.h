@@ -1,0 +1,31 @@
+#ifndef SIA_OBS_OBS_H_
+#define SIA_OBS_OBS_H_
+
+// Environment-driven activation for the observability subsystem:
+//
+//   SIA_METRICS=stderr        dump a metrics snapshot to stderr at exit
+//   SIA_METRICS=/tmp/m.json   ... or to a file
+//   SIA_TRACE=/tmp/t.json     write a Chrome trace-event file at exit
+//
+// EnsureEnvInit() is idempotent (call_once) and is triggered from static
+// initializers in metrics.cc / trace.cc, so any binary linking sia_obs
+// honors the variables without explicit setup. Tools that want eager
+// output (sia_lint --metrics-out / --trace-out) call the registries
+// directly instead.
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sia::obs {
+
+// Reads SIA_METRICS / SIA_TRACE once per process; enables the matching
+// subsystem and registers an atexit flush for each variable that is set.
+void EnsureEnvInit();
+
+// Writes the env-configured outputs immediately (no-op when neither
+// variable was set). Failures are reported on stderr, never fatal.
+void FlushEnvConfiguredOutputs();
+
+}  // namespace sia::obs
+
+#endif  // SIA_OBS_OBS_H_

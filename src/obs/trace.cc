@@ -1,0 +1,211 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/obs.h"
+
+namespace sia::obs {
+
+std::atomic<bool> Tracer::enabled_{false};
+
+namespace {
+
+// See the matching anchor in metrics.cc.
+const bool kEnvInitAnchor = (EnsureEnvInit(), true);
+
+// Span nesting depth of the current thread; maintained by TraceSpan even
+// while disabled spans are interleaved (inactive spans don't touch it).
+thread_local int tls_depth = 0;
+
+thread_local std::shared_ptr<internal::ThreadRing> tls_ring;
+
+}  // namespace
+
+namespace internal {
+
+// Out-of-line access to ThreadRing internals so the collection logic can
+// live in Tracer without exposing the ring layout in the header.
+class TracerAccess {
+ public:
+  static void Init(ThreadRing& ring, int tid) { ring.tid_ = tid; }
+
+  static void Drain(const std::shared_ptr<ThreadRing>& ring,
+                    std::vector<TraceEvent>& out) {
+    std::lock_guard<std::mutex> lock(ring->mu_);
+    // Before wrapping, next_ stays 0 and the valid range is simply the
+    // vector's contents; after wrapping, next_ is the oldest slot.
+    const size_t count =
+        ring->wrapped_ ? ThreadRing::kCapacity : ring->events_.size();
+    const size_t start = ring->wrapped_ ? ring->next_ : 0;
+    for (size_t i = 0; i < count; ++i) {
+      out.push_back(ring->events_[(start + i) % ThreadRing::kCapacity]);
+    }
+  }
+
+  static uint64_t Dropped(const std::shared_ptr<ThreadRing>& ring) {
+    std::lock_guard<std::mutex> lock(ring->mu_);
+    return ring->dropped_;
+  }
+
+  static void Clear(const std::shared_ptr<ThreadRing>& ring) {
+    std::lock_guard<std::mutex> lock(ring->mu_);
+    ring->events_.clear();
+    ring->next_ = 0;
+    ring->wrapped_ = false;
+    ring->dropped_ = 0;
+  }
+};
+
+void ThreadRing::Push(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.tid = tid_;
+  if (!wrapped_ && events_.size() < kCapacity) {
+    events_.push_back(std::move(event));
+    if (events_.size() == kCapacity) {
+      next_ = 0;
+      wrapped_ = true;
+    }
+    return;
+  }
+  events_[next_] = std::move(event);
+  next_ = (next_ + 1) % kCapacity;
+  ++dropped_;
+}
+
+}  // namespace internal
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Instance() {
+  static Tracer* const instance = new Tracer();
+  return *instance;
+}
+
+uint64_t Tracer::NowMicros() const {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+internal::ThreadRing& Tracer::ThisThreadRing() {
+  if (tls_ring == nullptr) {
+    tls_ring = std::make_shared<internal::ThreadRing>();
+    std::lock_guard<std::mutex> lock(mu_);
+    internal::TracerAccess::Init(*tls_ring, next_tid_++);
+    rings_.push_back(tls_ring);
+  }
+  return *tls_ring;
+}
+
+std::vector<TraceEvent> Tracer::CollectEvents() const {
+  std::vector<std::shared_ptr<internal::ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  std::vector<TraceEvent> events;
+  for (const auto& ring : rings) {
+    internal::TracerAccess::Drain(ring, events);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.depth < b.depth;
+                   });
+  return events;
+}
+
+uint64_t Tracer::DroppedCount() const {
+  std::vector<std::shared_ptr<internal::ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  uint64_t dropped = 0;
+  for (const auto& ring : rings) {
+    dropped += internal::TracerAccess::Dropped(ring);
+  }
+  return dropped;
+}
+
+void Tracer::Clear() {
+  std::vector<std::shared_ptr<internal::ThreadRing>> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  for (const auto& ring : rings) {
+    internal::TracerAccess::Clear(ring);
+  }
+}
+
+std::string Tracer::ExportChromeJson() const {
+  using internal::JsonEscape;
+  const std::vector<TraceEvent> events = CollectEvents();
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  char buf[64];
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += JsonEscape(event.name);
+    out += "\",\"cat\":\"sia\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    std::snprintf(buf, sizeof(buf), "%d", event.tid);
+    out += buf;
+    out += ",\"ts\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, event.ts_us);
+    out += buf;
+    out += ",\"dur\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, event.dur_us);
+    out += buf;
+    out += ",\"args\":{\"depth\":";
+    std::snprintf(buf, sizeof(buf), "%d", event.depth);
+    out += buf;
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}";
+  return out;
+}
+
+bool Tracer::WriteChromeTrace(std::string_view path, std::string* error) const {
+  const std::string json = ExportChromeJson();
+  const std::string file(path);
+  std::FILE* f = std::fopen(file.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open trace file: " + file;
+    return false;
+  }
+  const bool ok = std::fputs(json.c_str(), f) >= 0 && std::fputc('\n', f) >= 0;
+  if (std::fclose(f) != 0 || !ok) {
+    if (error != nullptr) *error = "cannot write trace file: " + file;
+    return false;
+  }
+  return true;
+}
+
+TraceSpan::TraceSpan(std::string_view name) {
+  if (!Tracer::Enabled()) return;
+  active_ = true;
+  name_ = name;
+  depth_ = tls_depth++;
+  start_us_ = Tracer::Instance().NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --tls_depth;
+  Tracer& tracer = Tracer::Instance();
+  const uint64_t end_us = tracer.NowMicros();
+  TraceEvent event;
+  event.name.assign(name_.data(), name_.size());
+  event.ts_us = start_us_;
+  event.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  event.depth = depth_;
+  tracer.ThisThreadRing().Push(std::move(event));
+}
+
+}  // namespace sia::obs

@@ -1,0 +1,150 @@
+#ifndef SIA_OBS_TRACE_H_
+#define SIA_OBS_TRACE_H_
+
+// RAII span tracing with per-thread ring buffers and Chrome trace-event
+// JSON export (loadable in Perfetto / chrome://tracing).
+//
+//   void Synthesize(...) {
+//     SIA_TRACE_SPAN("synth.run");
+//     ...
+//   }
+//
+// Span names follow the `stage.substage` convention documented in
+// DESIGN.md ("Observability"). When tracing is disabled (the default) a
+// span site costs one relaxed atomic load; -DSIA_OBS_DISABLED compiles
+// the macro out entirely. Each thread writes completed spans into its own
+// fixed-capacity ring (oldest events are overwritten and counted as
+// dropped), so recording never blocks another thread.
+//
+// Standard-library-only, like the rest of src/obs (see metrics.h).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"  // for SIA_OBS_CONCAT_
+
+namespace sia::obs {
+
+// A completed span. Timestamps are microseconds since the tracer's epoch
+// (first use in the process); `depth` is the span-nesting depth on its
+// thread at the time the span opened (0 = top level).
+struct TraceEvent {
+  std::string name;
+  uint64_t ts_us = 0;
+  uint64_t dur_us = 0;
+  int tid = 0;
+  int depth = 0;
+};
+
+namespace internal {
+
+// One ring per thread, owned jointly by the thread (thread_local
+// shared_ptr) and the tracer's registry, so events survive thread exit.
+class ThreadRing {
+ public:
+  static constexpr size_t kCapacity = 8192;
+
+  void Push(TraceEvent event);
+
+ private:
+  friend class TracerAccess;
+  std::mutex mu_;
+  std::vector<TraceEvent> events_;  // ring; valid range depends on wrapped_
+  size_t next_ = 0;
+  bool wrapped_ = false;
+  uint64_t dropped_ = 0;
+  int tid_ = 0;
+};
+
+}  // namespace internal
+
+class Tracer {
+ public:
+  static Tracer& Instance();
+
+  // One relaxed load; the gate every span site checks first.
+  static bool Enabled() {
+#ifdef SIA_OBS_DISABLED
+    return false;
+#else
+    return enabled_.load(std::memory_order_relaxed);
+#endif
+  }
+  static void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  // Microseconds since the tracer epoch (steady clock).
+  uint64_t NowMicros() const;
+
+  // The calling thread's ring, created and registered on first use.
+  internal::ThreadRing& ThisThreadRing();
+
+  // Snapshot of every recorded span across all threads, sorted by start
+  // time (ties broken by depth so parents precede children).
+  std::vector<TraceEvent> CollectEvents() const;
+
+  // Total events overwritten across all rings.
+  uint64_t DroppedCount() const;
+
+  // {"traceEvents":[...],"displayTimeUnit":"ms"} — complete events
+  // (ph "X") with pid 1 and the per-thread tid.
+  std::string ExportChromeJson() const;
+  bool WriteChromeTrace(std::string_view path,
+                        std::string* error = nullptr) const;
+
+  // Drops all recorded events (rings stay registered).
+  void Clear();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+ private:
+  Tracer();
+
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<internal::ThreadRing>> rings_;
+  int next_tid_ = 1;
+
+  static std::atomic<bool> enabled_;
+};
+
+// RAII span: captures the start time at construction and records a
+// completed TraceEvent at destruction. Inert (one relaxed load) when
+// tracing is disabled at construction time. `name` must outlive the span
+// — in practice a string literal or a caller-owned stage string.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string_view name_;
+  uint64_t start_us_ = 0;
+  int depth_ = 0;
+  bool active_ = false;
+};
+
+}  // namespace sia::obs
+
+#ifdef SIA_OBS_DISABLED
+#define SIA_TRACE_SPAN(name) static_cast<void>(0)
+#else
+// Opens a span covering the rest of the enclosing scope. __COUNTER__ keys
+// the variable name so two spans may share a line (same idiom as
+// SIA_ASSIGN_OR_RETURN in src/common/status.h).
+#define SIA_TRACE_SPAN(name) \
+  ::sia::obs::TraceSpan SIA_OBS_CONCAT_(sia_obs_trace_span_, __COUNTER__)(name)
+#endif  // SIA_OBS_DISABLED
+
+#endif  // SIA_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 
 #include "common/date.h"
 #include "common/strings.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/lexer.h"
 
 namespace sia {
@@ -347,9 +349,17 @@ class Parser {
 }  // namespace
 
 Result<ParsedQuery> ParseQuery(const std::string& sql) {
-  SIA_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
-  Parser parser(std::move(tokens));
-  return parser.ParseSelect();
+  SIA_TRACE_SPAN("parse.query");
+  SIA_COUNTER_INC("parse.queries");
+  Result<std::vector<Token>> tokens = Lex(sql);
+  if (!tokens.ok()) {
+    SIA_COUNTER_INC("parse.errors");
+    return tokens.status();
+  }
+  Parser parser(std::move(*tokens));
+  Result<ParsedQuery> parsed = parser.ParseSelect();
+  if (!parsed.ok()) SIA_COUNTER_INC("parse.errors");
+  return parsed;
 }
 
 Result<ExprPtr> ParseExpression(const std::string& text) {

@@ -5,6 +5,8 @@
 #include "check/plan_validator.h"
 #include "ir/analysis.h"
 #include "ir/binder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sia {
 
@@ -27,6 +29,8 @@ bool AllWithin(const std::vector<size_t>& cols, size_t begin, size_t end) {
 
 Result<PlanPtr> PlanQuery(const ParsedQuery& query, const Catalog& catalog,
                           const PlannerOptions& options) {
+  SIA_TRACE_SPAN("plan.query");
+  SIA_COUNTER_INC("plan.queries");
   if (query.tables.empty()) {
     return Status::InvalidArgument("query has no FROM tables");
   }

@@ -5,9 +5,12 @@
 #include <set>
 
 #include "check/expr_validator.h"
+#include "common/stopwatch.h"
 #include "common/strings.h"
 #include "ir/analysis.h"
 #include "ir/binder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "synth/interval_synthesizer.h"
 
@@ -80,11 +83,11 @@ Status ValidateLearned(const ExprPtr& learned, const Schema& joint) {
   return cnf.ToStatus("learned predicate CNF");
 }
 
-}  // namespace
-
-Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
-                                    const Catalog& catalog,
-                                    const RewriteOptions& options) {
+// The ladder itself; the public RewriteQuery wraps this with the
+// rewrite.query span, latency histogram, and per-rung counters.
+Result<RewriteOutcome> RewriteQueryImpl(const ParsedQuery& query,
+                                        const Catalog& catalog,
+                                        const RewriteOptions& options) {
   RewriteOutcome outcome;
   outcome.rewritten = query;
 
@@ -175,13 +178,18 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
 
   for (const RungPlan& plan : plans) {
     if (plan.rung != RewriteRung::kFull && base_opts.deadline.expired()) {
+      SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
       outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
                                     " rung skipped: deadline exhausted");
       break;
     }
+    obs::TraceSpan rung_span(plan.rung == RewriteRung::kFull
+                                 ? "rewrite.rung.full"
+                                 : "rewrite.rung.retry");
     auto synth = Synthesize(bound, joint, cols, plan.opts);
     if (!synth.ok()) {
       if (!IsDegradable(synth.status())) return synth.status();
+      SIA_COUNTER_INC("rewrite.degraded.synthesis_failed");
       outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
                                     " synthesis failed: " +
                                     synth.status().ToString());
@@ -190,6 +198,7 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
     if (synth->has_predicate()) {
       const Status valid = ValidateLearned(synth->predicate, joint);
       if (!valid.ok()) {
+        SIA_COUNTER_INC("rewrite.degraded.predicate_discarded");
         outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
                                       " predicate discarded: " +
                                       valid.ToString());
@@ -205,6 +214,7 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
       outcome.synthesis = std::move(*synth);
       return outcome;
     }
+    SIA_COUNTER_INC("rewrite.degraded.gave_up");
     outcome.degradation.push_back(
         std::string(RewriteRungName(plan.rung)) + " synthesis gave up" +
         (synth->deadline_expired
@@ -217,8 +227,10 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
   // than the learning loop (two OMT queries per column) and immune to
   // SVM/learner faults, at the cost of single-column box predicates. ---
   if (options.enable_interval_fallback) {
+    SIA_TRACE_SPAN("rewrite.rung.interval");
     for (const size_t c : cols) {
       if (base_opts.deadline.expired()) {
+        SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
         outcome.degradation.push_back(
             "interval rung skipped: deadline exhausted");
         break;
@@ -231,6 +243,7 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
       auto iv = SynthesizeInterval(bound, joint, c, iopts);
       if (!iv.ok()) {
         if (!IsDegradable(iv.status())) return iv.status();
+        SIA_COUNTER_INC("rewrite.degraded.interval_failed");
         outcome.degradation.push_back(
             "interval synthesis on '" + joint.column(c).QualifiedName() +
             "' failed: " + iv.status().ToString());
@@ -239,6 +252,7 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
       if (!iv->has_predicate()) continue;
       const Status valid = ValidateLearned(iv->predicate, joint);
       if (!valid.ok()) {
+        SIA_COUNTER_INC("rewrite.degraded.interval_discarded");
         outcome.degradation.push_back(
             "interval predicate on '" + joint.column(c).QualifiedName() +
             "' discarded: " + valid.ToString());
@@ -251,6 +265,30 @@ Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
 
   // --- Rung 4: every rung failed — run the original query unchanged.
   // outcome.rung stays kOriginal and `degradation` says why. ---
+  return outcome;
+}
+
+}  // namespace
+
+Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
+                                    const Catalog& catalog,
+                                    const RewriteOptions& options) {
+  SIA_TRACE_SPAN("rewrite.query");
+  SIA_COUNTER_INC("rewrite.queries");
+  Stopwatch timer;
+  Result<RewriteOutcome> outcome = RewriteQueryImpl(query, catalog, options);
+  SIA_HISTOGRAM_RECORD("rewrite.query_ms", timer.ElapsedMillis());
+  if (!outcome.ok()) {
+    SIA_COUNTER_INC("rewrite.errors");
+    return outcome;
+  }
+  if (obs::MetricsRegistry::Enabled()) {
+    obs::IncrementCounter(std::string("rewrite.rung.") +
+                          RewriteRungName(outcome->rung));
+    if (outcome->changed()) obs::IncrementCounter("rewrite.changed");
+    obs::IncrementCounter("rewrite.degradation_steps",
+                          outcome->degradation.size());
+  }
   return outcome;
 }
 

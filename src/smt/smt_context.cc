@@ -1,20 +1,52 @@
 #include "smt/smt_context.h"
 
 #include "common/fault_injection.h"
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sia {
+
+namespace {
+
+// Z3 reports its own timeouts as `unknown`, so the unknown counter doubles
+// as the solver-timeout counter (deadline exhaustion before the call is
+// counted separately).
+void CountCheckResult(z3::check_result result, std::string_view metric_stem) {
+  if (!obs::MetricsRegistry::Enabled()) return;
+  const char* suffix = result == z3::sat     ? ".sat"
+                       : result == z3::unsat ? ".unsat"
+                                             : ".unknown";
+  obs::IncrementCounter(std::string(metric_stem) + suffix);
+}
+
+}  // namespace
 
 Result<z3::check_result> SmtContext::Check(z3::solver* solver,
                                            z3::params* params,
                                            std::string_view stage) {
+  SIA_TRACE_SPAN("smt.check");
+  SIA_COUNTER_INC("smt.check.calls");
   SIA_FAULT_INJECT("smt.check");
-  SIA_RETURN_IF_ERROR(budget_.RequireRemaining(stage));
+  {
+    const Status remaining = budget_.RequireRemaining(stage);
+    if (!remaining.ok()) {
+      SIA_COUNTER_INC("smt.check.deadline_exhausted");
+      return remaining;
+    }
+  }
+  Stopwatch timer;
   try {
     z3::params p = params != nullptr ? *params : z3::params(ctx_);
     p.set("timeout", budget_.CallTimeoutMs());
     solver->set(p);
-    return solver->check();
+    const z3::check_result result = solver->check();
+    SIA_HISTOGRAM_RECORD("smt.check.latency_us", timer.ElapsedMicros());
+    CountCheckResult(result, "smt.check");
+    return result;
   } catch (const z3::exception& e) {
+    SIA_HISTOGRAM_RECORD("smt.check.latency_us", timer.ElapsedMicros());
+    SIA_COUNTER_INC("smt.check.errors");
     return Status::SolverError("Z3 failed in stage '" + std::string(stage) +
                                "': " + e.msg());
   }
@@ -22,14 +54,28 @@ Result<z3::check_result> SmtContext::Check(z3::solver* solver,
 
 Result<z3::check_result> SmtContext::CheckOptimize(z3::optimize* opt,
                                                    std::string_view stage) {
+  SIA_TRACE_SPAN("smt.optimize");
+  SIA_COUNTER_INC("smt.optimize.calls");
   SIA_FAULT_INJECT("smt.optimize");
-  SIA_RETURN_IF_ERROR(budget_.RequireRemaining(stage));
+  {
+    const Status remaining = budget_.RequireRemaining(stage);
+    if (!remaining.ok()) {
+      SIA_COUNTER_INC("smt.optimize.deadline_exhausted");
+      return remaining;
+    }
+  }
+  Stopwatch timer;
   try {
     z3::params p(ctx_);
     p.set("timeout", budget_.CallTimeoutMs());
     opt->set(p);
-    return opt->check();
+    const z3::check_result result = opt->check();
+    SIA_HISTOGRAM_RECORD("smt.optimize.latency_us", timer.ElapsedMicros());
+    CountCheckResult(result, "smt.optimize");
+    return result;
   } catch (const z3::exception& e) {
+    SIA_HISTOGRAM_RECORD("smt.optimize.latency_us", timer.ElapsedMicros());
+    SIA_COUNTER_INC("smt.optimize.errors");
     return Status::SolverError("Z3 optimize failed in stage '" +
                                std::string(stage) + "': " + e.msg());
   }

@@ -7,6 +7,8 @@
 
 #include "common/stopwatch.h"
 #include "ir/analysis.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smt/encoder.h"
 #include "smt/smt_context.h"
 #include "synth/sample_generator.h"
@@ -50,6 +52,8 @@ ExprPtr BoundLiteral(const Schema& schema, size_t col, int64_t v) {
 Result<SynthesisResult> SynthesizeInterval(const ExprPtr& predicate,
                                            const Schema& schema, size_t col,
                                            const IntervalOptions& options) {
+  SIA_TRACE_SPAN("synth.interval");
+  SIA_COUNTER_INC("synth.interval.runs");
   const std::vector<size_t> used = CollectColumnIndices(predicate);
   if (std::find(used.begin(), used.end(), col) == used.end()) {
     return Status::InvalidArgument("column not referenced by the predicate");

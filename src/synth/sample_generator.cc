@@ -5,6 +5,7 @@
 
 #include "common/fault_injection.h"
 #include "ir/analysis.h"
+#include "obs/trace.h"
 
 namespace sia {
 
@@ -107,6 +108,9 @@ std::vector<z3::expr> SampleGenerator::HintLayers() {
 Result<std::vector<Tuple>> SampleGenerator::Sample(
     const z3::expr& base, size_t count, std::vector<Tuple>* seen,
     std::string_view stage) {
+  // `stage` is "synth.sample" for training samples and "verify.cex" for
+  // counter-examples; the span name follows the caller's stage.
+  obs::TraceSpan span(stage);
   exhausted_ = false;
   deadline_expired_ = false;
   std::vector<Tuple> produced;

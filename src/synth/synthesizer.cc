@@ -8,6 +8,8 @@
 #include "common/stopwatch.h"
 #include "ir/analysis.h"
 #include "ir/simplify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sia {
 
@@ -71,6 +73,47 @@ ExprPtr LearnedToExpr(const LearnedPredicate& lp, const Schema& schema) {
   return Expr::Or(disjuncts);
 }
 
+// Double-reports the run's SynthesisStats onto the metrics registry when
+// the run returns (any path — the destructor fires on error returns too,
+// reporting whatever partial stats accrued). The struct remains the API;
+// this bridge is what keeps bench JSON and --metrics-out snapshots from
+// ever disagreeing (see DESIGN.md, "Observability").
+class StatsBridge {
+ public:
+  explicit StatsBridge(const SynthesisResult& result) : result_(result) {}
+
+  StatsBridge(const StatsBridge&) = delete;
+  StatsBridge& operator=(const StatsBridge&) = delete;
+
+  ~StatsBridge() {
+    if (!obs::MetricsRegistry::Enabled()) return;
+    const SynthesisStats& stats = result_.stats;
+    obs::IncrementCounter("synth.runs");
+    obs::IncrementCounter("synth.iterations",
+                          static_cast<uint64_t>(std::max(0, stats.iterations)));
+    obs::IncrementCounter("synth.solver_calls",
+                          static_cast<uint64_t>(stats.solver_calls));
+    obs::IncrementCounter("synth.true_samples",
+                          static_cast<uint64_t>(stats.true_samples));
+    obs::IncrementCounter("synth.false_samples",
+                          static_cast<uint64_t>(stats.false_samples));
+    obs::RecordHistogram("synth.generation_ms", stats.generation_ms);
+    obs::RecordHistogram("synth.learning_ms", stats.learning_ms);
+    obs::RecordHistogram("synth.validation_ms", stats.validation_ms);
+    obs::IncrementCounter(std::string("synth.status.") +
+                          SynthesisStatusName(result_.status));
+    if (result_.deadline_expired) {
+      obs::IncrementCounter("synth.deadline_expired");
+    }
+    if (result_.solver_gave_up) {
+      obs::IncrementCounter("synth.solver_gave_up");
+    }
+  }
+
+ private:
+  const SynthesisResult& result_;
+};
+
 }  // namespace
 
 Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
@@ -89,7 +132,9 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
     }
   }
 
+  SIA_TRACE_SPAN("synth.run");
   SynthesisResult result;
+  StatsBridge stats_bridge(result);
 
   // One shared wall-clock budget: the run-level deadline is merged into
   // the sampler's and verifier's own (the earlier wins), so every solver
@@ -211,6 +256,7 @@ Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
 
   int iteration = 0;
   for (; iteration < options.max_iterations; ++iteration) {
+    SIA_TRACE_SPAN("synth.iteration");
     // Learn (Alg. 2).
     sw.Reset();
     TrainingSet learn_set;

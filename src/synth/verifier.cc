@@ -3,6 +3,8 @@
 #include <z3++.h>
 
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smt/encoder.h"
 #include "smt/smt_context.h"
 
@@ -12,6 +14,8 @@ Result<VerifyResult> VerifyImplies(const ExprPtr& original,
                                    const ExprPtr& learned,
                                    const Schema& schema,
                                    const VerifyOptions& options) {
+  SIA_TRACE_SPAN("verify.check");
+  SIA_COUNTER_INC("verify.checks");
   SIA_FAULT_INJECT("verify.check");
   SmtContext ctx;
   ctx.set_budget(SolverBudget{options.deadline, options.solver_timeout_ms});
@@ -30,10 +34,13 @@ Result<VerifyResult> VerifyImplies(const ExprPtr& original,
                        ctx.Check(&solver, nullptr, "verify.check"));
   switch (res) {
     case z3::unsat:
+      SIA_COUNTER_INC("verify.valid");
       return VerifyResult::kValid;
     case z3::sat:
+      SIA_COUNTER_INC("verify.invalid");
       return VerifyResult::kInvalid;
     case z3::unknown:
+      SIA_COUNTER_INC("verify.unknown");
       return VerifyResult::kUnknown;
   }
   return Status::SolverError("unexpected solver result");

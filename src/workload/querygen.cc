@@ -4,6 +4,8 @@
 
 #include "common/date.h"
 #include "ir/binder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "smt/encoder.h"
 #include "smt/smt_context.h"
 
@@ -115,6 +117,8 @@ Result<bool> IsSatisfiable(const ExprPtr& where, const Schema& joint,
 
 Result<std::vector<GeneratedQuery>> GenerateWorkload(
     const Catalog& catalog, size_t count, const QueryGenOptions& options) {
+  SIA_TRACE_SPAN("workload.generate");
+  SIA_COUNTER_ADD("workload.queries_requested", count);
   SIA_ASSIGN_OR_RETURN(Schema joint,
                        catalog.JointSchema({"lineitem", "orders"}));
 

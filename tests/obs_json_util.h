@@ -1,0 +1,170 @@
+#ifndef SIA_TESTS_OBS_JSON_UTIL_H_
+#define SIA_TESTS_OBS_JSON_UTIL_H_
+
+// Minimal recursive-descent JSON syntax validator for the src/obs export
+// tests. Deliberately dependency-free (the obs test binary links only
+// sia_obs + GTest): it checks well-formedness, not schema — the tests
+// pair it with substring assertions for the fields they care about.
+
+#include <cctype>
+#include <string_view>
+
+namespace sia::test_json {
+
+namespace detail {
+
+inline void SkipWs(std::string_view s, size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                          s[i] == '\r')) {
+    ++i;
+  }
+}
+
+inline bool ParseValue(std::string_view s, size_t& i, int depth);
+
+inline bool ParseString(std::string_view s, size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '"') {
+      ++i;
+      return true;
+    }
+    if (c == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+      const char e = s[i];
+      if (e == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++i;
+          if (i >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i])))
+            return false;
+        }
+      } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                 e != 'n' && e != 'r' && e != 't') {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      return false;  // raw control character
+    }
+    ++i;
+  }
+  return false;  // unterminated
+}
+
+inline bool ParseNumber(std::string_view s, size_t& i) {
+  const size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+    return false;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      return false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    if (i >= s.size() || !std::isdigit(static_cast<unsigned char>(s[i])))
+      return false;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  return i > start;
+}
+
+inline bool ParseObject(std::string_view s, size_t& i, int depth) {
+  ++i;  // consume '{'
+  SkipWs(s, i);
+  if (i < s.size() && s[i] == '}') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    SkipWs(s, i);
+    if (!ParseString(s, i)) return false;
+    SkipWs(s, i);
+    if (i >= s.size() || s[i] != ':') return false;
+    ++i;
+    if (!ParseValue(s, i, depth)) return false;
+    SkipWs(s, i);
+    if (i >= s.size()) return false;
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '}') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseArray(std::string_view s, size_t& i, int depth) {
+  ++i;  // consume '['
+  SkipWs(s, i);
+  if (i < s.size() && s[i] == ']') {
+    ++i;
+    return true;
+  }
+  while (true) {
+    if (!ParseValue(s, i, depth)) return false;
+    SkipWs(s, i);
+    if (i >= s.size()) return false;
+    if (s[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (s[i] == ']') {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+}
+
+inline bool ParseValue(std::string_view s, size_t& i, int depth) {
+  if (depth > 64) return false;
+  SkipWs(s, i);
+  if (i >= s.size()) return false;
+  switch (s[i]) {
+    case '{':
+      return ParseObject(s, i, depth + 1);
+    case '[':
+      return ParseArray(s, i, depth + 1);
+    case '"':
+      return ParseString(s, i);
+    case 't':
+      if (s.substr(i, 4) != "true") return false;
+      i += 4;
+      return true;
+    case 'f':
+      if (s.substr(i, 5) != "false") return false;
+      i += 5;
+      return true;
+    case 'n':
+      if (s.substr(i, 4) != "null") return false;
+      i += 4;
+      return true;
+    default:
+      return ParseNumber(s, i);
+  }
+}
+
+}  // namespace detail
+
+// True iff `text` is exactly one well-formed JSON value (plus optional
+// surrounding whitespace).
+inline bool IsValidJson(std::string_view text) {
+  size_t i = 0;
+  if (!detail::ParseValue(text, i, 0)) return false;
+  detail::SkipWs(text, i);
+  return i == text.size();
+}
+
+}  // namespace sia::test_json
+
+#endif  // SIA_TESTS_OBS_JSON_UTIL_H_

@@ -1,0 +1,358 @@
+// Unit tests for src/obs: histogram bucket boundaries and percentile
+// math, concurrent counter/histogram updates (the ThreadSanitizer pass
+// in scripts/check.sh builds exactly this binary), span nesting order,
+// ring-buffer overflow accounting, and the validity of both JSON
+// exports. Links only sia_obs + GTest — no Z3, no sia umbrella.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs_json_util.h"
+
+namespace sia::obs {
+namespace {
+
+using sia::test_json::IsValidJson;
+
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::SetEnabled(true);
+    Tracer::SetEnabled(true);
+    MetricsRegistry::Instance().ResetAll();
+    Tracer::Instance().Clear();
+  }
+  void TearDown() override {
+    MetricsRegistry::SetEnabled(false);
+    Tracer::SetEnabled(false);
+  }
+  MetricsRegistry& reg() { return MetricsRegistry::Instance(); }
+};
+
+// --- Histogram bucket boundaries ---
+
+TEST_F(ObsTest, BucketIndexBoundaries) {
+  // Bucket 0 is [0, 1); negatives clamp into it too (Record clamps).
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0.5), 0);
+  EXPECT_EQ(Histogram::BucketIndex(0.999), 0);
+  // Bucket i is [2^(i-1), 2^i).
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 1);
+  EXPECT_EQ(Histogram::BucketIndex(1.999), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3.0), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1024.0), 11);
+  EXPECT_EQ(Histogram::BucketIndex(1023.0), 10);
+  // The last bucket absorbs everything >= 2^(kBuckets-2).
+  const double cap = std::ldexp(1.0, Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::BucketIndex(cap - 1.0), Histogram::kBuckets - 2);
+  EXPECT_EQ(Histogram::BucketIndex(cap), Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(cap * 1000.0), Histogram::kBuckets - 1);
+}
+
+TEST_F(ObsTest, BucketBoundsAgreeWithIndex) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketLowerBound(0), 0.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1.0);
+  for (int i = 1; i < Histogram::kBuckets - 1; ++i) {
+    const double lo = Histogram::BucketLowerBound(i);
+    const double hi = Histogram::BucketUpperBound(i);
+    EXPECT_DOUBLE_EQ(lo, std::ldexp(1.0, i - 1));
+    EXPECT_DOUBLE_EQ(hi, std::ldexp(1.0, i));
+    // Both edges land in the bucket the bounds claim.
+    EXPECT_EQ(Histogram::BucketIndex(lo), i);
+    EXPECT_EQ(Histogram::BucketIndex(hi - 0.001), i) << "bucket " << i;
+  }
+  EXPECT_TRUE(std::isinf(
+      Histogram::BucketUpperBound(Histogram::kBuckets - 1)));
+}
+
+TEST_F(ObsTest, RecordLandsInTheRightBucket) {
+  Histogram& h = reg().GetHistogram("test.buckets");
+  h.Record(0.25);   // bucket 0
+  h.Record(-7.0);   // clamped to 0 -> bucket 0
+  h.Record(1.5);    // bucket 1
+  h.Record(300.0);  // [256, 512) -> bucket 9
+  EXPECT_EQ(h.BucketCountAt(0), 2u);
+  EXPECT_EQ(h.BucketCountAt(1), 1u);
+  EXPECT_EQ(h.BucketCountAt(9), 1u);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);  // the clamped negative
+  EXPECT_DOUBLE_EQ(h.Max(), 300.0);
+  h.Record(std::numeric_limits<double>::quiet_NaN());  // ignored
+  EXPECT_EQ(h.Count(), 4u);
+}
+
+// --- Percentile math ---
+
+TEST_F(ObsTest, PercentilesOnEmptyHistogram) {
+  Histogram& h = reg().GetHistogram("test.empty");
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.0);
+}
+
+TEST_F(ObsTest, PercentileOfSingleValueIsThatValue) {
+  Histogram& h = reg().GetHistogram("test.single");
+  h.Record(100.0);
+  // Interpolation inside [64, 128) would land elsewhere; the clamp to
+  // the observed [min, max] pins every percentile to the one sample.
+  EXPECT_DOUBLE_EQ(h.Percentile(0.01), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 100.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 100.0);
+}
+
+TEST_F(ObsTest, PercentilesOfUniformSamples) {
+  Histogram& h = reg().GetHistogram("test.uniform");
+  for (int v = 1; v <= 1000; ++v) h.Record(static_cast<double>(v));
+  const double p50 = h.Percentile(0.50);
+  const double p95 = h.Percentile(0.95);
+  const double p99 = h.Percentile(0.99);
+  // Power-of-two buckets are coarse; assert the right neighborhood and
+  // monotonicity, not exact order statistics.
+  EXPECT_GT(p50, 400.0);
+  EXPECT_LT(p50, 620.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 1000.0);  // clamped to the observed max
+  EXPECT_GT(p99, 850.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 1000.0);
+  EXPECT_EQ(h.Count(), 1000u);
+}
+
+// --- Concurrency (the TSan target) ---
+
+TEST_F(ObsTest, ConcurrentCounterIncrements) {
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  Counter& c = reg().GetCounter("test.concurrent");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kIncrements; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(),
+            static_cast<uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, ConcurrentHistogramRecords) {
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 5000;
+  Histogram& h = reg().GetHistogram("test.concurrent_hist");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kRecords; ++i) {
+        h.Record(static_cast<double>(t * kRecords + i + 1));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kRecords);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), static_cast<double>(kThreads * kRecords));
+  // Gauge Add() is a CAS loop; hammer it too.
+  Gauge& g = reg().GetGauge("test.concurrent_gauge");
+  std::vector<std::thread> adders;
+  for (int t = 0; t < kThreads; ++t) {
+    adders.emplace_back([&g] {
+      for (int i = 0; i < kRecords; ++i) g.Add(1.0);
+    });
+  }
+  for (std::thread& t : adders) t.join();
+  EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kThreads * kRecords));
+}
+
+TEST_F(ObsTest, ConcurrentSpansAcrossThreads) {
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        TraceSpan outer("thread.outer");
+        TraceSpan inner("thread.inner");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<TraceEvent> events = Tracer::Instance().CollectEvents();
+  EXPECT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpans * 2);
+  // Each thread got its own tid.
+  std::map<int, int> per_tid;
+  for (const TraceEvent& e : events) ++per_tid[e.tid];
+  EXPECT_EQ(per_tid.size(), static_cast<size_t>(kThreads));
+}
+
+// --- Registry semantics ---
+
+TEST_F(ObsTest, ResetAllKeepsReferencesValid) {
+  Counter& c = reg().GetCounter("test.reset");
+  c.Increment(5);
+  reg().ResetAll();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(&reg().GetCounter("test.reset"), &c);  // same object, not erased
+  c.Increment();
+  EXPECT_EQ(reg().GetCounter("test.reset").Value(), 1u);
+}
+
+TEST_F(ObsTest, HelpersAreInertWhenDisabled) {
+  MetricsRegistry::SetEnabled(false);
+  IncrementCounter("test.disabled");
+  RecordHistogram("test.disabled_hist", 5.0);
+  MetricsRegistry::SetEnabled(true);
+  EXPECT_EQ(reg().GetCounter("test.disabled").Value(), 0u);
+  EXPECT_EQ(reg().GetHistogram("test.disabled_hist").Count(), 0u);
+}
+
+TEST_F(ObsTest, DisabledTracerRecordsNothing) {
+  Tracer::SetEnabled(false);
+  { SIA_TRACE_SPAN("test.invisible"); }
+  Tracer::SetEnabled(true);
+  for (const TraceEvent& e : Tracer::Instance().CollectEvents()) {
+    EXPECT_NE(e.name, "test.invisible");
+  }
+}
+
+// --- Span nesting ---
+
+TEST_F(ObsTest, SpanNestingDepthAndOrder) {
+  {
+    TraceSpan outer("test.outer");
+    {
+      TraceSpan mid("test.mid");
+      { TraceSpan inner("test.inner"); }
+    }
+    { TraceSpan sibling("test.sibling"); }
+  }
+  const std::vector<TraceEvent> events = Tracer::Instance().CollectEvents();
+  ASSERT_EQ(events.size(), 4u);
+  std::map<std::string, const TraceEvent*> by_name;
+  std::map<std::string, size_t> pos;
+  for (size_t i = 0; i < events.size(); ++i) {
+    by_name[events[i].name] = &events[i];
+    pos[events[i].name] = i;
+  }
+  ASSERT_TRUE(by_name.count("test.outer"));
+  ASSERT_TRUE(by_name.count("test.mid"));
+  ASSERT_TRUE(by_name.count("test.inner"));
+  ASSERT_TRUE(by_name.count("test.sibling"));
+  EXPECT_EQ(by_name["test.outer"]->depth, 0);
+  EXPECT_EQ(by_name["test.mid"]->depth, 1);
+  EXPECT_EQ(by_name["test.inner"]->depth, 2);
+  EXPECT_EQ(by_name["test.sibling"]->depth, 1);
+  // Parents precede children in the sorted stream.
+  EXPECT_LT(pos["test.outer"], pos["test.mid"]);
+  EXPECT_LT(pos["test.mid"], pos["test.inner"]);
+  EXPECT_LT(pos["test.outer"], pos["test.sibling"]);
+  // Children are contained in their parent's interval.
+  const TraceEvent& outer = *by_name["test.outer"];
+  const TraceEvent& inner = *by_name["test.inner"];
+  EXPECT_GE(inner.ts_us, outer.ts_us);
+  EXPECT_LE(inner.ts_us + inner.dur_us, outer.ts_us + outer.dur_us);
+}
+
+TEST_F(ObsTest, RingOverflowDropsOldestAndCounts) {
+  const size_t total = internal::ThreadRing::kCapacity + 100;
+  for (size_t i = 0; i < total; ++i) {
+    TraceSpan span("test.flood");
+  }
+  // Only this thread's events: other tests ran on this thread too, but
+  // the flood alone exceeds capacity, so the ring holds exactly kCapacity.
+  const std::vector<TraceEvent> events = Tracer::Instance().CollectEvents();
+  size_t flood = 0;
+  for (const TraceEvent& e : events) flood += e.name == "test.flood";
+  EXPECT_EQ(flood, internal::ThreadRing::kCapacity);
+  EXPECT_GE(Tracer::Instance().DroppedCount(), 100u);
+}
+
+// --- JSON exports ---
+
+TEST_F(ObsTest, SnapshotJsonIsValidAndComplete) {
+  reg().GetCounter("test.json_counter").Increment(7);
+  reg().GetGauge("test.json_gauge").Set(2.5);
+  Histogram& h = reg().GetHistogram("test.json_hist");
+  h.Record(10.0);
+  h.Record(1000.0);
+  const std::string json = reg().SnapshotJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"test.json_counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+  for (const char* field : {"\"count\"", "\"sum\"", "\"min\"", "\"max\"",
+                            "\"p50\"", "\"p95\"", "\"p99\"", "\"buckets\""}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+}
+
+TEST_F(ObsTest, SnapshotJsonSurvivesHostileMetricNames) {
+  reg().GetCounter("test.\"quoted\\name\nnewline").Increment();
+  EXPECT_TRUE(IsValidJson(reg().SnapshotJson()));
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsValidJson) {
+  {
+    TraceSpan span("test.export");
+    TraceSpan nested("test.export_nested");
+  }
+  const std::string json = Tracer::Instance().ExportChromeJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.export\""), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteChromeTraceRoundTrips) {
+  { TraceSpan span("test.file_export"); }
+  const std::string path = ::testing::TempDir() + "obs_test_trace.json";
+  std::string error;
+  ASSERT_TRUE(Tracer::Instance().WriteChromeTrace(path, &error)) << error;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buf.str()));
+  EXPECT_NE(buf.str().find("test.file_export"), std::string::npos);
+  std::remove(path.c_str());
+  // Unwritable destination: error out, don't crash.
+  EXPECT_FALSE(Tracer::Instance().WriteChromeTrace(
+      "/nonexistent-dir/trace.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(ObsTest, WriteSnapshotToFileAndBadPath) {
+  reg().GetCounter("test.write_snapshot").Increment();
+  const std::string path = ::testing::TempDir() + "obs_test_metrics.json";
+  std::string error;
+  ASSERT_TRUE(reg().WriteSnapshot(path, &error)) << error;
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_TRUE(IsValidJson(buf.str()));
+  std::remove(path.c_str());
+  EXPECT_FALSE(reg().WriteSnapshot("/nonexistent-dir/metrics.json", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace sia::obs

@@ -17,7 +17,14 @@
 //                       budget and which degradation-ladder rung answered
 //     --target TABLE    rewrite target table (default lineitem)
 //     --no-pushdown     plan without filter pushdown
-//     --list-fault-points  print the pipeline's SIA_FAULTS points & exit
+//     --list-fault-points  print the pipeline's SIA_FAULTS points with
+//                       per-point firing counts (fired=N injected=M).
+//                       With no inputs, prints and exits; with inputs,
+//                       the counts reflect the run that just finished
+//     --metrics-out D   write a metrics snapshot (JSON) to D after the
+//                       run; D is a path or "stderr"
+//     --trace-out F     write a Chrome trace-event file (Perfetto-
+//                       loadable) of the run to F
 //     --werror          exit non-zero on warnings too
 //     -q, --quiet       print only the summary line
 //
@@ -41,6 +48,8 @@
 #include "common/fault_injection.h"
 #include "common/strings.h"
 #include "ir/binder.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parser/parser.h"
 #include "rewrite/planner.h"
 #include "rewrite/rules.h"
@@ -59,6 +68,9 @@ struct LintOptions {
   bool push_down = true;
   bool werror = false;
   bool quiet = false;
+  bool list_fault_points = false;
+  std::string metrics_out;  // empty = off; "stderr" or a file path
+  std::string trace_out;    // empty = off
   std::vector<std::string> files;
 };
 
@@ -75,7 +87,8 @@ int Usage(const char* argv0) {
                "usage: %s [--workload N] [--seed S] [--rewrite]\n"
                "          [--max-iterations N] [--deadline-ms N]\n"
                "          [--target TABLE] [--no-pushdown] [--werror]\n"
-               "          [--list-fault-points] [-q|--quiet] [file.sql ...]\n",
+               "          [--list-fault-points] [--metrics-out DEST]\n"
+               "          [--trace-out FILE] [-q|--quiet] [file.sql ...]\n",
                argv0);
   return 2;
 }
@@ -92,9 +105,24 @@ void Report(const std::string& label, const sia::Diagnostics& diags,
 
 // parse/bind/plan/movement (+ optional rewrite) for one query; every
 // stage's findings are labeled with the stage that produced them.
+// Sums the duration of every span named `name` recorded at or after
+// `since_us`. Used to rebuild the per-stage time split of a single
+// rewrite from the tracer instead of from SynthesisStats.
+double SpanMillisSince(const std::vector<sia::obs::TraceEvent>& events,
+                       std::string_view name, uint64_t since_us) {
+  double ms = 0.0;
+  for (const sia::obs::TraceEvent& ev : events) {
+    if (ev.ts_us >= since_us && ev.name == name) {
+      ms += static_cast<double>(ev.dur_us) / 1000.0;
+    }
+  }
+  return ms;
+}
+
 void LintQuery(const std::string& label, const sia::ParsedQuery& query,
                const sia::Catalog& catalog, const LintOptions& options,
                LintTotals* totals) {
+  SIA_TRACE_SPAN("lint.query");
   ++totals->queries;
 
   const auto joint = catalog.JointSchema(query.tables);
@@ -160,6 +188,11 @@ void LintQuery(const std::string& label, const sia::ParsedQuery& query,
     // rewrite makes, across all ladder rungs.
     rewrite_options.deadline = sia::Deadline::FromNowMillis(options.deadline_ms);
   }
+  // Marks the start of this query's rewrite in the tracer's timeline so
+  // the degraded-query stage split below can be summed from spans.
+  const uint64_t trace_mark = sia::obs::Tracer::Enabled()
+                                  ? sia::obs::Tracer::Instance().NowMicros()
+                                  : 0;
   auto outcome = sia::RewriteQuery(query, catalog, rewrite_options);
   if (!outcome.ok()) {
     ++totals->errors;
@@ -178,10 +211,27 @@ void LintQuery(const std::string& label, const sia::ParsedQuery& query,
         std::printf("%s: note [rewrite]   %s\n", label.c_str(), why.c_str());
       }
       const sia::SynthesisStats& st = outcome->synthesis.stats;
-      std::printf("%s: note [rewrite]   stage time: generation %.1fms, "
-                  "learning %.1fms, validation %.1fms (%zu solver calls)\n",
-                  label.c_str(), st.generation_ms, st.learning_ms,
-                  st.validation_ms, st.solver_calls);
+      if (sia::obs::Tracer::Enabled()) {
+        // Stage split summed from the tracer's spans for this query:
+        // generation = initial sampling + counter-example search,
+        // matching what SynthesisStats used to hand-time.
+        const std::vector<sia::obs::TraceEvent> events =
+            sia::obs::Tracer::Instance().CollectEvents();
+        std::printf(
+            "%s: note [rewrite]   stage time: generation %.1fms, "
+            "learning %.1fms, validation %.1fms (%zu solver calls)\n",
+            label.c_str(),
+            SpanMillisSince(events, "synth.sample", trace_mark) +
+                SpanMillisSince(events, "verify.cex", trace_mark),
+            SpanMillisSince(events, "learn.train", trace_mark),
+            SpanMillisSince(events, "verify.check", trace_mark),
+            st.solver_calls);
+      } else {
+        std::printf("%s: note [rewrite]   stage time: generation %.1fms, "
+                    "learning %.1fms, validation %.1fms (%zu solver calls)\n",
+                    label.c_str(), st.generation_ms, st.learning_ms,
+                    st.validation_ms, st.solver_calls);
+      }
       if (outcome->synthesis.deadline_expired) {
         std::printf("%s: note [rewrite]   deadline expired in stage '%s'\n",
                     label.c_str(), outcome->synthesis.timeout_stage.c_str());
@@ -232,6 +282,38 @@ std::vector<std::string> SplitStatements(const std::string& text) {
     }
   }
   return out;
+}
+
+// --metrics-out promises solver-call latency percentiles, per-rung
+// rewrite counters, and per-point fault firing counts even when the run
+// exercised none of them (e.g. lint without --rewrite): preregister
+// those metrics so the snapshot always carries them, zero-valued.
+void PreregisterCoreMetrics() {
+  sia::obs::MetricsRegistry& reg = sia::obs::MetricsRegistry::Instance();
+  reg.GetHistogram("smt.check.latency_us");
+  reg.GetHistogram("smt.optimize.latency_us");
+  reg.GetCounter("rewrite.queries");
+  reg.GetCounter("rewrite.changed");
+  for (const char* rung : {"full", "retry", "interval", "original"}) {
+    reg.GetCounter(std::string("rewrite.rung.") + rung);
+  }
+  for (const std::string& point : sia::FaultRegistry::KnownPoints()) {
+    reg.GetCounter("fault.hit." + point);
+    reg.GetCounter("fault.injected." + point);
+  }
+}
+
+// `<point> fired=N injected=M` per known fault point; N counts armed
+// points reached, M the subset where the fault actually triggered.
+void PrintFaultPoints() {
+  sia::obs::MetricsRegistry& reg = sia::obs::MetricsRegistry::Instance();
+  for (const std::string& point : sia::FaultRegistry::KnownPoints()) {
+    std::printf("%s fired=%llu injected=%llu\n", point.c_str(),
+                static_cast<unsigned long long>(
+                    reg.GetCounter("fault.hit." + point).Value()),
+                static_cast<unsigned long long>(
+                    reg.GetCounter("fault.injected." + point).Value()));
+  }
 }
 
 int LintSqlText(const std::string& origin, const std::string& text,
@@ -293,10 +375,24 @@ int main(int argc, char** argv) {
         return Usage(argv[0]);
       }
     } else if (arg == "--list-fault-points") {
-      for (const std::string& point : sia::FaultRegistry::KnownPoints()) {
-        std::printf("%s\n", point.c_str());
+      options.list_fault_points = true;
+    } else if (arg == "--metrics-out" ||
+               arg.rfind("--metrics-out=", 0) == 0) {
+      if (arg.size() > std::strlen("--metrics-out")) {
+        options.metrics_out = arg.substr(std::strlen("--metrics-out="));
+      } else {
+        const char* v = next();
+        if (v == nullptr) return Usage(argv[0]);
+        options.metrics_out = v;
       }
-      return 0;
+    } else if (arg == "--trace-out" || arg.rfind("--trace-out=", 0) == 0) {
+      if (arg.size() > std::strlen("--trace-out")) {
+        options.trace_out = arg.substr(std::strlen("--trace-out="));
+      } else {
+        const char* v = next();
+        if (v == nullptr) return Usage(argv[0]);
+        options.trace_out = v;
+      }
     } else if (arg == "--no-pushdown") {
       options.push_down = false;
     } else if (arg == "--werror") {
@@ -312,6 +408,25 @@ int main(int argc, char** argv) {
     } else {
       options.files.push_back(arg);
     }
+  }
+
+  // Firing counts and the snapshot both come from the metrics registry;
+  // the tracer additionally backs --trace-out and the --deadline-ms
+  // per-stage time split.
+  if (!options.metrics_out.empty() || options.list_fault_points) {
+    sia::obs::MetricsRegistry::SetEnabled(true);
+    PreregisterCoreMetrics();
+  }
+  if (!options.trace_out.empty() ||
+      (options.rewrite && options.deadline_ms > 0)) {
+    sia::obs::Tracer::SetEnabled(true);
+  }
+
+  const bool have_inputs =
+      !options.files.empty() || options.workload_count > 0;
+  if (options.list_fault_points && !have_inputs) {
+    PrintFaultPoints();  // nothing ran, so every count is zero
+    return 0;
   }
 
   const sia::Catalog catalog = sia::Catalog::TpchCatalog();
@@ -359,6 +474,24 @@ int main(int argc, char** argv) {
                 totals.degraded);
   }
   std::printf("\n");
+
+  if (options.list_fault_points) PrintFaultPoints();
+  if (!options.metrics_out.empty()) {
+    std::string error;
+    if (!sia::obs::MetricsRegistry::Instance().WriteSnapshot(
+            options.metrics_out, &error)) {
+      std::fprintf(stderr, "--metrics-out: %s\n", error.c_str());
+      return 2;
+    }
+  }
+  if (!options.trace_out.empty()) {
+    std::string error;
+    if (!sia::obs::Tracer::Instance().WriteChromeTrace(options.trace_out,
+                                                       &error)) {
+      std::fprintf(stderr, "--trace-out: %s\n", error.c_str());
+      return 2;
+    }
+  }
 
   if (totals.errors > 0) return 1;
   if (options.werror && totals.warnings > 0) return 1;
