@@ -33,8 +33,9 @@ int RunAtScale(double sf, const char* label, std::string* summary_rows) {
               "equal?");
   for (const RuntimeRecord& r : *records) {
     if (!r.rewritten) {
-      std::printf("%-5zu | %-12s | %-12s | %-8s | %-11s | %s\n",
-                  r.query_index, "-", "-", "-", "-", "not rewritten");
+      std::printf("%-5zu | %-12.2f | %-12s | %-8s | %-11s | %s\n",
+                  r.query_index, r.original_ms, "-", "-", "-",
+                  "not rewritten");
       continue;
     }
     std::printf("%-5zu | %-12.2f | %-12.2f | %-8.2f | %-11.3f | %s\n",
@@ -43,16 +44,21 @@ int RunAtScale(double sf, const char* label, std::string* summary_rows) {
                 r.selectivity, r.results_match ? "yes" : "MISMATCH");
   }
   const RuntimeSummary s = Summarize(*records);
+  const uint64_t digest = sia::bench::ResultDigest(*records);
   std::printf(
-      "\nsummary: rewritten=%d faster=%d (2x: %d) slower=%d (2x: %d)\n",
-      s.rewritten, s.faster, s.faster_2x, s.slower, s.slower_2x);
+      "\nsummary: rewritten=%d faster=%d (2x: %d) slower=%d (2x: %d) "
+      "result_hash=%llu\n",
+      s.rewritten, s.faster, s.faster_2x, s.slower, s.slower_2x,
+      static_cast<unsigned long long>(digest));
   if (!summary_rows->empty()) *summary_rows += ',';
+  // result_hash is a string: JSON numbers lose precision above 2^53.
   *summary_rows += "{\"sf\":" + sia::bench::JsonNum(sf) +
                    ",\"rewritten\":" + std::to_string(s.rewritten) +
                    ",\"faster\":" + std::to_string(s.faster) +
                    ",\"faster_2x\":" + std::to_string(s.faster_2x) +
                    ",\"slower\":" + std::to_string(s.slower) +
-                   ",\"slower_2x\":" + std::to_string(s.slower_2x) + '}';
+                   ",\"slower_2x\":" + std::to_string(s.slower_2x) +
+                   ",\"result_hash\":\"" + std::to_string(digest) + "\"}";
   return 0;
 }
 

@@ -176,6 +176,26 @@ void BM_EngineScanFilter(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineScanFilter)->Unit(benchmark::kMillisecond);
 
+// Same scan-filter at 10x the rows (~37 morsels): enough parallel work
+// for SIA_THREADS scaling runs to show real speedups (the SF 0.01 table
+// above is only ~4 morsels wide).
+void BM_EngineScanFilterLarge(benchmark::State& state) {
+  const Catalog catalog = Catalog::TpchCatalog();
+  static const TpchData data = GenerateTpch(0.1);
+  Executor executor;
+  executor.RegisterTable("lineitem", &data.lineitem);
+  executor.RegisterTable("orders", &data.orders);
+  for (auto _ : state) {
+    auto out = RunSql(
+        "SELECT * FROM lineitem WHERE l_shipdate < '1995-01-01'", catalog,
+        executor);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.lineitem.row_count()));
+}
+BENCHMARK(BM_EngineScanFilterLarge)->Unit(benchmark::kMillisecond);
+
 void BM_EngineHashJoin(benchmark::State& state) {
   const Catalog catalog = Catalog::TpchCatalog();
   static const TpchData data = GenerateTpch(0.01);

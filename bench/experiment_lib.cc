@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "common/thread_pool.h"
 #include "ir/analysis.h"
 #include "ir/binder.h"
 #include "obs/metrics.h"
@@ -62,7 +63,11 @@ bool EmitBenchReport(const std::string& name,
   if (path == nullptr || *path == '\0') return true;
   std::string out = "{\"bench\":\"";
   out += obs::internal::JsonEscape(name);
-  out += "\",\"summary\":";
+  // The execution width the run used (SIA_THREADS / hardware), so a
+  // report is interpretable without knowing the environment it ran in.
+  out += "\",\"threads\":";
+  out += std::to_string(ThreadPool::Shared().thread_count());
+  out += ",\"summary\":";
   out += summary_json;
   out += ",\"metrics\":";
   out += obs::MetricsRegistry::Instance().SnapshotJson();

@@ -64,8 +64,10 @@ void PrintHeader(const std::string& title);
 void EnableBenchObservability();
 
 // When SIA_BENCH_JSON is set, writes
-//   {"bench":"<name>","summary":<summary_json>,"metrics":<snapshot>}
-// to that path ("-" or "stdout" for stdout). `summary_json` must be a
+//   {"bench":"<name>","threads":N,"summary":<summary_json>,
+//    "metrics":<snapshot>}
+// to that path ("-" or "stdout" for stdout); `threads` is the shared
+// pool's execution width (SIA_THREADS). `summary_json` must be a
 // complete JSON value. No-op (returning true) when the env var is
 // unset; returns false after printing to stderr when the write fails.
 bool EmitBenchReport(const std::string& name,

@@ -8,14 +8,21 @@
 # seeded generated workload (with the full Sia rewrite enabled) and
 # requires zero diagnostics.
 #
-# Two observability gates run as part of the standard pass:
-#   - the src/obs concurrency tests are rebuilt and re-run under
-#     ThreadSanitizer (a dedicated build dir holding only sia_obs +
-#     obs_test, so the pass stays cheap);
+# Concurrency gates run as part of the standard pass:
+#   - the src/obs concurrency tests AND the threading-substrate tests
+#     (tests/parallel_test.cc: ParallelFor, morsel-parallel execution,
+#     the single-flight rewrite cache, the batch rewriter) are rebuilt
+#     and re-run under ThreadSanitizer in a dedicated build dir;
 #   - an overhead guard builds bench_micro twice — observability
 #     compiled in but disabled (the shipping configuration) vs compiled
 #     out via -DSIA_DISABLE_OBS=ON — and asserts the instrumented hot
-#     paths stay within OBS_OVERHEAD_PCT of the obs-free baseline.
+#     paths stay within OBS_OVERHEAD_PCT of the obs-free baseline
+#     (pinned to SIA_THREADS=1 so pool scheduling noise stays out of
+#     the nanosecond-scale comparison);
+#   - a threads sweep runs bench_fig9_runtime at SIA_THREADS=1 and 4
+#     and asserts the per-scale result_hash (an order-sensitive digest
+#     of every original query's output) is identical — the engine's
+#     byte-identical-output-at-any-thread-count contract, end to end.
 #
 # `check.sh --fault-sweep` additionally runs the robustness fault sweep:
 # for every fault point the pipeline declares, the fault_sweep_test
@@ -114,18 +121,23 @@ echo "== sia_lint --workload ${LINT_WORKLOAD} --rewrite" \
 "${LINT}" --werror -q --workload "${LINT_WORKLOAD}" --rewrite \
   --max-iterations "${LINT_ITERATIONS}"
 
-# --- Observability gates -------------------------------------------------
+# --- Concurrency gates ---------------------------------------------------
 # src/obs is lock-light by design (relaxed atomics on counters, one
-# mutex per thread-local trace ring); run its concurrency tests under
-# ThreadSanitizer in a dedicated build dir. The obs_test binary links
-# only sia_obs, so this build is a handful of translation units — it
-# does not rebuild the solver-heavy rest of the tree. TSan is
+# mutex per thread-local trace ring), and the threading substrate
+# (ThreadPool, morsel-parallel execution, the single-flight rewrite
+# cache) is where any data race in the tree would live; run both test
+# binaries under ThreadSanitizer in a dedicated build dir. TSan is
 # incompatible with ASan, hence the separate dir.
 TSAN_DIR="${BUILD_DIR}-tsan"
-echo "== obs concurrency tests under ThreadSanitizer (${TSAN_DIR})"
+echo "== obs + parallel concurrency tests under ThreadSanitizer (${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DSIA_SANITIZE=thread >/dev/null
-cmake --build "${TSAN_DIR}" -j "${JOBS}" --target obs_test
-"${TSAN_DIR}/tests/obs_test" --gtest_brief=1
+cmake --build "${TSAN_DIR}" -j "${JOBS}" --target obs_test parallel_test
+# scripts/tsan.supp silences reports from inside uninstrumented libz3
+# frames (Z3's global allocator locking); our own code is not suppressed.
+TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+  "${TSAN_DIR}/tests/obs_test" --gtest_brief=1
+TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+  "${TSAN_DIR}/tests/parallel_test" --gtest_brief=1
 
 # Overhead guard: with SIA_METRICS/SIA_TRACE unset, the entire cost of
 # the compiled-in instrumentation is one relaxed atomic load per site.
@@ -141,16 +153,18 @@ cmake -B "${OBS_ON_DIR}" -S . >/dev/null
 cmake -B "${OBS_OFF_DIR}" -S . -DSIA_DISABLE_OBS=ON >/dev/null
 cmake --build "${OBS_ON_DIR}" -j "${JOBS}" --target bench_micro
 cmake --build "${OBS_OFF_DIR}" -j "${JOBS}" --target bench_micro
-OBS_BENCH_FILTER='BM_ParseQuery|BM_BindPredicate|BM_EngineScanFilter'
+OBS_BENCH_FILTER='BM_ParseQuery|BM_BindPredicate|BM_EngineScanFilter$'
 unset SIA_METRICS SIA_TRACE  # the guard measures the idle gate
 # Interleave separate runs of the two binaries and take the per-benchmark
 # minimum across all of them: alternation cancels machine-load drift that
-# would otherwise swamp the ~1ns/site cost being measured.
+# would otherwise swamp the ~1ns/site cost being measured. SIA_THREADS=1
+# keeps pool scheduling out of the numbers: the comparison is about the
+# per-site instrumentation gate, not parallel speedup variance.
 for rep in 1 2 3; do
-  "${OBS_ON_DIR}/bench/bench_micro" \
+  SIA_THREADS=1 "${OBS_ON_DIR}/bench/bench_micro" \
     --benchmark_filter="${OBS_BENCH_FILTER}" \
     --benchmark_format=json > "${OBS_ON_DIR}/obs_overhead.${rep}.json"
-  "${OBS_OFF_DIR}/bench/bench_micro" \
+  SIA_THREADS=1 "${OBS_OFF_DIR}/bench/bench_micro" \
     --benchmark_filter="${OBS_BENCH_FILTER}" \
     --benchmark_format=json > "${OBS_OFF_DIR}/obs_overhead.${rep}.json"
 done
@@ -192,6 +206,48 @@ for name in sorted(off):
 if failed:
     print(f"ERROR: disabled observability exceeds {tol}% overhead",
           file=sys.stderr)
+    sys.exit(1)
+EOF
+
+# --- Threads sweep: byte-identical results at every thread count ---------
+# Run the Fig. 9 runtime bench serially and at 4 threads and require the
+# per-scale result_hash values to match. The hash folds (row_count,
+# content_hash, order_hash) of every ORIGINAL query execution, so it is
+# immune to rewrite-side variance (a solver budget expiring under load)
+# while still catching any morsel-parallel ordering or aliasing bug.
+echo "== threads sweep (SIA_THREADS=1 vs 4: identical result hashes)"
+cmake --build "${OBS_ON_DIR}" -j "${JOBS}" --target bench_fig9_runtime
+for t in 1 4; do
+  SIA_THREADS="${t}" SIA_BENCH_QUERIES=3 SIA_BENCH_ITERATIONS=2 \
+    SIA_BENCH_JSON="${OBS_ON_DIR}/fig9_t${t}.json" \
+    "${OBS_ON_DIR}/bench/bench_fig9_runtime" >/dev/null
+done
+python3 - "${OBS_ON_DIR}/fig9_t1.json" "${OBS_ON_DIR}/fig9_t4.json" <<'EOF'
+import json, sys
+
+docs = {}
+for path in sys.argv[1:]:
+    with open(path) as f:
+        docs[path] = json.load(f)
+failed = False
+hashes = {}
+for path, doc in docs.items():
+    threads = doc["threads"]
+    want = 1 if "t1" in path else 4
+    if threads != want:
+        print(f"   {path}: reports threads={threads}, expected {want}",
+              file=sys.stderr)
+        failed = True
+    for scale in doc["summary"]["scales"]:
+        hashes.setdefault(scale["sf"], {})[path] = scale["result_hash"]
+for sf, by_path in sorted(hashes.items()):
+    values = set(by_path.values())
+    status = "ok" if len(values) == 1 else "FAIL"
+    print(f"   sf={sf}: result_hash {' vs '.join(sorted(values))} {status}")
+    if len(values) != 1:
+        failed = True
+if failed:
+    print("ERROR: thread count changed query results", file=sys.stderr)
     sys.exit(1)
 EOF
 

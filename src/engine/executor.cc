@@ -1,13 +1,16 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "check/plan_validator.h"
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "engine/cursors.h"
 #include "engine/exec_expr.h"
 #include "engine/vector_filter.h"
@@ -16,6 +19,16 @@
 #include "obs/trace.h"
 
 namespace sia {
+
+Status CheckRowIndexLimit(size_t row_count, const std::string& what) {
+  if (row_count > kMaxRowIndex) {
+    return Status::InvalidArgument(
+        what + " has " + std::to_string(row_count) +
+        " rows, which exceeds the 32-bit row-index limit (" +
+        std::to_string(kMaxRowIndex) + ")");
+  }
+  return Status::OK();
+}
 
 size_t Relation::column_count() const {
   size_t n = 0;
@@ -68,6 +81,19 @@ class RelationRow final : public RowAccessor {
   size_t row_ = 0;
 };
 
+// Rows per morsel for every parallel loop in the executor. A fixed row
+// count (multiple of the vectorized filter's 2048-row block, and never a
+// function of the thread count) is what makes morsel boundaries — and
+// therefore ordered-concatenation output and order_hash — identical at
+// every SIA_THREADS setting. 16K rows is ~128KB of key columns: small
+// enough to balance across workers, large enough that the per-chunk
+// claim (one atomic fetch_add) is noise.
+constexpr size_t kMorselRows = 16384;
+
+constexpr size_t MorselCount(size_t rows) {
+  return rows == 0 ? 0 : (rows + kMorselRows - 1) / kMorselRows;
+}
+
 uint64_t MixHash(uint64_t h, uint64_t v) {
   h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
   return h;
@@ -102,27 +128,66 @@ std::vector<DataType> ConcatTypes(const Relation& rel) {
   return types;
 }
 
-// Filters a relation in place by a compiled predicate.
-void FilterRelation(Relation* rel, const CompiledExpr& pred) {
-  RelationRow row(*rel);
+// Per-morsel output sizes -> start offset of each morsel in the
+// concatenated result. Returns the total; offsets gets morsels+1 entries.
+template <typename Sized>
+size_t PrefixOffsets(const std::vector<Sized>& per_morsel,
+                     std::vector<size_t>* offsets) {
+  offsets->assign(per_morsel.size() + 1, 0);
+  for (size_t m = 0; m < per_morsel.size(); ++m) {
+    (*offsets)[m + 1] = (*offsets)[m] + per_morsel[m].size();
+  }
+  return offsets->back();
+}
+
+// Filters a relation in place by a compiled predicate. Morsel-parallel:
+// each morsel collects its passing positions into a local vector
+// (CompiledExpr::Run is const and shares no state, so one instance
+// serves every worker), then the gather into the new row-index vectors
+// writes disjoint presized slots. Output order matches the serial loop.
+// Status-returning because a join can legitimately produce more than
+// 2^32 intermediate positions, which must refuse to narrow.
+Status FilterRelation(Relation* rel, const CompiledExpr& pred,
+                      ThreadPool& pool) {
   const size_t n = rel->row_count();
-  std::vector<uint32_t> keep;
-  keep.reserve(n / 2);
-  for (size_t i = 0; i < n; ++i) {
-    row.set_row(i);
-    if (pred.EvalPredicate(row) == 1) {
-      keep.push_back(static_cast<uint32_t>(i));
-    }
-  }
-  std::vector<std::vector<uint32_t>> new_rows(rel->rows.size());
-  for (size_t p = 0; p < rel->rows.size(); ++p) {
-    new_rows[p].reserve(keep.size());
-    for (const uint32_t i : keep) new_rows[p].push_back(rel->rows[p][i]);
-  }
+  SIA_RETURN_IF_ERROR(CheckRowIndexLimit(n, "filter input"));
+  std::vector<std::vector<RowIndex>> keep(MorselCount(n));
+  SIA_RETURN_IF_ERROR(
+      pool.ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+        RelationRow row(*rel);
+        std::vector<RowIndex>& local = keep[begin / kMorselRows];
+        for (size_t i = begin; i < end; ++i) {
+          row.set_row(i);
+          if (pred.EvalPredicate(row) == 1) {
+            local.push_back(static_cast<RowIndex>(i));
+          }
+        }
+        return Status::OK();
+      }));
+  std::vector<size_t> offsets;
+  const size_t total = PrefixOffsets(keep, &offsets);
+  std::vector<std::vector<RowIndex>> new_rows(rel->rows.size());
+  for (auto& part : new_rows) part.resize(total);
+  SIA_RETURN_IF_ERROR(
+      pool.ParallelFor(n, kMorselRows, [&](size_t begin, size_t) {
+        const size_t m = begin / kMorselRows;
+        const std::vector<RowIndex>& local = keep[m];
+        for (size_t p = 0; p < rel->rows.size(); ++p) {
+          const std::vector<RowIndex>& src = rel->rows[p];
+          RowIndex* dst = new_rows[p].data() + offsets[m];
+          for (size_t k = 0; k < local.size(); ++k) dst[k] = src[local[k]];
+        }
+        return Status::OK();
+      }));
   rel->rows = std::move(new_rows);
+  return Status::OK();
 }
 
 }  // namespace
+
+ThreadPool& Executor::pool() const {
+  return pool_ != nullptr ? *pool_ : ThreadPool::Shared();
+}
 
 void Executor::RegisterTable(const std::string& name, const Table* table) {
   tables_[name] = table;
@@ -155,36 +220,62 @@ Result<Relation> Executor::ExecuteScan(const PlanPtr& plan,
           "expects " + DataTypeName(plan->output_schema().column(i).type));
     }
   }
+  SIA_RETURN_IF_ERROR(CheckRowIndexLimit(
+      table->row_count(), "storage for table '" + plan->table() + "'"));
   Relation rel;
   rel.parts = {table};
   rel.rows.resize(1);
-  stats->rows_scanned += table->row_count();
+  const size_t n = table->row_count();
+  stats->rows_scanned += n;
 
   if (plan->predicate() == nullptr) {
-    rel.rows[0].resize(table->row_count());
-    for (size_t i = 0; i < table->row_count(); ++i) {
-      rel.rows[0][i] = static_cast<uint32_t>(i);
-    }
+    rel.rows[0].resize(n);
+    std::vector<RowIndex>& out = rel.rows[0];
+    SIA_RETURN_IF_ERROR(
+        pool().ParallelFor(n, kMorselRows, [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            out[i] = static_cast<RowIndex>(i);
+          }
+          return Status::OK();
+        }));
   } else {
-    rel.rows[0].reserve(table->row_count() / 2);
     // Prefer the vectorized kernel; fall back to the row-at-a-time
-    // interpreter for DOUBLE programs or NULL-bearing columns.
-    bool vectorized = false;
+    // interpreter for DOUBLE programs or NULL-bearing columns. Each
+    // morsel chooses independently (the NULL check is per column and
+    // cheap), and a fallback is no longer invisible: it bumps
+    // exec.scan.vectorized_fallback. The interpreter is compiled up
+    // front — a morsel must never hit a compile error mid-flight — but
+    // its compile status only matters if some morsel actually falls
+    // back, matching the serial engine's observable behavior.
     auto vf = VectorizedFilter::Compile(plan->predicate());
-    if (vf.ok()) {
-      vectorized = vf->FilterTable(*table, &rel.rows[0]).ok();
-      if (!vectorized) rel.rows[0].clear();
-    }
-    if (!vectorized) {
-      SIA_ASSIGN_OR_RETURN(CompiledExpr pred,
-                           CompiledExpr::Compile(plan->predicate()));
-      TableCursor row(*table);
-      for (size_t i = 0; i < table->row_count(); ++i) {
-        row.set_row(i);
-        if (pred.EvalPredicate(row) == 1) {
-          rel.rows[0].push_back(static_cast<uint32_t>(i));
-        }
-      }
+    auto interp = CompiledExpr::Compile(plan->predicate());
+    std::vector<std::vector<RowIndex>> found(MorselCount(n));
+    SIA_RETURN_IF_ERROR(pool().ParallelFor(
+        n, kMorselRows, [&](size_t begin, size_t end) -> Status {
+          std::vector<RowIndex>& local = found[begin / kMorselRows];
+          if (vf.ok()) {
+            if (vf->FilterRange(*table, begin, end, &local).ok()) {
+              return Status::OK();
+            }
+            local.clear();
+            SIA_COUNTER_INC("exec.scan.vectorized_fallback");
+          }
+          if (!interp.ok()) return interp.status();
+          TableCursor row(*table);
+          for (size_t i = begin; i < end; ++i) {
+            row.set_row(i);
+            if (interp->EvalPredicate(row) == 1) {
+              local.push_back(static_cast<RowIndex>(i));
+            }
+          }
+          return Status::OK();
+        }));
+    // Ordered concatenation: morsel boundaries are fixed, so this is
+    // byte-identical to the single-threaded scan.
+    std::vector<size_t> offsets;
+    rel.rows[0].reserve(PrefixOffsets(found, &offsets));
+    for (const std::vector<RowIndex>& local : found) {
+      rel.rows[0].insert(rel.rows[0].end(), local.begin(), local.end());
     }
   }
   stats->rows_after_scan_filter += rel.row_count();
@@ -197,7 +288,7 @@ Result<Relation> Executor::ExecuteFilter(const PlanPtr& plan,
   SIA_TRACE_SPAN("exec.filter");  // opened after the child so spans nest
   SIA_ASSIGN_OR_RETURN(CompiledExpr pred,
                        CompiledExpr::Compile(plan->predicate()));
-  FilterRelation(&rel, pred);
+  SIA_RETURN_IF_ERROR(FilterRelation(&rel, pred, pool()));
   return rel;
 }
 
@@ -235,6 +326,9 @@ Result<Relation> Executor::ExecuteJoin(const PlanPtr& plan,
 
   stats->join_build_rows += right.row_count();
   stats->join_probe_rows += left.row_count();
+  SIA_RETURN_IF_ERROR(CheckRowIndexLimit(left.row_count(), "join probe input"));
+  SIA_RETURN_IF_ERROR(
+      CheckRowIndexLimit(right.row_count(), "join build input"));
 
   Relation out;
   out.parts = left.parts;
@@ -245,20 +339,12 @@ Result<Relation> Executor::ExecuteJoin(const PlanPtr& plan,
 
   const size_t lparts = left.parts.size();
 
-  auto emit = [&](size_t lrow, size_t rrow) {
-    for (size_t p = 0; p < lparts; ++p) {
-      out.rows[p].push_back(left.rows[p][lrow]);
-    }
-    for (size_t p = 0; p < right.parts.size(); ++p) {
-      out.rows[lparts + p].push_back(right.rows[p][rrow]);
-    }
-  };
-
   if (!keys.empty()) {
-    // Hash join: build on the right input.
+    // Hash join: serial build on the right input, morsel-parallel probe
+    // over the left. The build table is read-only during the probe
+    // (equal_range on a const multimap), so workers share it freely.
     RelationRow rrow(right);
-    RelationRow lrow(left);
-    std::unordered_multimap<uint64_t, uint32_t> build;
+    std::unordered_multimap<uint64_t, RowIndex> build;
     build.reserve(right.row_count() * 2);
     auto key_hash = [&](const RelationRow& row, bool is_left) -> uint64_t {
       uint64_t h = 0x12345678ULL;
@@ -272,30 +358,74 @@ Result<Relation> Executor::ExecuteJoin(const PlanPtr& plan,
     for (size_t i = 0; i < right.row_count(); ++i) {
       rrow.set_row(i);
       const uint64_t h = key_hash(rrow, false);
-      if (h != UINT64_MAX) build.emplace(h, static_cast<uint32_t>(i));
+      if (h != UINT64_MAX) build.emplace(h, static_cast<RowIndex>(i));
     }
-    auto keys_equal = [&](size_t li, size_t ri) {
-      lrow.set_row(li);
-      rrow.set_row(ri);
-      for (const auto& [lc, rc] : keys) {
-        if (lrow.IntAt(lc) != rrow.IntAt(rc)) return false;
-      }
-      return true;
-    };
-    for (size_t i = 0; i < left.row_count(); ++i) {
-      lrow.set_row(i);
-      const uint64_t h = key_hash(lrow, true);
-      if (h == UINT64_MAX) continue;
-      auto [begin, end] = build.equal_range(h);
-      for (auto it = begin; it != end; ++it) {
-        if (keys_equal(i, it->second)) emit(i, it->second);
-      }
-    }
+    // Each probe morsel collects (left row, right row) matches locally;
+    // within a morsel the order is the serial probe order (left rows
+    // ascending, bucket order per row), so the ordered concatenation
+    // below reproduces the serial join byte for byte.
+    const size_t ln = left.row_count();
+    std::vector<std::vector<std::pair<RowIndex, RowIndex>>> matches(
+        MorselCount(ln));
+    SIA_RETURN_IF_ERROR(
+        pool().ParallelFor(ln, kMorselRows, [&](size_t begin, size_t end) {
+          RelationRow lcur(left);
+          RelationRow rcur(right);
+          auto& local = matches[begin / kMorselRows];
+          for (size_t i = begin; i < end; ++i) {
+            lcur.set_row(i);
+            const uint64_t h = key_hash(lcur, true);
+            if (h == UINT64_MAX) continue;
+            auto [bucket, bucket_end] = build.equal_range(h);
+            for (auto it = bucket; it != bucket_end; ++it) {
+              rcur.set_row(it->second);
+              bool equal = true;
+              for (const auto& [lc, rc] : keys) {
+                if (lcur.IntAt(lc) != rcur.IntAt(rc)) {
+                  equal = false;
+                  break;
+                }
+              }
+              if (equal) local.emplace_back(static_cast<RowIndex>(i),
+                                            it->second);
+            }
+          }
+          return Status::OK();
+        }));
+    std::vector<size_t> offsets;
+    const size_t total = PrefixOffsets(matches, &offsets);
+    for (auto& part : out.rows) part.resize(total);
+    SIA_RETURN_IF_ERROR(
+        pool().ParallelFor(ln, kMorselRows, [&](size_t begin, size_t) {
+          const size_t m = begin / kMorselRows;
+          const auto& local = matches[m];
+          for (size_t p = 0; p < lparts; ++p) {
+            RowIndex* dst = out.rows[p].data() + offsets[m];
+            const std::vector<RowIndex>& src = left.rows[p];
+            for (size_t k = 0; k < local.size(); ++k) {
+              dst[k] = src[local[k].first];
+            }
+          }
+          for (size_t p = 0; p < right.parts.size(); ++p) {
+            RowIndex* dst = out.rows[lparts + p].data() + offsets[m];
+            const std::vector<RowIndex>& src = right.rows[p];
+            for (size_t k = 0; k < local.size(); ++k) {
+              dst[k] = src[local[k].second];
+            }
+          }
+          return Status::OK();
+        }));
   } else {
-    // Nested-loop fallback (no equi conjunct).
+    // Nested-loop fallback (no equi conjunct); rare enough to stay
+    // serial.
     for (size_t i = 0; i < left.row_count(); ++i) {
       for (size_t j = 0; j < right.row_count(); ++j) {
-        emit(i, j);
+        for (size_t p = 0; p < lparts; ++p) {
+          out.rows[p].push_back(left.rows[p][i]);
+        }
+        for (size_t p = 0; p < right.parts.size(); ++p) {
+          out.rows[lparts + p].push_back(right.rows[p][j]);
+        }
       }
     }
   }
@@ -304,7 +434,7 @@ Result<Relation> Executor::ExecuteJoin(const PlanPtr& plan,
     SIA_ASSIGN_OR_RETURN(
         CompiledExpr pred,
         CompiledExpr::Compile(CombineConjuncts(residual)));
-    FilterRelation(&out, pred);
+    SIA_RETURN_IF_ERROR(FilterRelation(&out, pred, pool()));
   }
   stats->join_output_rows += out.row_count();
   return out;
@@ -341,13 +471,15 @@ Result<Relation> Executor::ExecuteNode(const PlanPtr& plan,
         out_row[k.size()] = count;
         out_table->AppendIntRow(out_row);
       }
+      SIA_RETURN_IF_ERROR(
+          CheckRowIndexLimit(out_table->row_count(), "aggregate output"));
       Relation out;
       out.owned.push_back(out_table);
       out.parts = {out_table.get()};
       out.rows.resize(1);
       out.rows[0].resize(out_table->row_count());
       for (size_t i = 0; i < out_table->row_count(); ++i) {
-        out.rows[0][i] = static_cast<uint32_t>(i);
+        out.rows[0][i] = static_cast<RowIndex>(i);
       }
       return out;
     }
@@ -365,13 +497,15 @@ Result<Relation> Executor::ExecuteNode(const PlanPtr& plan,
         }
         out_table->AppendIntRow(out_row);
       }
+      SIA_RETURN_IF_ERROR(
+          CheckRowIndexLimit(out_table->row_count(), "project output"));
       Relation out;
       out.owned.push_back(out_table);
       out.parts = {out_table.get()};
       out.rows.resize(1);
       out.rows[0].resize(out_table->row_count());
       for (size_t i = 0; i < out_table->row_count(); ++i) {
-        out.rows[0][i] = static_cast<uint32_t>(i);
+        out.rows[0][i] = static_cast<RowIndex>(i);
       }
       return out;
     }
@@ -391,14 +525,38 @@ Result<QueryOutput> Executor::Execute(const PlanPtr& plan) {
   out.row_count = rel.row_count();
   out.stats.output_rows = out.row_count;
 
+  // Output digests, morsel-parallel. content_hash is a wrap-around sum
+  // of row hashes — commutative, so summing per-morsel partials equals
+  // the serial sum bit for bit. order_hash folds the per-morsel
+  // order-sensitive digests in morsel order; morsel boundaries are
+  // fixed, so it too is thread-count invariant.
   const std::vector<DataType> types = ConcatTypes(rel);
-  RelationRow row(rel);
+  const size_t out_rows = rel.row_count();
+  std::vector<uint64_t> sum_parts(MorselCount(out_rows), 0);
+  std::vector<uint64_t> ord_parts(MorselCount(out_rows), 0);
+  SIA_RETURN_IF_ERROR(
+      pool().ParallelFor(out_rows, kMorselRows, [&](size_t begin, size_t end) {
+        RelationRow row(rel);
+        uint64_t sum = 0;
+        uint64_t ord = 1469598103934665603ULL;
+        for (size_t i = begin; i < end; ++i) {
+          row.set_row(i);
+          const uint64_t h = HashRow(row, types.size(), types);
+          sum += h;
+          ord = MixHash(ord, h);
+        }
+        sum_parts[begin / kMorselRows] = sum;
+        ord_parts[begin / kMorselRows] = ord;
+        return Status::OK();
+      }));
   uint64_t hash = 0;
-  for (size_t i = 0; i < rel.row_count(); ++i) {
-    row.set_row(i);
-    hash += HashRow(row, types.size(), types);  // order-insensitive sum
+  uint64_t order = 1469598103934665603ULL;
+  for (size_t m = 0; m < sum_parts.size(); ++m) {
+    hash += sum_parts[m];
+    order = MixHash(order, ord_parts[m]);
   }
   out.content_hash = hash;
+  out.order_hash = order;
   out.elapsed_ms = sw.ElapsedMillis();
   // Bridge the per-query ExecStats onto the registry (the struct remains
   // the per-call API; these are the process-wide running totals).

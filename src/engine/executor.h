@@ -13,6 +13,21 @@
 
 namespace sia {
 
+class ThreadPool;
+
+// Row positions inside a Relation are 32-bit: four bytes per (part, row)
+// cell is what keeps join intermediates cheap. Any input or intermediate
+// larger than kMaxRowIndex rows must be rejected up front — a silent
+// static_cast<RowIndex> of a wider offset would alias back into the
+// table (row 2^32 becomes row 0) and return wrong results.
+using RowIndex = uint32_t;
+inline constexpr size_t kMaxRowIndex = UINT32_MAX;
+
+// Returns InvalidArgument naming `what` when `row_count` exceeds the
+// 32-bit row-index domain; every executor stage that narrows a size_t
+// row number into a RowIndex guards with this first.
+Status CheckRowIndexLimit(size_t row_count, const std::string& what);
+
 // A (possibly multi-part) row view over base tables: the result of a scan
 // or a chain of joins is represented as aligned row-index vectors into
 // the participating base tables rather than a materialized copy. The
@@ -20,7 +35,7 @@ namespace sia {
 struct Relation {
   std::vector<const Table*> parts;
   // rows[p][i] = row of parts[p] contributing to output row i.
-  std::vector<std::vector<uint32_t>> rows;
+  std::vector<std::vector<RowIndex>> rows;
   // Materialized intermediates (aggregate/project outputs) that `parts`
   // may point into; shared so Relation copies stay valid.
   std::vector<std::shared_ptr<Table>> owned;
@@ -47,6 +62,11 @@ struct QueryOutput {
   // semantically equivalent queries over the same data produce equal
   // hashes (used to validate rewrites end-to-end).
   uint64_t content_hash = 0;
+  // Order-SENSITIVE digest of the output rows. Morsel boundaries are a
+  // fixed row count (never derived from the thread count), so this is
+  // identical at every SIA_THREADS setting — it is how the parallel
+  // tests assert byte-identical output, not just multiset equality.
+  uint64_t order_hash = 0;
   double elapsed_ms = 0;
   ExecStats stats;
 };
@@ -54,10 +74,19 @@ struct QueryOutput {
 // Executes logical plans against registered in-memory tables.
 // Supported nodes: Scan (with filter), Filter, inner hash Join (at least
 // one equi-conjunct required), Aggregate (COUNT(*) per group), Project.
+//
+// Scan/filter predicates and the join probe run morsel-parallel on a
+// ThreadPool (the process-wide ThreadPool::Shared() unless overridden),
+// with per-morsel results concatenated in morsel order — output is
+// byte-identical to the single-threaded engine at every thread count.
 class Executor {
  public:
   // Tables are borrowed; they must outlive the executor.
   void RegisterTable(const std::string& name, const Table* table);
+
+  // Overrides the pool queries execute on (nullptr = back to Shared()).
+  // Borrowed; used by tests to pin exact thread counts.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   Result<QueryOutput> Execute(const PlanPtr& plan);
 
@@ -67,7 +96,10 @@ class Executor {
   Result<Relation> ExecuteFilter(const PlanPtr& plan, ExecStats* stats);
   Result<Relation> ExecuteJoin(const PlanPtr& plan, ExecStats* stats);
 
+  ThreadPool& pool() const;
+
   std::map<std::string, const Table*> tables_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace sia

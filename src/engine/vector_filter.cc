@@ -96,6 +96,12 @@ Result<VectorizedFilter> VectorizedFilter::Compile(const ExprPtr& expr) {
 
 Status VectorizedFilter::FilterTable(const Table& table,
                                      std::vector<uint32_t>* out) const {
+  return FilterRange(table, 0, table.row_count(), out);
+}
+
+Status VectorizedFilter::FilterRange(const Table& table, size_t begin_row,
+                                     size_t end_row,
+                                     std::vector<uint32_t>* out) const {
   // NULL-bearing columns fall back (checked once, not per row).
   for (const VOp& op : ops_) {
     if (static_cast<OpCode>(op.code) == OpCode::kLoadInt &&
@@ -109,8 +115,8 @@ Status VectorizedFilter::FilterTable(const Table& table,
   for (auto& s : scratch) s.resize(kBlock);
   std::vector<VSlot> stack(max_stack_ + 1);
 
-  const size_t rows = table.row_count();
-  for (size_t base = 0; base < rows; base += kBlock) {
+  const size_t rows = std::min(end_row, table.row_count());
+  for (size_t base = begin_row; base < rows; base += kBlock) {
     const size_t n = std::min(kBlock, rows - base);
     size_t sp = 0;
     for (const VOp& vop : ops_) {

@@ -33,6 +33,15 @@ class VectorizedFilter {
   // return Unsupported (fall back).
   Status FilterTable(const Table& table, std::vector<uint32_t>* out) const;
 
+  // FilterTable restricted to rows [begin_row, end_row): the morsel-
+  // parallel scan runs one FilterRange per morsel into a morsel-local
+  // vector. Appended indices are absolute row numbers, so concatenating
+  // per-morsel outputs in morsel order reproduces FilterTable exactly.
+  // Blocks are aligned to the range start, not to row 0; results do not
+  // depend on the split points, only on the predicate.
+  Status FilterRange(const Table& table, size_t begin_row, size_t end_row,
+                     std::vector<uint32_t>* out) const;
+
  private:
   struct VOp {
     uint8_t code;      // mirrors CompiledExpr::OpCode numeric values

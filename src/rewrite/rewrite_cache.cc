@@ -35,14 +35,17 @@ void RewriteCache::Insert(const ExprPtr& bound_predicate,
 
 RewriteCache::Stats RewriteCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  return Stats{hits_, misses_, entries_.size(), coalesced_};
 }
 
 void RewriteCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // In-flight markers are deliberately left alone: their leaders will
+  // still erase them and wake any waiters.
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  coalesced_ = 0;
 }
 
 }  // namespace sia

@@ -1,11 +1,16 @@
 #ifndef SIA_REWRITE_REWRITE_CACHE_H_
 #define SIA_REWRITE_REWRITE_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "ir/expr.h"
@@ -20,21 +25,34 @@ namespace sia {
 // is paid once per distinct predicate shape.
 //
 // Keys canonicalize through the bound predicate's printed form, which is
-// deterministic for structurally identical predicates. Thread-safe.
+// deterministic for structurally identical predicates. Thread-safe, with
+// single-flight misses: when N batch-rewrite workers miss on the same
+// key concurrently, exactly one runs synthesize() while the others block
+// on the in-flight entry and are served its result — never N CEGIS runs
+// for one key, and never a last-writer-wins insert race.
 class RewriteCache {
  public:
   struct Entry {
     SynthesisStatus status = SynthesisStatus::kNone;
     ExprPtr predicate;  // null for kNone
+    // Ordinal of the RewriteRung (rewrite/sia_rewriter.h) that produced
+    // the entry; stored as an int because that enum lives above this
+    // header in the layering. 3 == kOriginal (no rewrite).
+    int rung = 3;
   };
 
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
     size_t entries = 0;
+    // Callers that found another thread's synthesis of their key in
+    // flight, blocked on it, and were served its result without running
+    // their own (each such wait also counts as a hit once served).
+    size_t coalesced = 0;
   };
 
-  // Returns the cached entry, or nullopt on miss.
+  // Returns the cached entry, or nullopt on miss. Does not wait for
+  // in-flight synthesis; use GetOrSynthesize for single-flight reads.
   std::optional<Entry> Lookup(const ExprPtr& bound_predicate,
                               const std::vector<size_t>& cols);
 
@@ -42,20 +60,45 @@ class RewriteCache {
   void Insert(const ExprPtr& bound_predicate,
               const std::vector<size_t>& cols, Entry entry);
 
-  // Looks up, and on a miss runs `synthesize()` and caches its result.
-  // `synthesize` must return a Result<SynthesisResult>.
+  // Looks up, and on a miss runs `synthesize()` — at most once per key
+  // across all concurrent callers — and caches its result. `synthesize`
+  // returns either Result<Entry> or (legacy form) Result<SynthesisResult>.
+  //
+  // Concurrency: the first thread to miss on a key becomes its leader
+  // and synthesizes outside the lock; later arrivals block until the
+  // leader publishes, then return its entry. A failed synthesis is NOT
+  // cached — the leader returns the error and one waiter takes over as
+  // the new leader, so a transient solver failure does not poison the
+  // key. A synthesize() that throws is mapped to kInternal (leaking the
+  // exception would strand the waiters).
   template <typename F>
   Result<Entry> GetOrSynthesize(const ExprPtr& bound_predicate,
                                 const std::vector<size_t>& cols,
                                 F&& synthesize) {
-    if (auto hit = Lookup(bound_predicate, cols)) return *hit;
-    auto result = synthesize();
-    if (!result.ok()) return result.status();
-    Entry entry;
-    entry.status = result->status;
-    entry.predicate = result->predicate;
-    Insert(bound_predicate, cols, entry);
-    return entry;
+    const std::string key = MakeKey(bound_predicate, cols);
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      const auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        return it->second;
+      }
+      if (inflight_.insert(key).second) break;  // we lead; synthesize below
+      ++coalesced_;
+      inflight_cv_.wait(lock, [&] { return !inflight_.contains(key); });
+      // Re-check from the top: entry present means the leader published
+      // (count it a hit); entry absent means the leader failed and this
+      // thread may take over.
+    }
+    ++misses_;
+    lock.unlock();
+    Result<Entry> result = RunSynthesize(std::forward<F>(synthesize));
+    lock.lock();
+    inflight_.erase(key);
+    inflight_cv_.notify_all();
+    if (!result.ok()) return result;
+    entries_[key] = *result;
+    return result;
   }
 
   Stats stats() const;
@@ -65,10 +108,37 @@ class RewriteCache {
   static std::string MakeKey(const ExprPtr& bound_predicate,
                              const std::vector<size_t>& cols);
 
+  template <typename F>
+  static Result<Entry> RunSynthesize(F&& synthesize) {
+    using R = std::decay_t<decltype(synthesize())>;
+    try {
+      if constexpr (std::is_same_v<R, Result<Entry>>) {
+        return synthesize();
+      } else {
+        // Legacy callback: Result<SynthesisResult>. kFull when a
+        // predicate was learned, kOriginal otherwise.
+        auto result = synthesize();
+        if (!result.ok()) return result.status();
+        Entry entry;
+        entry.status = result->status;
+        entry.predicate = result->predicate;
+        entry.rung = result->has_predicate() ? 0 : 3;
+        return entry;
+      }
+    } catch (const std::exception& e) {
+      return Status::Internal(std::string("synthesize() threw: ") + e.what());
+    } catch (...) {
+      return Status::Internal("synthesize() threw a non-std exception");
+    }
+  }
+
   mutable std::mutex mutex_;
+  std::condition_variable inflight_cv_;
   std::map<std::string, Entry> entries_;
+  std::set<std::string> inflight_;  // keys with a synthesis in progress
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t coalesced_ = 0;
 };
 
 }  // namespace sia

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
+#include "rewrite/rewrite_cache.h"
 #include "synth/interval_synthesizer.h"
 
 namespace sia {
@@ -154,117 +155,165 @@ Result<RewriteOutcome> RewriteQueryImpl(const ParsedQuery& query,
         Expr::Logic(LogicOp::kAnd, query.where, outcome.learned);
   };
 
-  // --- Rungs 1-2 of the degradation ladder: CEGIS synthesis, then a
-  // reseeded retry with halved budgets ---
-  struct RungPlan {
-    RewriteRung rung;
-    SynthesisOptions opts;
+  // Snapshot of the parts of `outcome` worth caching under
+  // (bound, cols); stats and degradation notes stay with this call.
+  auto make_entry = [&]() {
+    RewriteCache::Entry entry;
+    entry.status = outcome.synthesis.status;
+    entry.predicate = outcome.learned;
+    entry.rung = static_cast<int>(outcome.rung);
+    return entry;
   };
-  std::vector<RungPlan> plans;
-  plans.push_back({RewriteRung::kFull, base_opts});
-  if (options.enable_retry) {
-    SynthesisOptions retry = base_opts;
-    // A different solver seed explores a different sample trajectory;
-    // halved per-call caps and iteration count keep the retry from
-    // doubling the worst-case latency.
-    retry.samples.random_seed = base_opts.samples.random_seed + 0x9e37;
-    retry.samples.solver_timeout_ms =
-        std::max<uint32_t>(1, base_opts.samples.solver_timeout_ms / 2);
-    retry.verify.solver_timeout_ms =
-        std::max<uint32_t>(1, base_opts.verify.solver_timeout_ms / 2);
-    retry.max_iterations = std::max(1, base_opts.max_iterations / 2);
-    plans.push_back({RewriteRung::kRetry, retry});
-  }
 
-  for (const RungPlan& plan : plans) {
-    if (plan.rung != RewriteRung::kFull && base_opts.deadline.expired()) {
-      SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
-      outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
-                                    " rung skipped: deadline exhausted");
-      break;
+  // The degradation ladder, filling `outcome` as it goes and returning
+  // the cacheable entry. Runs directly, or as the single-flight miss
+  // callback when options.cache is set.
+  auto run_ladder = [&]() -> Result<RewriteCache::Entry> {
+    // --- Rungs 1-2: CEGIS synthesis, then a reseeded retry with halved
+    // budgets ---
+    struct RungPlan {
+      RewriteRung rung;
+      SynthesisOptions opts;
+    };
+    std::vector<RungPlan> plans;
+    plans.push_back({RewriteRung::kFull, base_opts});
+    if (options.enable_retry) {
+      SynthesisOptions retry = base_opts;
+      // A different solver seed explores a different sample trajectory;
+      // halved per-call caps and iteration count keep the retry from
+      // doubling the worst-case latency.
+      retry.samples.random_seed = base_opts.samples.random_seed + 0x9e37;
+      retry.samples.solver_timeout_ms =
+          std::max<uint32_t>(1, base_opts.samples.solver_timeout_ms / 2);
+      retry.verify.solver_timeout_ms =
+          std::max<uint32_t>(1, base_opts.verify.solver_timeout_ms / 2);
+      retry.max_iterations = std::max(1, base_opts.max_iterations / 2);
+      plans.push_back({RewriteRung::kRetry, retry});
     }
-    obs::TraceSpan rung_span(plan.rung == RewriteRung::kFull
-                                 ? "rewrite.rung.full"
-                                 : "rewrite.rung.retry");
-    auto synth = Synthesize(bound, joint, cols, plan.opts);
-    if (!synth.ok()) {
-      if (!IsDegradable(synth.status())) return synth.status();
-      SIA_COUNTER_INC("rewrite.degraded.synthesis_failed");
-      outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
-                                    " synthesis failed: " +
-                                    synth.status().ToString());
-      continue;
-    }
-    if (synth->has_predicate()) {
-      const Status valid = ValidateLearned(synth->predicate, joint);
-      if (!valid.ok()) {
-        SIA_COUNTER_INC("rewrite.degraded.predicate_discarded");
-        outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
-                                      " predicate discarded: " +
-                                      valid.ToString());
-        continue;
-      }
-      adopt(std::move(*synth), plan.rung);
-      return outcome;
-    }
-    if (!synth->solver_gave_up && !synth->deadline_expired) {
-      // Legitimate kNone: the query is not symbolically relevant. No
-      // lower rung can do better, so this is not a degradation — keep
-      // the original plan and stop.
-      outcome.synthesis = std::move(*synth);
-      return outcome;
-    }
-    SIA_COUNTER_INC("rewrite.degraded.gave_up");
-    outcome.degradation.push_back(
-        std::string(RewriteRungName(plan.rung)) + " synthesis gave up" +
-        (synth->deadline_expired
-             ? " (deadline expired in '" + synth->timeout_stage + "')"
-             : ""));
-    outcome.synthesis = std::move(*synth);  // keep the richest record so far
-  }
 
-  // --- Rung 3: exact single-column interval synthesis. Much cheaper
-  // than the learning loop (two OMT queries per column) and immune to
-  // SVM/learner faults, at the cost of single-column box predicates. ---
-  if (options.enable_interval_fallback) {
-    SIA_TRACE_SPAN("rewrite.rung.interval");
-    for (const size_t c : cols) {
-      if (base_opts.deadline.expired()) {
+    for (const RungPlan& plan : plans) {
+      if (plan.rung != RewriteRung::kFull && base_opts.deadline.expired()) {
         SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
-        outcome.degradation.push_back(
-            "interval rung skipped: deadline exhausted");
+        outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                      " rung skipped: deadline exhausted");
         break;
       }
-      const DataType type = joint.column(c).type;
-      if (!IsIntegral(type) || type == DataType::kBoolean) continue;
-      IntervalOptions iopts;
-      iopts.solver_timeout_ms = base_opts.samples.solver_timeout_ms;
-      iopts.deadline = base_opts.deadline;
-      auto iv = SynthesizeInterval(bound, joint, c, iopts);
-      if (!iv.ok()) {
-        if (!IsDegradable(iv.status())) return iv.status();
-        SIA_COUNTER_INC("rewrite.degraded.interval_failed");
-        outcome.degradation.push_back(
-            "interval synthesis on '" + joint.column(c).QualifiedName() +
-            "' failed: " + iv.status().ToString());
+      obs::TraceSpan rung_span(plan.rung == RewriteRung::kFull
+                                   ? "rewrite.rung.full"
+                                   : "rewrite.rung.retry");
+      auto synth = Synthesize(bound, joint, cols, plan.opts);
+      if (!synth.ok()) {
+        if (!IsDegradable(synth.status())) return synth.status();
+        SIA_COUNTER_INC("rewrite.degraded.synthesis_failed");
+        outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                      " synthesis failed: " +
+                                      synth.status().ToString());
         continue;
       }
-      if (!iv->has_predicate()) continue;
-      const Status valid = ValidateLearned(iv->predicate, joint);
-      if (!valid.ok()) {
-        SIA_COUNTER_INC("rewrite.degraded.interval_discarded");
-        outcome.degradation.push_back(
-            "interval predicate on '" + joint.column(c).QualifiedName() +
-            "' discarded: " + valid.ToString());
-        continue;
+      if (synth->has_predicate()) {
+        const Status valid = ValidateLearned(synth->predicate, joint);
+        if (!valid.ok()) {
+          SIA_COUNTER_INC("rewrite.degraded.predicate_discarded");
+          outcome.degradation.push_back(
+              std::string(RewriteRungName(plan.rung)) +
+              " predicate discarded: " + valid.ToString());
+          continue;
+        }
+        adopt(std::move(*synth), plan.rung);
+        return make_entry();
       }
-      adopt(std::move(*iv), RewriteRung::kInterval);
-      return outcome;
+      if (!synth->solver_gave_up && !synth->deadline_expired) {
+        // Legitimate kNone: the query is not symbolically relevant. No
+        // lower rung can do better, so this is not a degradation — keep
+        // the original plan and stop.
+        outcome.synthesis = std::move(*synth);
+        return make_entry();
+      }
+      SIA_COUNTER_INC("rewrite.degraded.gave_up");
+      outcome.degradation.push_back(
+          std::string(RewriteRungName(plan.rung)) + " synthesis gave up" +
+          (synth->deadline_expired
+               ? " (deadline expired in '" + synth->timeout_stage + "')"
+               : ""));
+      outcome.synthesis = std::move(*synth);  // keep the richest record
     }
+
+    // --- Rung 3: exact single-column interval synthesis. Much cheaper
+    // than the learning loop (two OMT queries per column) and immune to
+    // SVM/learner faults, at the cost of single-column box predicates. ---
+    if (options.enable_interval_fallback) {
+      SIA_TRACE_SPAN("rewrite.rung.interval");
+      for (const size_t c : cols) {
+        if (base_opts.deadline.expired()) {
+          SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
+          outcome.degradation.push_back(
+              "interval rung skipped: deadline exhausted");
+          break;
+        }
+        const DataType type = joint.column(c).type;
+        if (!IsIntegral(type) || type == DataType::kBoolean) continue;
+        IntervalOptions iopts;
+        iopts.solver_timeout_ms = base_opts.samples.solver_timeout_ms;
+        iopts.deadline = base_opts.deadline;
+        auto iv = SynthesizeInterval(bound, joint, c, iopts);
+        if (!iv.ok()) {
+          if (!IsDegradable(iv.status())) return iv.status();
+          SIA_COUNTER_INC("rewrite.degraded.interval_failed");
+          outcome.degradation.push_back(
+              "interval synthesis on '" + joint.column(c).QualifiedName() +
+              "' failed: " + iv.status().ToString());
+          continue;
+        }
+        if (!iv->has_predicate()) continue;
+        const Status valid = ValidateLearned(iv->predicate, joint);
+        if (!valid.ok()) {
+          SIA_COUNTER_INC("rewrite.degraded.interval_discarded");
+          outcome.degradation.push_back(
+              "interval predicate on '" + joint.column(c).QualifiedName() +
+              "' discarded: " + valid.ToString());
+          continue;
+        }
+        adopt(std::move(*iv), RewriteRung::kInterval);
+        return make_entry();
+      }
+    }
+
+    // --- Rung 4: every rung failed — run the original query unchanged.
+    // outcome.rung stays kOriginal and `degradation` says why. ---
+    return make_entry();
+  };
+
+  if (options.cache != nullptr) {
+    bool ran_here = false;
+    auto cached = options.cache->GetOrSynthesize(bound, cols, [&]() {
+      ran_here = true;
+      return run_ladder();
+    });
+    if (!cached.ok()) return cached.status();
+    if (!ran_here) {
+      // Served from the cache (possibly after waiting out another
+      // thread's in-flight synthesis): rebuild the outcome from the
+      // entry. The learned predicate is bound against the joint schema
+      // of (bound WHERE, Cols') — the cache key — so it conjoins here
+      // exactly as it did in the call that synthesized it.
+      SIA_COUNTER_INC("rewrite.cache.hit");
+      outcome.from_cache = true;
+      outcome.rung = static_cast<RewriteRung>(cached->rung);
+      outcome.synthesis.status = cached->status;
+      outcome.synthesis.predicate = cached->predicate;
+      outcome.learned = cached->predicate;
+      if (outcome.learned != nullptr) {
+        outcome.rewritten.where =
+            Expr::Logic(LogicOp::kAnd, query.where, outcome.learned);
+      }
+    } else {
+      SIA_COUNTER_INC("rewrite.cache.miss");
+    }
+    return outcome;
   }
 
-  // --- Rung 4: every rung failed — run the original query unchanged.
-  // outcome.rung stays kOriginal and `degradation` says why. ---
+  auto ladder = run_ladder();
+  if (!ladder.ok()) return ladder.status();
   return outcome;
 }
 

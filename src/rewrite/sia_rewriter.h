@@ -12,6 +12,8 @@
 
 namespace sia {
 
+class RewriteCache;
+
 // End-to-end query rewriting with learned predicates (the full Sia
 // pipeline of Fig. 5): parse -> bind -> synthesize a valid reduction of
 // the WHERE predicate onto one table's columns -> conjoin it back.
@@ -31,6 +33,13 @@ struct RewriteOptions {
   // straight to "no rewrite".
   bool enable_retry = true;              // rung 2: reseeded, budget-halved
   bool enable_interval_fallback = true;  // rung 3: single-column interval
+  // Optional shared synthesis cache (rewrite/rewrite_cache.h). When set,
+  // the whole degradation ladder runs through the cache's single-flight
+  // GetOrSynthesize keyed by (bound WHERE, Cols'): a repeated predicate
+  // pays the CEGIS cost once per process, and concurrent batch workers
+  // missing on the same key block on the one in-flight synthesis instead
+  // of duplicating it. Borrowed, not owned; must outlive the call.
+  RewriteCache* cache = nullptr;
 };
 
 // Which rung of the degradation ladder produced the outcome. The ladder
@@ -63,6 +72,11 @@ struct RewriteOutcome {
   // One human-readable note per abandoned rung, in ladder order. Empty
   // when the first attempt succeeded or there was nothing to synthesize.
   std::vector<std::string> degradation;
+  // True when the learned predicate (or the "nothing learned" record)
+  // was served from RewriteOptions::cache rather than synthesized in
+  // this call. Cached outcomes carry no stats or degradation notes —
+  // those belong to the call that ran the ladder.
+  bool from_cache = false;
 
   bool changed() const { return learned != nullptr; }
 };

@@ -15,6 +15,13 @@
 //     --deadline-ms N   end-to-end wall-clock budget per --rewrite query;
 //                       queries that hit it report which stage burned the
 //                       budget and which degradation-ladder rung answered
+//     --threads N       rewrite --workload queries concurrently on N
+//                       worker threads through one shared single-flight
+//                       cache, then lint the outcomes in order. Only
+//                       affects --rewrite + --workload runs. Incompatible
+//                       with --deadline-ms: the deadline is an absolute
+//                       instant, so under a batch it would bound the
+//                       whole batch rather than each query
 //     --target TABLE    rewrite target table (default lineitem)
 //     --no-pushdown     plan without filter pushdown
 //     --list-fault-points  print the pipeline's SIA_FAULTS points with
@@ -47,11 +54,14 @@
 #include "common/deadline.h"
 #include "common/fault_injection.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "ir/binder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
+#include "rewrite/batch_rewriter.h"
 #include "rewrite/planner.h"
+#include "rewrite/rewrite_cache.h"
 #include "rewrite/rules.h"
 #include "rewrite/sia_rewriter.h"
 #include "workload/querygen.h"
@@ -64,6 +74,7 @@ struct LintOptions {
   bool rewrite = false;
   int max_iterations = 0;   // 0 = synthesizer default
   int64_t deadline_ms = 0;  // 0 = unlimited
+  int threads = 1;          // >1 = batch-rewrite the workload first
   std::string target_table = "lineitem";
   bool push_down = true;
   bool werror = false;
@@ -86,7 +97,8 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--workload N] [--seed S] [--rewrite]\n"
                "          [--max-iterations N] [--deadline-ms N]\n"
-               "          [--target TABLE] [--no-pushdown] [--werror]\n"
+               "          [--threads N] [--target TABLE]\n"
+               "          [--no-pushdown] [--werror]\n"
                "          [--list-fault-points] [--metrics-out DEST]\n"
                "          [--trace-out FILE] [-q|--quiet] [file.sql ...]\n",
                argv0);
@@ -119,9 +131,12 @@ double SpanMillisSince(const std::vector<sia::obs::TraceEvent>& events,
   return ms;
 }
 
+// When `precomputed` is non-null (the --threads batch path), the rewrite
+// already ran; the outcome is validated here instead of re-rewriting.
 void LintQuery(const std::string& label, const sia::ParsedQuery& query,
                const sia::Catalog& catalog, const LintOptions& options,
-               LintTotals* totals) {
+               LintTotals* totals,
+               const sia::RewriteOutcome* precomputed = nullptr) {
   SIA_TRACE_SPAN("lint.query");
   ++totals->queries;
 
@@ -178,40 +193,52 @@ void LintQuery(const std::string& label, const sia::ParsedQuery& query,
   }
 
   if (!options.rewrite) return;
-  sia::RewriteOptions rewrite_options;
-  rewrite_options.target_table = options.target_table;
-  if (options.max_iterations > 0) {
-    rewrite_options.synthesis.max_iterations = options.max_iterations;
-  }
-  if (options.deadline_ms > 0) {
-    // The budget starts now and is shared by every solver call the
-    // rewrite makes, across all ladder rungs.
-    rewrite_options.deadline = sia::Deadline::FromNowMillis(options.deadline_ms);
-  }
-  // Marks the start of this query's rewrite in the tracer's timeline so
-  // the degraded-query stage split below can be summed from spans.
-  const uint64_t trace_mark = sia::obs::Tracer::Enabled()
-                                  ? sia::obs::Tracer::Instance().NowMicros()
-                                  : 0;
-  auto outcome = sia::RewriteQuery(query, catalog, rewrite_options);
-  if (!outcome.ok()) {
-    ++totals->errors;
-    if (!options.quiet) {
-      std::printf("%s: error [rewrite] %s\n", label.c_str(),
-                  outcome.status().message().c_str());
+  sia::RewriteOutcome outcome_value;
+  // Tracer spans since trace_mark describe THIS query's rewrite only
+  // when the rewrite ran here; in the batch path the spans interleave
+  // across workers, so the stage split falls back to SynthesisStats.
+  uint64_t trace_mark = 0;
+  bool traced_here = false;
+  if (precomputed != nullptr) {
+    outcome_value = *precomputed;
+  } else {
+    sia::RewriteOptions rewrite_options;
+    rewrite_options.target_table = options.target_table;
+    if (options.max_iterations > 0) {
+      rewrite_options.synthesis.max_iterations = options.max_iterations;
     }
-    return;
+    if (options.deadline_ms > 0) {
+      // The budget starts now and is shared by every solver call the
+      // rewrite makes, across all ladder rungs.
+      rewrite_options.deadline =
+          sia::Deadline::FromNowMillis(options.deadline_ms);
+    }
+    // Marks the start of this query's rewrite in the tracer's timeline
+    // so the degraded-query stage split below can be summed from spans.
+    traced_here = sia::obs::Tracer::Enabled();
+    trace_mark =
+        traced_here ? sia::obs::Tracer::Instance().NowMicros() : 0;
+    auto outcome = sia::RewriteQuery(query, catalog, rewrite_options);
+    if (!outcome.ok()) {
+      ++totals->errors;
+      if (!options.quiet) {
+        std::printf("%s: error [rewrite] %s\n", label.c_str(),
+                    outcome.status().message().c_str());
+      }
+      return;
+    }
+    outcome_value = std::move(*outcome);
   }
-  if (!outcome->degradation.empty()) {
+  if (!outcome_value.degradation.empty()) {
     ++totals->degraded;
     if (!options.quiet) {
       std::printf("%s: note [rewrite] degraded to rung '%s'\n", label.c_str(),
-                  sia::RewriteRungName(outcome->rung));
-      for (const std::string& why : outcome->degradation) {
+                  sia::RewriteRungName(outcome_value.rung));
+      for (const std::string& why : outcome_value.degradation) {
         std::printf("%s: note [rewrite]   %s\n", label.c_str(), why.c_str());
       }
-      const sia::SynthesisStats& st = outcome->synthesis.stats;
-      if (sia::obs::Tracer::Enabled()) {
+      const sia::SynthesisStats& st = outcome_value.synthesis.stats;
+      if (traced_here) {
         // Stage split summed from the tracer's spans for this query:
         // generation = initial sampling + counter-example search,
         // matching what SynthesisStats used to hand-time.
@@ -232,24 +259,26 @@ void LintQuery(const std::string& label, const sia::ParsedQuery& query,
                     label.c_str(), st.generation_ms, st.learning_ms,
                     st.validation_ms, st.solver_calls);
       }
-      if (outcome->synthesis.deadline_expired) {
-        std::printf("%s: note [rewrite]   deadline expired in stage '%s'\n",
-                    label.c_str(), outcome->synthesis.timeout_stage.c_str());
+      if (outcome_value.synthesis.deadline_expired) {
+        std::printf(
+            "%s: note [rewrite]   deadline expired in stage '%s'\n",
+            label.c_str(), outcome_value.synthesis.timeout_stage.c_str());
       }
     }
   }
-  if (!outcome->changed()) return;
+  if (!outcome_value.changed()) return;
   ++totals->rewritten;
 
   {
     sia::Diagnostics diags;
     sia::ExprValidatorOptions expr_opts;
     expr_opts.require_boolean = true;
-    sia::ValidateExpr(outcome->learned, *joint, &diags, expr_opts);
-    sia::ValidateCnf(outcome->learned, &diags);
+    sia::ValidateExpr(outcome_value.learned, *joint, &diags, expr_opts);
+    sia::ValidateCnf(outcome_value.learned, &diags);
     Report(label + " [learned]", diags, options, totals);
   }
-  auto replan = sia::PlanQuery(outcome->rewritten, catalog, planner_options);
+  auto replan =
+      sia::PlanQuery(outcome_value.rewritten, catalog, planner_options);
   if (!replan.ok()) {
     ++totals->errors;
     if (!options.quiet) {
@@ -294,6 +323,10 @@ void PreregisterCoreMetrics() {
   reg.GetHistogram("smt.optimize.latency_us");
   reg.GetCounter("rewrite.queries");
   reg.GetCounter("rewrite.changed");
+  reg.GetCounter("rewrite.cache.hit");
+  reg.GetCounter("rewrite.cache.miss");
+  reg.GetCounter("rewrite.batch.queries");
+  reg.GetCounter("exec.scan.vectorized_fallback");
   for (const char* rung : {"full", "retry", "interval", "original"}) {
     reg.GetCounter(std::string("rewrite.rung.") + rung);
   }
@@ -374,6 +407,17 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--deadline-ms wants a positive integer\n");
         return Usage(argv[0]);
       }
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.threads = std::atoi(v);
+      if (options.threads < 1 ||
+          options.threads >
+              static_cast<int>(sia::ThreadPool::kMaxThreads)) {
+        std::fprintf(stderr, "--threads wants an integer in [1, %zu]\n",
+                     sia::ThreadPool::kMaxThreads);
+        return Usage(argv[0]);
+      }
     } else if (arg == "--list-fault-points") {
       options.list_fault_points = true;
     } else if (arg == "--metrics-out" ||
@@ -408,6 +452,14 @@ int main(int argc, char** argv) {
     } else {
       options.files.push_back(arg);
     }
+  }
+
+  if (options.threads > 1 && options.deadline_ms > 0) {
+    std::fprintf(stderr,
+                 "--threads and --deadline-ms are incompatible: the "
+                 "deadline is an absolute instant, so a batch would "
+                 "share one budget across all queries\n");
+    return Usage(argv[0]);
   }
 
   // Firing counts and the snapshot both come from the metrics registry;
@@ -453,9 +505,40 @@ int main(int argc, char** argv) {
                    queries.status().ToString().c_str());
       return 2;
     }
-    for (const sia::GeneratedQuery& q : *queries) {
+    // Batch path: rewrite every workload query up front on a private
+    // pool through one shared single-flight cache, then lint the
+    // outcomes in workload order (output identical to the serial path).
+    std::vector<sia::RewriteOutcome> precomputed;
+    bool have_precomputed = false;
+    if (options.rewrite && options.threads > 1) {
+      sia::ThreadPool pool(static_cast<size_t>(options.threads));
+      sia::RewriteCache cache;
+      sia::BatchRewriteOptions batch;
+      batch.rewrite.target_table = options.target_table;
+      if (options.max_iterations > 0) {
+        batch.rewrite.synthesis.max_iterations = options.max_iterations;
+      }
+      batch.cache = &cache;
+      batch.pool = &pool;
+      std::vector<sia::ParsedQuery> parsed;
+      parsed.reserve(queries->size());
+      for (const sia::GeneratedQuery& q : *queries) {
+        parsed.push_back(q.query);
+      }
+      auto outcomes = sia::RewriteBatch(parsed, catalog, batch);
+      if (!outcomes.ok()) {
+        std::fprintf(stderr, "batch rewrite failed: %s\n",
+                     outcomes.status().ToString().c_str());
+        return 2;
+      }
+      precomputed = std::move(*outcomes);
+      have_precomputed = true;
+    }
+    for (size_t qi = 0; qi < queries->size(); ++qi) {
+      const sia::GeneratedQuery& q = (*queries)[qi];
       LintQuery("workload:seed" + std::to_string(q.seed), q.query, catalog,
-                options, &totals);
+                options, &totals,
+                have_precomputed ? &precomputed[qi] : nullptr);
     }
   }
 
