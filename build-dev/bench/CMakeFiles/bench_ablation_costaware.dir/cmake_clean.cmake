@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_costaware.dir/bench_ablation_costaware.cc.o"
+  "CMakeFiles/bench_ablation_costaware.dir/bench_ablation_costaware.cc.o.d"
+  "bench_ablation_costaware"
+  "bench_ablation_costaware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_costaware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

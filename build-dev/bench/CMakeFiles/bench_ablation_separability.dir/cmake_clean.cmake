@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_separability.dir/bench_ablation_separability.cc.o"
+  "CMakeFiles/bench_ablation_separability.dir/bench_ablation_separability.cc.o.d"
+  "bench_ablation_separability"
+  "bench_ablation_separability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_separability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_casestudy.dir/bench_fig6_casestudy.cc.o"
+  "CMakeFiles/bench_fig6_casestudy.dir/bench_fig6_casestudy.cc.o.d"
+  "bench_fig6_casestudy"
+  "bench_fig6_casestudy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_casestudy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_iterations.dir/bench_fig7_iterations.cc.o"
+  "CMakeFiles/bench_fig7_iterations.dir/bench_fig7_iterations.cc.o.d"
+  "bench_fig7_iterations"
+  "bench_fig7_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

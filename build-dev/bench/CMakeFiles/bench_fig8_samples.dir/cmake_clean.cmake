@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_samples.dir/bench_fig8_samples.cc.o"
+  "CMakeFiles/bench_fig8_samples.dir/bench_fig8_samples.cc.o.d"
+  "bench_fig8_samples"
+  "bench_fig8_samples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_samples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_motivating_example.dir/bench_motivating_example.cc.o"
+  "CMakeFiles/bench_motivating_example.dir/bench_motivating_example.cc.o.d"
+  "bench_motivating_example"
+  "bench_motivating_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_motivating_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_efficacy.dir/bench_table2_efficacy.cc.o"
+  "CMakeFiles/bench_table2_efficacy.dir/bench_table2_efficacy.cc.o.d"
+  "bench_table2_efficacy"
+  "bench_table2_efficacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_efficacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

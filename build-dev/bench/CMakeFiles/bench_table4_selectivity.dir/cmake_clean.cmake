@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_selectivity.dir/bench_table4_selectivity.cc.o"
+  "CMakeFiles/bench_table4_selectivity.dir/bench_table4_selectivity.cc.o.d"
+  "bench_table4_selectivity"
+  "bench_table4_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_bench_util.dir/experiment_lib.cc.o"
+  "CMakeFiles/sia_bench_util.dir/experiment_lib.cc.o.d"
+  "CMakeFiles/sia_bench_util.dir/runtime_lib.cc.o"
+  "CMakeFiles/sia_bench_util.dir/runtime_lib.cc.o.d"
+  "libsia_bench_util.a"
+  "libsia_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation_rule.dir/aggregation_rule.cpp.o"
+  "CMakeFiles/aggregation_rule.dir/aggregation_rule.cpp.o.d"
+  "aggregation_rule"
+  "aggregation_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

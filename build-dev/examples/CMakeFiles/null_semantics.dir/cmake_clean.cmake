@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/null_semantics.dir/null_semantics.cpp.o"
+  "CMakeFiles/null_semantics.dir/null_semantics.cpp.o.d"
+  "null_semantics"
+  "null_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/null_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

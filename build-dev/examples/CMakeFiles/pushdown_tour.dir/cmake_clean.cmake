@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pushdown_tour.dir/pushdown_tour.cpp.o"
+  "CMakeFiles/pushdown_tour.dir/pushdown_tour.cpp.o.d"
+  "pushdown_tour"
+  "pushdown_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pushdown_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

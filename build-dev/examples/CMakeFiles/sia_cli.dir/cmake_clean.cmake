@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_cli.dir/sia_cli.cpp.o"
+  "CMakeFiles/sia_cli.dir/sia_cli.cpp.o.d"
+  "sia_cli"
+  "sia_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

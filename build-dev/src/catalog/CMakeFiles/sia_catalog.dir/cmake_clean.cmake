@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_catalog.dir/catalog.cc.o"
+  "CMakeFiles/sia_catalog.dir/catalog.cc.o.d"
+  "libsia_catalog.a"
+  "libsia_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

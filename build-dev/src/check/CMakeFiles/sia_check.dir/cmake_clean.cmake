@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_check.dir/diagnostic.cc.o"
+  "CMakeFiles/sia_check.dir/diagnostic.cc.o.d"
+  "CMakeFiles/sia_check.dir/expr_validator.cc.o"
+  "CMakeFiles/sia_check.dir/expr_validator.cc.o.d"
+  "CMakeFiles/sia_check.dir/plan_validator.cc.o"
+  "CMakeFiles/sia_check.dir/plan_validator.cc.o.d"
+  "libsia_check.a"
+  "libsia_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

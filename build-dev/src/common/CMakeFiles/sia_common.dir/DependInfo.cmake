@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/date.cc" "src/common/CMakeFiles/sia_common.dir/date.cc.o" "gcc" "src/common/CMakeFiles/sia_common.dir/date.cc.o.d"
+  "/root/repo/src/common/fault_injection.cc" "src/common/CMakeFiles/sia_common.dir/fault_injection.cc.o" "gcc" "src/common/CMakeFiles/sia_common.dir/fault_injection.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/common/CMakeFiles/sia_common.dir/rng.cc.o" "gcc" "src/common/CMakeFiles/sia_common.dir/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/sia_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/sia_common.dir/status.cc.o.d"
+  "/root/repo/src/common/strings.cc" "src/common/CMakeFiles/sia_common.dir/strings.cc.o" "gcc" "src/common/CMakeFiles/sia_common.dir/strings.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/common/CMakeFiles/sia_common.dir/thread_pool.cc.o" "gcc" "src/common/CMakeFiles/sia_common.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dev/src/obs/CMakeFiles/sia_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

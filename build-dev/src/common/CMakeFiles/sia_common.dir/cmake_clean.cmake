@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_common.dir/date.cc.o"
+  "CMakeFiles/sia_common.dir/date.cc.o.d"
+  "CMakeFiles/sia_common.dir/fault_injection.cc.o"
+  "CMakeFiles/sia_common.dir/fault_injection.cc.o.d"
+  "CMakeFiles/sia_common.dir/rng.cc.o"
+  "CMakeFiles/sia_common.dir/rng.cc.o.d"
+  "CMakeFiles/sia_common.dir/status.cc.o"
+  "CMakeFiles/sia_common.dir/status.cc.o.d"
+  "CMakeFiles/sia_common.dir/strings.cc.o"
+  "CMakeFiles/sia_common.dir/strings.cc.o.d"
+  "CMakeFiles/sia_common.dir/thread_pool.cc.o"
+  "CMakeFiles/sia_common.dir/thread_pool.cc.o.d"
+  "libsia_common.a"
+  "libsia_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

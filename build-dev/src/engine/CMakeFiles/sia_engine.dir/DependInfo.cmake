@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/column_table.cc" "src/engine/CMakeFiles/sia_engine.dir/column_table.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/column_table.cc.o.d"
+  "/root/repo/src/engine/cost_aware_rewriter.cc" "src/engine/CMakeFiles/sia_engine.dir/cost_aware_rewriter.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/cost_aware_rewriter.cc.o.d"
+  "/root/repo/src/engine/csv.cc" "src/engine/CMakeFiles/sia_engine.dir/csv.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/csv.cc.o.d"
+  "/root/repo/src/engine/exec_expr.cc" "src/engine/CMakeFiles/sia_engine.dir/exec_expr.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/exec_expr.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/engine/CMakeFiles/sia_engine.dir/executor.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/executor.cc.o.d"
+  "/root/repo/src/engine/runner.cc" "src/engine/CMakeFiles/sia_engine.dir/runner.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/runner.cc.o.d"
+  "/root/repo/src/engine/selectivity.cc" "src/engine/CMakeFiles/sia_engine.dir/selectivity.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/selectivity.cc.o.d"
+  "/root/repo/src/engine/tpch_gen.cc" "src/engine/CMakeFiles/sia_engine.dir/tpch_gen.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/tpch_gen.cc.o.d"
+  "/root/repo/src/engine/vector_filter.cc" "src/engine/CMakeFiles/sia_engine.dir/vector_filter.cc.o" "gcc" "src/engine/CMakeFiles/sia_engine.dir/vector_filter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dev/src/rewrite/CMakeFiles/sia_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/parser/CMakeFiles/sia_parser.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/check/CMakeFiles/sia_check.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/catalog/CMakeFiles/sia_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/ir/CMakeFiles/sia_ir.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/types/CMakeFiles/sia_types.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/synth/CMakeFiles/sia_synth.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/smt/CMakeFiles/sia_smt.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/learn/CMakeFiles/sia_learn.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/obs/CMakeFiles/sia_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_engine.dir/column_table.cc.o"
+  "CMakeFiles/sia_engine.dir/column_table.cc.o.d"
+  "CMakeFiles/sia_engine.dir/cost_aware_rewriter.cc.o"
+  "CMakeFiles/sia_engine.dir/cost_aware_rewriter.cc.o.d"
+  "CMakeFiles/sia_engine.dir/csv.cc.o"
+  "CMakeFiles/sia_engine.dir/csv.cc.o.d"
+  "CMakeFiles/sia_engine.dir/exec_expr.cc.o"
+  "CMakeFiles/sia_engine.dir/exec_expr.cc.o.d"
+  "CMakeFiles/sia_engine.dir/executor.cc.o"
+  "CMakeFiles/sia_engine.dir/executor.cc.o.d"
+  "CMakeFiles/sia_engine.dir/runner.cc.o"
+  "CMakeFiles/sia_engine.dir/runner.cc.o.d"
+  "CMakeFiles/sia_engine.dir/selectivity.cc.o"
+  "CMakeFiles/sia_engine.dir/selectivity.cc.o.d"
+  "CMakeFiles/sia_engine.dir/tpch_gen.cc.o"
+  "CMakeFiles/sia_engine.dir/tpch_gen.cc.o.d"
+  "CMakeFiles/sia_engine.dir/vector_filter.cc.o"
+  "CMakeFiles/sia_engine.dir/vector_filter.cc.o.d"
+  "libsia_engine.a"
+  "libsia_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

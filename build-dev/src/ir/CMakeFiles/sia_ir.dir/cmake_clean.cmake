@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_ir.dir/analysis.cc.o"
+  "CMakeFiles/sia_ir.dir/analysis.cc.o.d"
+  "CMakeFiles/sia_ir.dir/binder.cc.o"
+  "CMakeFiles/sia_ir.dir/binder.cc.o.d"
+  "CMakeFiles/sia_ir.dir/evaluator.cc.o"
+  "CMakeFiles/sia_ir.dir/evaluator.cc.o.d"
+  "CMakeFiles/sia_ir.dir/expr.cc.o"
+  "CMakeFiles/sia_ir.dir/expr.cc.o.d"
+  "CMakeFiles/sia_ir.dir/simplify.cc.o"
+  "CMakeFiles/sia_ir.dir/simplify.cc.o.d"
+  "libsia_ir.a"
+  "libsia_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/learn/learner.cc" "src/learn/CMakeFiles/sia_learn.dir/learner.cc.o" "gcc" "src/learn/CMakeFiles/sia_learn.dir/learner.cc.o.d"
+  "/root/repo/src/learn/linear_form.cc" "src/learn/CMakeFiles/sia_learn.dir/linear_form.cc.o" "gcc" "src/learn/CMakeFiles/sia_learn.dir/linear_form.cc.o.d"
+  "/root/repo/src/learn/rational.cc" "src/learn/CMakeFiles/sia_learn.dir/rational.cc.o" "gcc" "src/learn/CMakeFiles/sia_learn.dir/rational.cc.o.d"
+  "/root/repo/src/learn/svm.cc" "src/learn/CMakeFiles/sia_learn.dir/svm.cc.o" "gcc" "src/learn/CMakeFiles/sia_learn.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dev/src/ir/CMakeFiles/sia_ir.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/types/CMakeFiles/sia_types.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/obs/CMakeFiles/sia_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

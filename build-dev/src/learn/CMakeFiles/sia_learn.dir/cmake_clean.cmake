@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_learn.dir/learner.cc.o"
+  "CMakeFiles/sia_learn.dir/learner.cc.o.d"
+  "CMakeFiles/sia_learn.dir/linear_form.cc.o"
+  "CMakeFiles/sia_learn.dir/linear_form.cc.o.d"
+  "CMakeFiles/sia_learn.dir/rational.cc.o"
+  "CMakeFiles/sia_learn.dir/rational.cc.o.d"
+  "CMakeFiles/sia_learn.dir/svm.cc.o"
+  "CMakeFiles/sia_learn.dir/svm.cc.o.d"
+  "libsia_learn.a"
+  "libsia_learn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_learn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

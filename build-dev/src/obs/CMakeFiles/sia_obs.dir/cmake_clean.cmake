@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_obs.dir/metrics.cc.o"
+  "CMakeFiles/sia_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/sia_obs.dir/obs.cc.o"
+  "CMakeFiles/sia_obs.dir/obs.cc.o.d"
+  "CMakeFiles/sia_obs.dir/trace.cc.o"
+  "CMakeFiles/sia_obs.dir/trace.cc.o.d"
+  "libsia_obs.a"
+  "libsia_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_parser.dir/lexer.cc.o"
+  "CMakeFiles/sia_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/sia_parser.dir/parser.cc.o"
+  "CMakeFiles/sia_parser.dir/parser.cc.o.d"
+  "libsia_parser.a"
+  "libsia_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsia_parser.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_rewrite.dir/batch_rewriter.cc.o"
+  "CMakeFiles/sia_rewrite.dir/batch_rewriter.cc.o.d"
+  "CMakeFiles/sia_rewrite.dir/plan.cc.o"
+  "CMakeFiles/sia_rewrite.dir/plan.cc.o.d"
+  "CMakeFiles/sia_rewrite.dir/planner.cc.o"
+  "CMakeFiles/sia_rewrite.dir/planner.cc.o.d"
+  "CMakeFiles/sia_rewrite.dir/rewrite_cache.cc.o"
+  "CMakeFiles/sia_rewrite.dir/rewrite_cache.cc.o.d"
+  "CMakeFiles/sia_rewrite.dir/rules.cc.o"
+  "CMakeFiles/sia_rewrite.dir/rules.cc.o.d"
+  "CMakeFiles/sia_rewrite.dir/sia_rewriter.cc.o"
+  "CMakeFiles/sia_rewrite.dir/sia_rewriter.cc.o.d"
+  "libsia_rewrite.a"
+  "libsia_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_smt.dir/encoder.cc.o"
+  "CMakeFiles/sia_smt.dir/encoder.cc.o.d"
+  "CMakeFiles/sia_smt.dir/smt_context.cc.o"
+  "CMakeFiles/sia_smt.dir/smt_context.cc.o.d"
+  "libsia_smt.a"
+  "libsia_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

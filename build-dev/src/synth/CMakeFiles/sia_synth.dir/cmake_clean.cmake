@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_synth.dir/interval_synthesizer.cc.o"
+  "CMakeFiles/sia_synth.dir/interval_synthesizer.cc.o.d"
+  "CMakeFiles/sia_synth.dir/sample_generator.cc.o"
+  "CMakeFiles/sia_synth.dir/sample_generator.cc.o.d"
+  "CMakeFiles/sia_synth.dir/synthesizer.cc.o"
+  "CMakeFiles/sia_synth.dir/synthesizer.cc.o.d"
+  "CMakeFiles/sia_synth.dir/verifier.cc.o"
+  "CMakeFiles/sia_synth.dir/verifier.cc.o.d"
+  "libsia_synth.a"
+  "libsia_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_types.dir/data_type.cc.o"
+  "CMakeFiles/sia_types.dir/data_type.cc.o.d"
+  "CMakeFiles/sia_types.dir/schema.cc.o"
+  "CMakeFiles/sia_types.dir/schema.cc.o.d"
+  "CMakeFiles/sia_types.dir/tuple.cc.o"
+  "CMakeFiles/sia_types.dir/tuple.cc.o.d"
+  "CMakeFiles/sia_types.dir/value.cc.o"
+  "CMakeFiles/sia_types.dir/value.cc.o.d"
+  "libsia_types.a"
+  "libsia_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

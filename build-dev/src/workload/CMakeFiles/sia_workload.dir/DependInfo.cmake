@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/casestudy.cc" "src/workload/CMakeFiles/sia_workload.dir/casestudy.cc.o" "gcc" "src/workload/CMakeFiles/sia_workload.dir/casestudy.cc.o.d"
+  "/root/repo/src/workload/querygen.cc" "src/workload/CMakeFiles/sia_workload.dir/querygen.cc.o" "gcc" "src/workload/CMakeFiles/sia_workload.dir/querygen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dev/src/synth/CMakeFiles/sia_synth.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/smt/CMakeFiles/sia_smt.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/parser/CMakeFiles/sia_parser.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/catalog/CMakeFiles/sia_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/ir/CMakeFiles/sia_ir.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/types/CMakeFiles/sia_types.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/learn/CMakeFiles/sia_learn.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/obs/CMakeFiles/sia_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_workload.dir/casestudy.cc.o"
+  "CMakeFiles/sia_workload.dir/casestudy.cc.o.d"
+  "CMakeFiles/sia_workload.dir/querygen.cc.o"
+  "CMakeFiles/sia_workload.dir/querygen.cc.o.d"
+  "libsia_workload.a"
+  "libsia_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

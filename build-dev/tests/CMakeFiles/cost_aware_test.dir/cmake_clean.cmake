@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_aware_test.dir/cost_aware_test.cc.o"
+  "CMakeFiles/cost_aware_test.dir/cost_aware_test.cc.o.d"
+  "cost_aware_test"
+  "cost_aware_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_aware_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_test.dir/deadline_test.cc.o"
+  "CMakeFiles/deadline_test.dir/deadline_test.cc.o.d"
+  "deadline_test"
+  "deadline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

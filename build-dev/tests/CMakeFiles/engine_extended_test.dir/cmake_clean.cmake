@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_extended_test.dir/engine_extended_test.cc.o"
+  "CMakeFiles/engine_extended_test.dir/engine_extended_test.cc.o.d"
+  "engine_extended_test"
+  "engine_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

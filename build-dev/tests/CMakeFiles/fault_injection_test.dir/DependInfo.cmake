@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fault_injection_test.cc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o" "gcc" "tests/CMakeFiles/fault_injection_test.dir/fault_injection_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-dev/src/engine/CMakeFiles/sia_engine.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/rewrite/CMakeFiles/sia_rewrite.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/check/CMakeFiles/sia_check.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/workload/CMakeFiles/sia_workload.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/catalog/CMakeFiles/sia_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/parser/CMakeFiles/sia_parser.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/synth/CMakeFiles/sia_synth.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/smt/CMakeFiles/sia_smt.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/learn/CMakeFiles/sia_learn.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/ir/CMakeFiles/sia_ir.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/types/CMakeFiles/sia_types.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build-dev/src/obs/CMakeFiles/sia_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

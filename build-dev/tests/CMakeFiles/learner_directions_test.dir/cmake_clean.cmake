@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learner_directions_test.dir/learner_directions_test.cc.o"
+  "CMakeFiles/learner_directions_test.dir/learner_directions_test.cc.o.d"
+  "learner_directions_test"
+  "learner_directions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learner_directions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for learner_directions_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/obs_pipeline_test.dir/obs_pipeline_test.cc.o"
+  "CMakeFiles/obs_pipeline_test.dir/obs_pipeline_test.cc.o.d"
+  "obs_pipeline_test"
+  "obs_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/obs_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

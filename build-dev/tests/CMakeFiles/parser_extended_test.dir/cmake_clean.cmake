@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_extended_test.dir/parser_extended_test.cc.o"
+  "CMakeFiles/parser_extended_test.dir/parser_extended_test.cc.o.d"
+  "parser_extended_test"
+  "parser_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

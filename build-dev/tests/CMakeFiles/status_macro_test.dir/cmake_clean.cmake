@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/status_macro_test.dir/status_macro_test.cc.o"
+  "CMakeFiles/status_macro_test.dir/status_macro_test.cc.o.d"
+  "status_macro_test"
+  "status_macro_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/status_macro_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthesizer_unit_test.dir/synthesizer_unit_test.cc.o"
+  "CMakeFiles/synthesizer_unit_test.dir/synthesizer_unit_test.cc.o.d"
+  "synthesizer_unit_test"
+  "synthesizer_unit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthesizer_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

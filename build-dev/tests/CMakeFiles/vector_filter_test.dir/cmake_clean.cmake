@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_filter_test.dir/vector_filter_test.cc.o"
+  "CMakeFiles/vector_filter_test.dir/vector_filter_test.cc.o.d"
+  "vector_filter_test"
+  "vector_filter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sia_lint.dir/sia_lint.cc.o"
+  "CMakeFiles/sia_lint.dir/sia_lint.cc.o.d"
+  "sia_lint"
+  "sia_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sia_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan-dev/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("obs")
+subdirs("common")
+subdirs("types")
+subdirs("catalog")
+subdirs("ir")
+subdirs("check")
+subdirs("parser")
+subdirs("smt")
+subdirs("learn")
+subdirs("synth")
+subdirs("rewrite")
+subdirs("engine")
+subdirs("workload")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/check/diagnostic.cc" "src/check/CMakeFiles/sia_check.dir/diagnostic.cc.o" "gcc" "src/check/CMakeFiles/sia_check.dir/diagnostic.cc.o.d"
+  "/root/repo/src/check/expr_validator.cc" "src/check/CMakeFiles/sia_check.dir/expr_validator.cc.o" "gcc" "src/check/CMakeFiles/sia_check.dir/expr_validator.cc.o.d"
+  "/root/repo/src/check/plan_validator.cc" "src/check/CMakeFiles/sia_check.dir/plan_validator.cc.o" "gcc" "src/check/CMakeFiles/sia_check.dir/plan_validator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan-dev/src/catalog/CMakeFiles/sia_catalog.dir/DependInfo.cmake"
+  "/root/repo/build-tsan-dev/src/ir/CMakeFiles/sia_ir.dir/DependInfo.cmake"
+  "/root/repo/build-tsan-dev/src/types/CMakeFiles/sia_types.dir/DependInfo.cmake"
+  "/root/repo/build-tsan-dev/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan-dev/src/obs/CMakeFiles/sia_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

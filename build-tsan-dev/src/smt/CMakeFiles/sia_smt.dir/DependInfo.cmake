@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/smt/encoder.cc" "src/smt/CMakeFiles/sia_smt.dir/encoder.cc.o" "gcc" "src/smt/CMakeFiles/sia_smt.dir/encoder.cc.o.d"
+  "/root/repo/src/smt/smt_context.cc" "src/smt/CMakeFiles/sia_smt.dir/smt_context.cc.o" "gcc" "src/smt/CMakeFiles/sia_smt.dir/smt_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan-dev/src/ir/CMakeFiles/sia_ir.dir/DependInfo.cmake"
+  "/root/repo/build-tsan-dev/src/types/CMakeFiles/sia_types.dir/DependInfo.cmake"
+  "/root/repo/build-tsan-dev/src/common/CMakeFiles/sia_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan-dev/src/obs/CMakeFiles/sia_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
