@@ -9,10 +9,12 @@
 # requires zero diagnostics.
 #
 # Concurrency gates run as part of the standard pass:
-#   - the src/obs concurrency tests AND the threading-substrate tests
+#   - the src/obs concurrency tests, the threading-substrate tests
 #     (tests/parallel_test.cc: ParallelFor, morsel-parallel execution,
-#     the single-flight rewrite cache, the batch rewriter) are rebuilt
-#     and re-run under ThreadSanitizer in a dedicated build dir;
+#     the single-flight rewrite cache, the batch rewriter) AND the
+#     serving-subsystem tests (tests/server_test.cc: protocol abuse,
+#     load shedding, graceful drain) are rebuilt and re-run under
+#     ThreadSanitizer in a dedicated build dir;
 #   - an overhead guard builds bench_micro twice — observability
 #     compiled in but disabled (the shipping configuration) vs compiled
 #     out via -DSIA_DISABLE_OBS=ON — and asserts the instrumented hot
@@ -30,6 +32,13 @@
 # that point to fail, asserting no crash, graceful degradation, and
 # results identical to the fault-free baseline.
 #
+# `check.sh --serve-smoke` additionally runs the serving end-to-end
+# gate: start sia_serve (executing queries against generated TPC-H
+# data), drive SMOKE_QUERIES seeded workload queries through it with
+# sia_client, and require the client's digest lines to be byte-identical
+# to sia_lint --digests-out batch runs at --threads 1 AND 4; then
+# SIGTERM the daemon and require a clean drain (exit 0, DRAINED line).
+#
 # Environment overrides:
 #   BUILD_DIR        build directory (default build-check)
 #   SANITIZE         SIA_SANITIZE value (default address,undefined)
@@ -38,6 +47,8 @@
 #                    (default 3; the paper's default of 41 is much
 #                    slower and adds no validation coverage)
 #   SWEEP_QUERIES    queries per fault-sweep pass (default 8)
+#   SMOKE_QUERIES    queries for the --serve-smoke gate (default 200)
+#   SMOKE_SCALE      TPC-H scale factor for --serve-smoke (default 0.01)
 #   OBS_OVERHEAD_PCT max tolerated bench_micro slowdown, percent, of the
 #                    obs-disabled build over the obs-free build
 #                    (default 10 — the gate is one relaxed atomic load
@@ -51,13 +62,17 @@ SANITIZE=${SANITIZE:-address,undefined}
 LINT_WORKLOAD=${LINT_WORKLOAD:-1000}
 LINT_ITERATIONS=${LINT_ITERATIONS:-3}
 SWEEP_QUERIES=${SWEEP_QUERIES:-8}
+SMOKE_QUERIES=${SMOKE_QUERIES:-200}
+SMOKE_SCALE=${SMOKE_SCALE:-0.01}
 OBS_OVERHEAD_PCT=${OBS_OVERHEAD_PCT:-10}
 JOBS=${JOBS:-$(nproc)}
 
 FAULT_SWEEP=0
+SERVE_SMOKE=0
 for arg in "$@"; do
   case "$arg" in
     --fault-sweep) FAULT_SWEEP=1 ;;
+    --serve-smoke) SERVE_SMOKE=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -121,6 +136,71 @@ echo "== sia_lint --workload ${LINT_WORKLOAD} --rewrite" \
 "${LINT}" --werror -q --workload "${LINT_WORKLOAD}" --rewrite \
   --max-iterations "${LINT_ITERATIONS}"
 
+# --- Serve smoke: served digests == batch-lint digests, clean drain ------
+if [[ "${SERVE_SMOKE}" -eq 1 ]]; then
+  SERVE="${BUILD_DIR}/tools/sia_serve"
+  CLIENT="${BUILD_DIR}/tools/sia_client"
+  SMOKE_DIR=$(mktemp -d)
+  SERVE_PID=""
+  trap 'rm -f "${COMPILE_OK_SRC}" "${COMPILE_FAIL_SRC}";
+        [[ -n "${SERVE_PID}" ]] && kill "${SERVE_PID}" 2>/dev/null;
+        rm -rf "${SMOKE_DIR}"' EXIT
+
+  echo "== serve smoke (${SMOKE_QUERIES} queries, sf=${SMOKE_SCALE}," \
+       "served vs batch-lint digests, graceful drain)"
+  "${SERVE}" --port-file "${SMOKE_DIR}/port" --workers 4 \
+    --scale "${SMOKE_SCALE}" --max-iterations "${LINT_ITERATIONS}" \
+    > "${SMOKE_DIR}/serve.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 300); do
+    [[ -s "${SMOKE_DIR}/port" ]] && break
+    if ! kill -0 "${SERVE_PID}" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  if [[ ! -s "${SMOKE_DIR}/port" ]]; then
+    echo "ERROR: sia_serve did not come up" >&2
+    cat "${SMOKE_DIR}/serve.log" >&2
+    exit 1
+  fi
+  SMOKE_PORT=$(cat "${SMOKE_DIR}/port")
+
+  "${CLIENT}" --port "${SMOKE_PORT}" --workload "${SMOKE_QUERIES}" \
+    --concurrency 8 --digests-out "${SMOKE_DIR}/client.dig"
+  if [[ "$(wc -l < "${SMOKE_DIR}/client.dig")" -ne "${SMOKE_QUERIES}" ]]; then
+    echo "ERROR: expected ${SMOKE_QUERIES} digest lines from sia_client" >&2
+    exit 1
+  fi
+
+  # The client's served digests must be byte-identical to batch sia_lint
+  # digests — serially and through the 4-thread batch rewriter.
+  for t in 1 4; do
+    "${LINT}" -q --rewrite --workload "${SMOKE_QUERIES}" --threads "${t}" \
+      --max-iterations "${LINT_ITERATIONS}" --execute-sf "${SMOKE_SCALE}" \
+      --digests-out "${SMOKE_DIR}/lint_t${t}.dig" > /dev/null
+    if ! diff -u "${SMOKE_DIR}/client.dig" "${SMOKE_DIR}/lint_t${t}.dig"; then
+      echo "ERROR: served digests != sia_lint --threads ${t} digests" >&2
+      exit 1
+    fi
+    echo "   digests: served == sia_lint --threads ${t}" \
+         "(${SMOKE_QUERIES} lines)"
+  done
+
+  # Graceful drain: SIGTERM must finish in-flight work and exit 0.
+  kill -TERM "${SERVE_PID}"
+  if ! wait "${SERVE_PID}"; then
+    echo "ERROR: sia_serve did not drain cleanly" >&2
+    cat "${SMOKE_DIR}/serve.log" >&2
+    exit 1
+  fi
+  SERVE_PID=""
+  if ! grep -q '^DRAINED ' "${SMOKE_DIR}/serve.log"; then
+    echo "ERROR: sia_serve exited without a DRAINED line" >&2
+    cat "${SMOKE_DIR}/serve.log" >&2
+    exit 1
+  fi
+  sed -n 's/^/   /p' "${SMOKE_DIR}/serve.log"
+fi
+
 # --- Concurrency gates ---------------------------------------------------
 # src/obs is lock-light by design (relaxed atomics on counters, one
 # mutex per thread-local trace ring), and the threading substrate
@@ -129,15 +209,19 @@ echo "== sia_lint --workload ${LINT_WORKLOAD} --rewrite" \
 # binaries under ThreadSanitizer in a dedicated build dir. TSan is
 # incompatible with ASan, hence the separate dir.
 TSAN_DIR="${BUILD_DIR}-tsan"
-echo "== obs + parallel concurrency tests under ThreadSanitizer (${TSAN_DIR})"
+echo "== obs + parallel + server concurrency tests under ThreadSanitizer" \
+     "(${TSAN_DIR})"
 cmake -B "${TSAN_DIR}" -S . -DSIA_SANITIZE=thread >/dev/null
-cmake --build "${TSAN_DIR}" -j "${JOBS}" --target obs_test parallel_test
+cmake --build "${TSAN_DIR}" -j "${JOBS}" \
+  --target obs_test parallel_test server_test
 # scripts/tsan.supp silences reports from inside uninstrumented libz3
 # frames (Z3's global allocator locking); our own code is not suppressed.
 TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
   "${TSAN_DIR}/tests/obs_test" --gtest_brief=1
 TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
   "${TSAN_DIR}/tests/parallel_test" --gtest_brief=1
+TSAN_OPTIONS="suppressions=$(pwd)/scripts/tsan.supp" \
+  "${TSAN_DIR}/tests/server_test" --gtest_brief=1
 
 # Overhead guard: with SIA_METRICS/SIA_TRACE unset, the entire cost of
 # the compiled-in instrumentation is one relaxed atomic load per site.

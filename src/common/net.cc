@@ -1,0 +1,262 @@
+#include "common/net.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace sia::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Status ErrnoStatus(const char* what) {
+  return Status::Internal(std::string(what) + ": " + strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return ErrnoStatus("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+// Polls `fd` for `events` until the absolute deadline; kTimeout when it
+// passes without readiness. POLLERR/POLLHUP readiness is reported as
+// success so the subsequent read/write surfaces the real errno/EOF.
+Status PollUntil(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (remaining.count() <= 0) return Status::Timeout("socket poll timed out");
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, static_cast<int>(
+        std::min<int64_t>(remaining.count(), 1000)));
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("poll");
+    }
+    if (rc > 0) return Status::OK();
+  }
+}
+
+Clock::time_point DeadlineFromMillis(int64_t timeout_ms) {
+  return Clock::now() + std::chrono::milliseconds(timeout_ms);
+}
+
+bool ParseIpv4(const std::string& host, struct sockaddr_in* addr) {
+  memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  return inet_pton(AF_INET, host.c_str(), &addr->sin_addr) == 1;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownWrite() {
+  if (fd_ >= 0) shutdown(fd_, SHUT_WR);
+}
+
+Status Socket::WriteAll(const void* data, size_t size, int64_t timeout_ms) {
+  if (fd_ < 0) return Status::Internal("WriteAll on closed socket");
+  const auto deadline = DeadlineFromMillis(timeout_ms);
+  const char* p = static_cast<const char*>(data);
+  size_t left = size;
+  while (left > 0) {
+    // MSG_NOSIGNAL: a peer that closed mid-write must surface as EPIPE,
+    // not kill the process with SIGPIPE.
+    const ssize_t n = send(fd_, p, left, MSG_NOSIGNAL);
+    if (n > 0) {
+      p += n;
+      left -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      SIA_RETURN_IF_ERROR(PollUntil(fd_, POLLOUT, deadline));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return Status::Unavailable("peer closed the connection during write");
+    }
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadExact(void* data, size_t size, int64_t timeout_ms) {
+  if (fd_ < 0) return Status::Internal("ReadExact on closed socket");
+  const auto deadline = DeadlineFromMillis(timeout_ms);
+  char* p = static_cast<char*>(data);
+  size_t got = 0;
+  while (got < size) {
+    const ssize_t n = recv(fd_, p + got, size - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable(
+          got == 0 ? "peer closed the connection"
+                   : "peer closed mid-read after " + std::to_string(got) +
+                         " of " + std::to_string(size) + " bytes");
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SIA_RETURN_IF_ERROR(PollUntil(fd_, POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == ECONNRESET) {
+      return Status::Unavailable("connection reset during read");
+    }
+    return ErrnoStatus("recv");
+  }
+  return Status::OK();
+}
+
+Status Socket::SendFrame(std::string_view payload, int64_t timeout_ms) {
+  if (payload.empty() || payload.size() > kMaxFrameBytes) {
+    return Status::InvalidArgument("frame payload must be 1.." +
+                                   std::to_string(kMaxFrameBytes) + " bytes");
+  }
+  unsigned char header[4];
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  header[0] = static_cast<unsigned char>(n >> 24);
+  header[1] = static_cast<unsigned char>(n >> 16);
+  header[2] = static_cast<unsigned char>(n >> 8);
+  header[3] = static_cast<unsigned char>(n);
+  SIA_RETURN_IF_ERROR(WriteAll(header, sizeof(header), timeout_ms));
+  return WriteAll(payload.data(), payload.size(), timeout_ms);
+}
+
+Result<std::string> Socket::RecvFrame(int64_t timeout_ms) {
+  unsigned char header[4];
+  SIA_RETURN_IF_ERROR(ReadExact(header, sizeof(header), timeout_ms));
+  const uint32_t n = (static_cast<uint32_t>(header[0]) << 24) |
+                     (static_cast<uint32_t>(header[1]) << 16) |
+                     (static_cast<uint32_t>(header[2]) << 8) |
+                     static_cast<uint32_t>(header[3]);
+  if (n == 0) return Status::ParseError("zero-length frame");
+  if (n > kMaxFrameBytes) {
+    return Status::ParseError("frame length " + std::to_string(n) +
+                              " exceeds the " +
+                              std::to_string(kMaxFrameBytes) + "-byte cap");
+  }
+  std::string payload(n, '\0');
+  SIA_RETURN_IF_ERROR(ReadExact(payload.data(), n, timeout_ms));
+  return payload;
+}
+
+Result<Listener> Listener::Bind(const std::string& host, uint16_t port,
+                                int backlog) {
+  struct sockaddr_in addr;
+  if (!ParseIpv4(host, &addr)) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  addr.sin_port = htons(port);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket owner(fd);
+  const int one = 1;
+  if (setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+    return ErrnoStatus("setsockopt(SO_REUSEADDR)");
+  }
+  SIA_RETURN_IF_ERROR(SetNonBlocking(fd));
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return ErrnoStatus("bind");
+  }
+  if (listen(fd, backlog) < 0) return ErrnoStatus("listen");
+  // Read back the kernel-chosen port when the caller asked for 0.
+  struct sockaddr_in bound;
+  socklen_t len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<struct sockaddr*>(&bound), &len) < 0) {
+    return ErrnoStatus("getsockname");
+  }
+  Listener out;
+  out.fd_ = std::move(owner);
+  out.port_ = ntohs(bound.sin_port);
+  return out;
+}
+
+Result<Socket> Listener::Accept(int64_t timeout_ms) {
+  if (!fd_.valid()) return Status::Internal("Accept on closed listener");
+  const auto deadline = DeadlineFromMillis(timeout_ms);
+  for (;;) {
+    const int fd = accept(fd_.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket conn(fd);
+      SIA_RETURN_IF_ERROR(SetNonBlocking(fd));
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SIA_RETURN_IF_ERROR(PollUntil(fd_.fd(), POLLIN, deadline));
+      continue;
+    }
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    return ErrnoStatus("accept");
+  }
+}
+
+Result<Socket> Connect(const std::string& host, uint16_t port,
+                       int64_t timeout_ms) {
+  struct sockaddr_in addr;
+  if (!ParseIpv4(host, &addr)) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  addr.sin_port = htons(port);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+  Socket conn(fd);
+  SIA_RETURN_IF_ERROR(SetNonBlocking(fd));
+  const auto deadline = DeadlineFromMillis(timeout_ms);
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    if (errno != EINPROGRESS) return ErrnoStatus("connect");
+    SIA_RETURN_IF_ERROR(PollUntil(fd, POLLOUT, deadline));
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+      return ErrnoStatus("getsockopt(SO_ERROR)");
+    }
+    if (err != 0) {
+      if (err == ECONNREFUSED) {
+        return Status::Unavailable("connection refused");
+      }
+      return Status::Internal(std::string("connect: ") + strerror(err));
+    }
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+}  // namespace sia::net

@@ -1,0 +1,102 @@
+#ifndef SIA_COMMON_NET_H_
+#define SIA_COMMON_NET_H_
+
+// Minimal TCP helpers for the serving subsystem (src/server): move-only
+// RAII sockets, a listener with poll-based accept timeouts, and a
+// length-prefixed frame layer shared by server and client so neither can
+// drift from the wire format.
+//
+// Every blocking operation takes an explicit timeout. Sockets are put in
+// non-blocking mode and each read/write polls first, so a stalled or
+// malicious peer costs the caller at most its timeout — never a wedged
+// thread. Status codes:
+//   kTimeout      the timeout elapsed before the operation finished
+//   kUnavailable  the peer closed the connection (EOF mid-frame, EPIPE)
+//   kParseError   a malformed frame header (zero or oversized length)
+//   kInternal     an unexpected socket error (errno in the message)
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace sia::net {
+
+// Hard cap on a frame payload in either direction. A length prefix above
+// this is rejected as kParseError before any payload byte is read, so a
+// hostile 4-byte header cannot make a peer allocate gigabytes.
+inline constexpr size_t kMaxFrameBytes = 1 << 20;  // 1 MiB
+
+// Move-only owner of a connected socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  void Close();
+
+  // Writes all of `data`, polling for writability; partial progress
+  // consumes the one shared timeout.
+  Status WriteAll(const void* data, size_t size, int64_t timeout_ms);
+
+  // Reads exactly `size` bytes. kUnavailable on EOF (with the byte count
+  // in the message when the close was mid-read).
+  Status ReadExact(void* data, size_t size, int64_t timeout_ms);
+
+  // Sends one frame: 4-byte big-endian payload length, then the payload.
+  Status SendFrame(std::string_view payload, int64_t timeout_ms);
+
+  // Receives one frame. kUnavailable when the peer closed before sending
+  // a complete header (the clean end-of-stream case) or mid-payload;
+  // kParseError for a zero or >kMaxFrameBytes length prefix.
+  Result<std::string> RecvFrame(int64_t timeout_ms);
+
+  // Half-closes the write side (the peer sees EOF after draining).
+  void ShutdownWrite();
+
+ private:
+  int fd_ = -1;
+};
+
+// A bound, listening TCP socket (IPv4, loopback by default).
+class Listener {
+ public:
+  // Binds and listens on `host:port`; port 0 picks an ephemeral port
+  // (read it back from port()).
+  static Result<Listener> Bind(const std::string& host, uint16_t port,
+                               int backlog = 128);
+
+  Listener() = default;
+  Listener(Listener&&) noexcept = default;
+  Listener& operator=(Listener&&) noexcept = default;
+
+  bool valid() const { return fd_.valid(); }
+  uint16_t port() const { return port_; }
+  void Close() { fd_.Close(); }
+
+  // Waits up to `timeout_ms` for a connection; kTimeout when none
+  // arrived (the accept loop's polling heartbeat, not an error).
+  Result<Socket> Accept(int64_t timeout_ms);
+
+ private:
+  Socket fd_;  // listening fd, reusing Socket's RAII
+  uint16_t port_ = 0;
+};
+
+// Connects to `host:port` within `timeout_ms`.
+Result<Socket> Connect(const std::string& host, uint16_t port,
+                       int64_t timeout_ms);
+
+}  // namespace sia::net
+
+#endif  // SIA_COMMON_NET_H_

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "SolverError";
     case StatusCode::kTimeout:
       return "Timeout";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -18,6 +18,7 @@ enum class StatusCode {
   kTypeError,
   kSolverError,
   kTimeout,
+  kUnavailable,
   kInternal,
 };
 
@@ -53,6 +54,12 @@ class Status {
   }
   static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  // The resource exists but cannot take the work right now (a full
+  // admission queue, a draining server, a peer that closed mid-frame).
+  // Retrying later may succeed — unlike kInternal, which means a bug.
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -51,6 +51,25 @@ std::string Join(const std::vector<std::string>& pieces,
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view s) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string HexDigest64(uint64_t value) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
 std::string_view StripWhitespace(std::string_view s) {
   size_t b = 0;
   size_t e = s.size();

@@ -1,6 +1,7 @@
 #ifndef SIA_COMMON_STRINGS_H_
 #define SIA_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -25,6 +26,15 @@ std::string Join(const std::vector<std::string>& pieces,
 
 // Removes leading and trailing ASCII whitespace.
 std::string_view StripWhitespace(std::string_view s);
+
+// 64-bit FNV-1a hash of `s`. Stable across platforms and runs — used
+// wherever two processes must agree on a digest of the same text (the
+// serving protocol's sql_hash, sia_lint's digest files).
+uint64_t Fnv1a64(std::string_view s);
+
+// `value` as 16 lowercase hex digits (the canonical rendering of the
+// digests above).
+std::string HexDigest64(uint64_t value);
 
 }  // namespace sia
 

@@ -1,0 +1,64 @@
+#ifndef SIA_SERVER_ADMISSION_QUEUE_H_
+#define SIA_SERVER_ADMISSION_QUEUE_H_
+
+// Bounded admission queue between the acceptor thread and the worker
+// pool. Entries are accepted-but-unread connections, so admission (and
+// load-shedding) happens before the server spends anything on a request
+// beyond the accept itself: the acceptor never blocks on client I/O, and
+// a full queue is answered with an immediate SHED frame instead of an
+// ever-growing backlog.
+//
+// Close() flips the queue into drain mode: pushes are refused, pops keep
+// draining until empty, then return nullopt — exactly the SIGTERM
+// semantics ("stop accepting, finish what was admitted").
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <condition_variable>
+
+#include "common/net.h"
+
+namespace sia::server {
+
+// A connection the acceptor admitted, stamped with its admission time
+// (tracer-epoch microseconds) so the worker can record queue wait.
+struct AdmittedConn {
+  net::Socket conn;
+  uint64_t admit_us = 0;
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t depth) : depth_(depth) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  // False when the queue is full or closed — the caller sheds. `item` is
+  // moved from only on success, so the caller still owns the connection
+  // (and can write the SHED response) after a refusal.
+  bool TryPush(AdmittedConn&& item);
+
+  // Blocks until an item arrives or the queue is closed and empty.
+  std::optional<AdmittedConn> Pop();
+
+  // Refuse new pushes; wake every blocked Pop once the backlog drains.
+  void Close();
+
+  size_t size() const;
+  size_t depth() const { return depth_; }
+  bool closed() const;
+
+ private:
+  const size_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<AdmittedConn> items_;
+  bool closed_ = false;
+};
+
+}  // namespace sia::server
+
+#endif  // SIA_SERVER_ADMISSION_QUEUE_H_

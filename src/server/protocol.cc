@@ -1,0 +1,234 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace sia::server {
+namespace {
+
+// One-line rendering of a Status message: the status line must stay a
+// single line, whatever a parser or solver put in the message.
+std::string OneLine(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    out += (c == '\n' || c == '\r') ? ' ' : c;
+  }
+  return out;
+}
+
+StatusCode CodeFromName(std::string_view name) {
+  for (const StatusCode code :
+       {StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kUnsupported, StatusCode::kParseError,
+        StatusCode::kTypeError, StatusCode::kSolverError, StatusCode::kTimeout,
+        StatusCode::kUnavailable, StatusCode::kInternal}) {
+    if (name == StatusCodeName(code)) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseHex64(std::string_view text, uint64_t* out) {
+  if (text.size() != 16) return false;
+  uint64_t value = 0;
+  for (const char c : text) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<Request> ParseRequest(std::string_view payload) {
+  if (payload.empty()) return Status::ParseError("empty request");
+  if (payload.find('\0') != std::string_view::npos) {
+    return Status::ParseError("request contains NUL bytes");
+  }
+  const size_t eol = payload.find('\n');
+  const std::string_view verb_line =
+      StripWhitespace(eol == std::string_view::npos ? payload
+                                                    : payload.substr(0, eol));
+  const std::string verb = ToUpper(verb_line);
+  Request request;
+  request.verb = verb;
+  if (verb == kVerbPing || verb == kVerbStats) {
+    return request;
+  }
+  if (verb == kVerbQuery) {
+    if (eol == std::string_view::npos) {
+      return Status::ParseError("QUERY without a SQL body");
+    }
+    request.body = std::string(StripWhitespace(payload.substr(eol + 1)));
+    if (request.body.empty()) {
+      return Status::ParseError("QUERY with an empty SQL body");
+    }
+    return request;
+  }
+  return Status::ParseError("unknown verb '" + OneLine(verb_line) + "'");
+}
+
+std::string FormatOkPing() { return "OK\npong"; }
+
+std::string FormatOkStats(std::string_view metrics_json) {
+  std::string out = "OK\n";
+  out += metrics_json;
+  return out;
+}
+
+std::string FormatOkQuery(const QueryReply& reply) {
+  std::string out = "OK\n";
+  out += "rewritten=" + std::string(reply.rewritten ? "1" : "0") + "\n";
+  out += "rung=" + reply.rung + "\n";
+  out += "from_cache=" + std::string(reply.from_cache ? "1" : "0") + "\n";
+  out += "sql_hash=" + HexDigest64(reply.sql_hash) + "\n";
+  out += "queue_us=" + std::to_string(reply.queue_us) + "\n";
+  out += "rewrite_us=" + std::to_string(reply.rewrite_us) + "\n";
+  out += "exec_us=" + std::to_string(reply.exec_us) + "\n";
+  if (reply.executed) {
+    out += "rows=" + std::to_string(reply.rows) + "\n";
+    out += "content_hash=" + HexDigest64(reply.content_hash) + "\n";
+    out += "order_hash=" + HexDigest64(reply.order_hash) + "\n";
+  }
+  out += "rewritten_sql=" + reply.rewritten_sql;
+  return out;
+}
+
+std::string FormatShed(int64_t retry_after_ms) {
+  return "SHED retry_after_ms=" + std::to_string(retry_after_ms);
+}
+
+std::string FormatError(const Status& status) {
+  return "ERROR " + std::string(StatusCodeName(status.code())) + ": " +
+         OneLine(status.message());
+}
+
+Result<Response> ParseResponse(std::string_view payload) {
+  if (payload.empty()) return Status::ParseError("empty response");
+  const size_t eol = payload.find('\n');
+  const std::string_view status_line =
+      eol == std::string_view::npos ? payload : payload.substr(0, eol);
+  Response response;
+  response.body =
+      eol == std::string_view::npos ? "" : std::string(payload.substr(eol + 1));
+
+  if (status_line == "OK") {
+    response.kind = ResponseKind::kOk;
+    // A QUERY reply body always starts with `rewritten=`; PING/STATS
+    // bodies never do.
+    if (response.body.rfind("rewritten=", 0) != 0) return response;
+    QueryReply reply;
+    std::string_view rest = response.body;
+    while (!rest.empty()) {
+      const size_t line_end = rest.find('\n');
+      std::string_view line = rest.substr(0, line_end);
+      // rewritten_sql= is the final field and may itself contain '\n'-free
+      // SQL with '=' characters; consume the remainder wholesale.
+      if (line.rfind("rewritten_sql=", 0) == 0) {
+        reply.rewritten_sql = std::string(rest.substr(strlen("rewritten_sql=")));
+        rest = {};
+        break;
+      }
+      const size_t eq = line.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::ParseError("malformed reply line '" +
+                                  std::string(line) + "'");
+      }
+      const std::string_view key = line.substr(0, eq);
+      const std::string_view value = line.substr(eq + 1);
+      uint64_t number = 0;
+      if (key == "rewritten") {
+        reply.rewritten = value == "1";
+      } else if (key == "rung") {
+        reply.rung = std::string(value);
+      } else if (key == "from_cache") {
+        reply.from_cache = value == "1";
+      } else if (key == "sql_hash" && ParseHex64(value, &number)) {
+        reply.sql_hash = number;
+      } else if (key == "queue_us" && ParseU64(value, &number)) {
+        reply.queue_us = static_cast<int64_t>(number);
+      } else if (key == "rewrite_us" && ParseU64(value, &number)) {
+        reply.rewrite_us = static_cast<int64_t>(number);
+      } else if (key == "exec_us" && ParseU64(value, &number)) {
+        reply.exec_us = static_cast<int64_t>(number);
+      } else if (key == "rows" && ParseU64(value, &number)) {
+        reply.rows = number;
+        reply.executed = true;
+      } else if (key == "content_hash" && ParseHex64(value, &number)) {
+        reply.content_hash = number;
+      } else if (key == "order_hash" && ParseHex64(value, &number)) {
+        reply.order_hash = number;
+      } else {
+        return Status::ParseError("malformed reply field '" +
+                                  std::string(line) + "'");
+      }
+      if (line_end == std::string_view::npos) break;
+      rest = rest.substr(line_end + 1);
+    }
+    response.query = std::move(reply);
+    return response;
+  }
+
+  if (status_line.rfind("SHED", 0) == 0) {
+    response.kind = ResponseKind::kShed;
+    const size_t eq = status_line.find("retry_after_ms=");
+    uint64_t ms = 0;
+    if (eq == std::string_view::npos ||
+        !ParseU64(status_line.substr(eq + strlen("retry_after_ms=")), &ms)) {
+      return Status::ParseError("malformed SHED line '" +
+                                std::string(status_line) + "'");
+    }
+    response.retry_after_ms = static_cast<int64_t>(ms);
+    return response;
+  }
+
+  if (status_line.rfind("ERROR ", 0) == 0) {
+    response.kind = ResponseKind::kError;
+    const std::string_view rest = status_line.substr(strlen("ERROR "));
+    const size_t colon = rest.find(": ");
+    if (colon == std::string_view::npos) {
+      return Status::ParseError("malformed ERROR line '" +
+                                std::string(status_line) + "'");
+    }
+    response.error = Status(CodeFromName(rest.substr(0, colon)),
+                            std::string(rest.substr(colon + 2)));
+    return response;
+  }
+
+  return Status::ParseError("unknown response status line '" +
+                            std::string(status_line) + "'");
+}
+
+std::string FormatDigestLine(uint64_t seed, const QueryReply& reply) {
+  std::string out = "workload:seed" + std::to_string(seed);
+  out += " rewritten=" + std::string(reply.rewritten ? "1" : "0");
+  out += " rung=" + reply.rung;
+  out += " sql_hash=" + HexDigest64(reply.sql_hash);
+  if (reply.executed) {
+    out += " rows=" + std::to_string(reply.rows);
+    out += " content_hash=" + HexDigest64(reply.content_hash);
+    out += " order_hash=" + HexDigest64(reply.order_hash);
+  }
+  return out;
+}
+
+}  // namespace sia::server

@@ -1,0 +1,117 @@
+#ifndef SIA_SERVER_SERVER_H_
+#define SIA_SERVER_SERVER_H_
+
+// The concurrent query-serving subsystem (sia_serve): a resident process
+// boundary around the rewrite pipeline, shaped as
+//
+//   acceptor thread -> bounded AdmissionQueue -> worker pool -> responses
+//
+// The acceptor owns all accept(2) work and the load-shed decision: a
+// connection that cannot be admitted is answered with a SHED frame
+// (Retry-After hint) and closed, so overload degrades to fast, explicit
+// refusals instead of unbounded queueing. Workers (long-running tasks on
+// a private common/thread_pool) read the request frame, run it through
+// QueryService — rewrite ladder, shared RewriteCache, optional execution
+// — and write the response. Per-request deadlines come from
+// ServiceOptions::request_deadline_ms; per-request spans are
+// server.accept / server.queue / server.rewrite / server.execute /
+// server.respond.
+//
+// Shutdown is a graceful drain: DrainAndStop() stops accepting, lets the
+// workers finish everything already admitted, and reports kTimeout when
+// that takes longer than drain_deadline_ms (workers are still joined —
+// the deadline bounds the *graceful* exit, not thread lifetime).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/net.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "server/admission_queue.h"
+#include "server/service.h"
+
+namespace sia::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = ephemeral; read back via SiaServer::port()
+  size_t workers = 2;
+  size_t queue_depth = 64;
+  // How long a worker waits for a client's request frame / response
+  // write before giving up on the connection.
+  int64_t io_timeout_ms = 5000;
+  // Graceful-drain budget for DrainAndStop().
+  int64_t drain_deadline_ms = 10000;
+  // Retry-After hint carried in SHED responses.
+  int64_t retry_after_ms = 100;
+  ServiceOptions service;
+};
+
+// Monotonic request accounting, valid while the server runs and after it
+// stops. accepted == shed + completed + protocol_errors once drained.
+struct ServerCounters {
+  uint64_t accepted = 0;
+  uint64_t shed = 0;
+  uint64_t completed = 0;        // a response frame was written
+  uint64_t protocol_errors = 0;  // unreadable/over-long/abandoned requests
+};
+
+class SiaServer {
+ public:
+  // Binds, spawns the acceptor and `workers` worker loops, and returns a
+  // serving instance.
+  static Result<std::unique_ptr<SiaServer>> Start(const ServerOptions& options);
+
+  // Drains (if the caller did not) and joins everything.
+  ~SiaServer();
+
+  uint16_t port() const { return listener_.port(); }
+
+  // Stop accepting, refuse new admissions, finish all admitted requests.
+  // Idempotent. Returns kTimeout when the backlog outlived
+  // drain_deadline_ms; OK otherwise.
+  Status DrainAndStop();
+
+  ServerCounters counters() const;
+
+ private:
+  explicit SiaServer(const ServerOptions& options);
+
+  void AcceptLoop();
+  void WorkerLoop();
+  // One admitted connection end to end: read frame, serve, respond.
+  void ServeConn(AdmittedConn admitted);
+
+  ServerOptions options_;
+  QueryService service_;
+  net::Listener listener_;
+  AdmissionQueue queue_;
+  std::unique_ptr<ThreadPool> pool_;  // workers_ + 1 (caller-counting pool)
+  std::thread acceptor_;
+
+  std::atomic<bool> stopping_{false};
+
+  // DrainAndStop serialization + stored result for idempotent calls.
+  std::mutex stop_mu_;
+  bool stopped_ = false;
+  Status drain_result_;
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;
+  size_t live_workers_ = 0;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace sia::server
+
+#endif  // SIA_SERVER_SERVER_H_

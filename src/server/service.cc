@@ -1,0 +1,110 @@
+#include "server/service.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+#include "engine/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parser/parser.h"
+
+namespace sia::server {
+namespace {
+
+int64_t ElapsedMicros(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - since)
+      .count();
+}
+
+}  // namespace
+
+QueryReply ReplyFromOutcome(const RewriteOutcome& outcome) {
+  QueryReply reply;
+  reply.rewritten = outcome.changed();
+  reply.rung = RewriteRungName(outcome.rung);
+  reply.from_cache = outcome.from_cache;
+  reply.rewritten_sql = outcome.rewritten.ToString();
+  reply.sql_hash = Fnv1a64(reply.rewritten_sql);
+  return reply;
+}
+
+Status ExecuteInto(const ParsedQuery& query, const Catalog& catalog,
+                   Executor& executor, QueryReply* reply) {
+  SIA_ASSIGN_OR_RETURN(QueryOutput output, RunQuery(query, catalog, executor));
+  reply->executed = true;
+  reply->rows = output.row_count;
+  reply->content_hash = output.content_hash;
+  reply->order_hash = output.order_hash;
+  return Status::OK();
+}
+
+QueryService::QueryService(const ServiceOptions& options)
+    : options_(options), catalog_(Catalog::TpchCatalog()) {
+  if (options_.scale_factor > 0) {
+    data_.emplace(GenerateTpch(options_.scale_factor, options_.data_seed));
+    executor_.RegisterTable("orders", &data_->orders);
+    executor_.RegisterTable("lineitem", &data_->lineitem);
+  }
+}
+
+std::string QueryService::Handle(std::string_view payload, int64_t queue_us) {
+  auto request = ParseRequest(payload);
+  if (!request.ok()) return FormatError(request.status());
+  if (request->verb == kVerbPing) return FormatOkPing();
+  if (request->verb == kVerbStats) {
+    return FormatOkStats(obs::MetricsRegistry::Instance().SnapshotJson());
+  }
+  return HandleQuery(request->body, queue_us);
+}
+
+std::string QueryService::HandleQuery(const std::string& sql,
+                                      int64_t queue_us) {
+  auto parsed = ParseQuery(sql);
+  if (!parsed.ok()) return FormatError(parsed.status());
+
+  // Queries that do not touch the rewrite target pass through unchanged
+  // — a serving endpoint answers them rather than erroring, the same way
+  // the ladder's kOriginal rung answers a failed synthesis.
+  const bool has_target =
+      std::find(parsed->tables.begin(), parsed->tables.end(),
+                options_.target_table) != parsed->tables.end();
+  const auto rewrite_start = std::chrono::steady_clock::now();
+  RewriteOutcome outcome;
+  if (has_target) {
+    SIA_TRACE_SPAN("server.rewrite");
+    RewriteOptions rewrite_options;
+    rewrite_options.target_table = options_.target_table;
+    rewrite_options.cache = &cache_;
+    if (options_.max_iterations > 0) {
+      rewrite_options.synthesis.max_iterations = options_.max_iterations;
+    }
+    if (options_.request_deadline_ms > 0) {
+      rewrite_options.deadline =
+          Deadline::FromNowMillis(options_.request_deadline_ms);
+    }
+    auto rewritten = RewriteQuery(*parsed, catalog_, rewrite_options);
+    if (!rewritten.ok()) return FormatError(rewritten.status());
+    outcome = std::move(*rewritten);
+  } else {
+    outcome.rewritten = *parsed;
+  }
+  const int64_t rewrite_us = ElapsedMicros(rewrite_start);
+
+  QueryReply fields = ReplyFromOutcome(outcome);
+  fields.queue_us = queue_us;
+  fields.rewrite_us = rewrite_us;
+
+  if (data_.has_value()) {
+    SIA_TRACE_SPAN("server.execute");
+    const auto exec_start = std::chrono::steady_clock::now();
+    const Status executed =
+        ExecuteInto(outcome.rewritten, catalog_, executor_, &fields);
+    if (!executed.ok()) return FormatError(executed);
+    fields.exec_us = ElapsedMicros(exec_start);
+  }
+  return FormatOkQuery(fields);
+}
+
+}  // namespace sia::server

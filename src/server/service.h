@@ -1,0 +1,82 @@
+#ifndef SIA_SERVER_SERVICE_H_
+#define SIA_SERVER_SERVICE_H_
+
+// The per-request brains of sia_serve, separated from the threading in
+// server.h: given one request payload, produce one response payload.
+// QueryService owns everything a request needs — the TPC-H catalog, the
+// process-lifetime RewriteCache (the §6.2 "optimize once, serve many"
+// deployment mode), and optionally generated TPC-H data plus an Executor
+// so QUERY responses carry result digests.
+//
+// Handle() is called concurrently from every worker; all shared state is
+// either immutable after construction (catalog, tables) or internally
+// synchronized (RewriteCache single-flight, Executor's shared pool).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "catalog/catalog.h"
+#include "engine/executor.h"
+#include "engine/tpch_gen.h"
+#include "rewrite/rewrite_cache.h"
+#include "rewrite/sia_rewriter.h"
+#include "server/protocol.h"
+
+namespace sia::server {
+
+struct ServiceOptions {
+  // Rewrite configuration, mirroring sia_lint's flags so a served run
+  // and a batch lint run can be configured identically.
+  std::string target_table = "lineitem";
+  int max_iterations = 0;        // 0 = synthesizer default
+  // Per-request wall-clock budget for the rewrite ladder (0 = none).
+  // Unlike sia_lint --deadline-ms, this is naturally per-request: each
+  // request derives a fresh Deadline when a worker picks it up.
+  int64_t request_deadline_ms = 0;
+  // When > 0, generate TPC-H data at this scale factor and execute every
+  // rewritten query, reporting result digests in the response.
+  double scale_factor = 0;
+  uint64_t data_seed = 42;
+};
+
+// Renders the protocol reply fields for a rewrite outcome. Shared with
+// sia_lint --digests-out so both sides compute sql_hash/rung/rewritten
+// from the same code.
+QueryReply ReplyFromOutcome(const RewriteOutcome& outcome);
+
+// Executes `query` and folds row_count/content_hash/order_hash into
+// `reply`. Shared with sia_lint --execute-sf.
+Status ExecuteInto(const ParsedQuery& query, const Catalog& catalog,
+                   Executor& executor, QueryReply* reply);
+
+class QueryService {
+ public:
+  explicit QueryService(const ServiceOptions& options);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  // Serves one request; never throws and always returns a well-formed
+  // response payload (failures become ERROR frames). `queue_us` is the
+  // admission-queue wait the server measured for this request.
+  std::string Handle(std::string_view payload, int64_t queue_us);
+
+  bool executes() const { return data_.has_value(); }
+  const Catalog& catalog() const { return catalog_; }
+  RewriteCache& cache() { return cache_; }
+
+ private:
+  std::string HandleQuery(const std::string& sql, int64_t queue_us);
+
+  ServiceOptions options_;
+  Catalog catalog_;
+  RewriteCache cache_;
+  std::optional<TpchData> data_;
+  Executor executor_;  // used only when data_ is populated
+};
+
+}  // namespace sia::server
+
+#endif  // SIA_SERVER_SERVICE_H_

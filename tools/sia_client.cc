@@ -1,0 +1,280 @@
+// sia_client — load generator and test client for sia_serve. Generates
+// the same §6.3 seeded workload as sia_lint, drives it through a running
+// server over the length-prefixed protocol, and (optionally) writes the
+// canonical per-query digest lines that scripts/check.sh diffs against a
+// batch sia_lint run.
+//
+//   sia_client --port P [options]
+//     --host H            server address (default 127.0.0.1)
+//     --workload N        send N seeded workload queries (default 0)
+//     --seed S            workload generator seed (default 2021)
+//     --sql "SELECT ..."  send one ad-hoc query instead of a workload
+//     --ping              send PING and print the reply
+//     --stats             after the workload, fetch STATS and print the
+//                         metrics JSON to stdout
+//     --concurrency C     client threads (default 1)
+//     --retries R         on SHED, honor the server's retry_after_ms and
+//                         retry up to R times (default 0: record the shed)
+//     --timeout-ms N      per-operation connect/read/write budget
+//                         (default 60000)
+//     --digests-out F     write digest lines (workload order) to F
+//     -q, --quiet         suppress per-query output, keep the summary
+//
+// Every run ends with one summary line:
+//   sent=<n> ok=<n> shed=<n> server_errors=<n> closed=<n>
+// `closed` counts connections the server dropped without a response —
+// expected while it drains, an anomaly otherwise. Exit status: 0 when
+// every response was OK or SHED or a drain-time close, 1 when any ERROR
+// response came back, 2 on usage or setup failure.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/net.h"
+#include "server/protocol.h"
+#include "workload/querygen.h"
+
+namespace {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t workload_count = 0;
+  uint64_t seed = 2021;
+  std::string sql;
+  bool ping = false;
+  bool stats = false;
+  size_t concurrency = 1;
+  int retries = 0;
+  int64_t timeout_ms = 60000;
+  std::string digests_out;
+  bool quiet = false;
+};
+
+enum class QueryResult { kOk, kShed, kServerError, kClosed };
+
+struct QueryRecord {
+  QueryResult result = QueryResult::kClosed;
+  sia::server::QueryReply reply;
+  std::string detail;  // error message / close reason
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --port P [--host H] [--workload N] [--seed S]\n"
+               "          [--sql QUERY] [--ping] [--stats]\n"
+               "          [--concurrency C] [--retries R] [--timeout-ms N]\n"
+               "          [--digests-out F] [-q|--quiet]\n",
+               argv0);
+  return 2;
+}
+
+// One round trip: connect, send the request frame, read the response
+// frame. Transport failures come back as non-OK Status; protocol-level
+// outcomes (OK/SHED/ERROR) come back in the Response.
+sia::Result<sia::server::Response> RoundTrip(const ClientOptions& options,
+                                             const std::string& payload) {
+  SIA_ASSIGN_OR_RETURN(sia::net::Socket conn,
+                       sia::net::Connect(options.host, options.port,
+                                         options.timeout_ms));
+  SIA_RETURN_IF_ERROR(conn.SendFrame(payload, options.timeout_ms));
+  SIA_ASSIGN_OR_RETURN(std::string frame, conn.RecvFrame(options.timeout_ms));
+  return sia::server::ParseResponse(frame);
+}
+
+// Sends one query, retrying shed responses when asked to.
+QueryRecord SendQuery(const ClientOptions& options, const std::string& sql) {
+  QueryRecord record;
+  const std::string payload = std::string(sia::server::kVerbQuery) + "\n" + sql;
+  for (int attempt = 0;; ++attempt) {
+    auto response = RoundTrip(options, payload);
+    if (!response.ok()) {
+      record.result = QueryResult::kClosed;
+      record.detail = response.status().ToString();
+      return record;
+    }
+    switch (response->kind) {
+      case sia::server::ResponseKind::kOk:
+        record.result = QueryResult::kOk;
+        if (response->query.has_value()) record.reply = *response->query;
+        return record;
+      case sia::server::ResponseKind::kShed:
+        if (attempt < options.retries) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(
+              std::max<int64_t>(1, response->retry_after_ms)));
+          continue;
+        }
+        record.result = QueryResult::kShed;
+        return record;
+      case sia::server::ResponseKind::kError:
+        record.result = QueryResult::kServerError;
+        record.detail = response->error.ToString();
+        return record;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next()) != nullptr) {
+      options.host = v;
+    } else if (arg == "--port" && (v = next()) != nullptr) {
+      options.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (arg == "--workload" && (v = next()) != nullptr) {
+      options.workload_count = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--seed" && (v = next()) != nullptr) {
+      options.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--sql" && (v = next()) != nullptr) {
+      options.sql = v;
+    } else if (arg == "--ping") {
+      options.ping = true;
+    } else if (arg == "--stats") {
+      options.stats = true;
+    } else if (arg == "--concurrency" && (v = next()) != nullptr) {
+      options.concurrency = static_cast<size_t>(std::atoll(v));
+    } else if (arg == "--retries" && (v = next()) != nullptr) {
+      options.retries = std::atoi(v);
+    } else if (arg == "--timeout-ms" && (v = next()) != nullptr) {
+      options.timeout_ms = std::atoll(v);
+    } else if (arg == "--digests-out" && (v = next()) != nullptr) {
+      options.digests_out = v;
+    } else if (arg == "-q" || arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown or incomplete flag: %s\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (options.port == 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return Usage(argv[0]);
+  }
+  if (options.concurrency == 0) options.concurrency = 1;
+
+  if (options.ping) {
+    auto response = RoundTrip(options, std::string(sia::server::kVerbPing));
+    if (!response.ok() ||
+        response->kind != sia::server::ResponseKind::kOk) {
+      std::fprintf(stderr, "ping failed: %s\n",
+                   response.ok() ? response->error.ToString().c_str()
+                                 : response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->body.c_str());
+  }
+
+  // The queries to send: one ad-hoc statement, or the seeded workload
+  // (generated exactly as sia_lint does, so seeds and SQL text match).
+  std::vector<std::string> sqls;
+  std::vector<uint64_t> seeds;
+  if (!options.sql.empty()) {
+    sqls.push_back(options.sql);
+    seeds.push_back(0);
+  }
+  if (options.workload_count > 0) {
+    const sia::Catalog catalog = sia::Catalog::TpchCatalog();
+    sia::QueryGenOptions gen;
+    gen.seed = options.seed;
+    auto queries =
+        sia::GenerateWorkload(catalog, options.workload_count, gen);
+    if (!queries.ok()) {
+      std::fprintf(stderr, "workload generation failed: %s\n",
+                   queries.status().ToString().c_str());
+      return 2;
+    }
+    for (const sia::GeneratedQuery& q : *queries) {
+      sqls.push_back(q.sql);
+      seeds.push_back(q.seed);
+    }
+  }
+
+  std::vector<QueryRecord> records(sqls.size());
+  if (!sqls.empty()) {
+    std::atomic<size_t> next_index{0};
+    auto drive = [&] {
+      for (;;) {
+        const size_t i = next_index.fetch_add(1);
+        if (i >= sqls.size()) return;
+        records[i] = SendQuery(options, sqls[i]);
+      }
+    };
+    std::vector<std::thread> threads;
+    const size_t n =
+        std::min(options.concurrency, sqls.size() == 0 ? 1 : sqls.size());
+    threads.reserve(n);
+    for (size_t t = 0; t < n; ++t) threads.emplace_back(drive);
+    for (std::thread& t : threads) t.join();
+  }
+
+  size_t ok = 0, shed = 0, server_errors = 0, closed = 0;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const QueryRecord& r = records[i];
+    switch (r.result) {
+      case QueryResult::kOk:
+        ++ok;
+        break;
+      case QueryResult::kShed:
+        ++shed;
+        break;
+      case QueryResult::kServerError:
+        ++server_errors;
+        break;
+      case QueryResult::kClosed:
+        ++closed;
+        break;
+    }
+    if (!options.quiet &&
+        (r.result == QueryResult::kServerError ||
+         r.result == QueryResult::kClosed)) {
+      std::fprintf(stderr, "query %zu (seed %llu): %s\n", i,
+                   static_cast<unsigned long long>(seeds[i]),
+                   r.detail.c_str());
+    }
+  }
+
+  if (!options.digests_out.empty()) {
+    std::ofstream out(options.digests_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", options.digests_out.c_str());
+      return 2;
+    }
+    for (size_t i = 0; i < records.size(); ++i) {
+      if (records[i].result != QueryResult::kOk) continue;
+      out << sia::server::FormatDigestLine(seeds[i], records[i].reply)
+          << "\n";
+    }
+  }
+
+  if (options.stats) {
+    auto response = RoundTrip(options, std::string(sia::server::kVerbStats));
+    if (!response.ok() ||
+        response->kind != sia::server::ResponseKind::kOk) {
+      std::fprintf(stderr, "stats failed: %s\n",
+                   response.ok() ? response->error.ToString().c_str()
+                                 : response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", response->body.c_str());
+  }
+
+  std::printf("sent=%zu ok=%zu shed=%zu server_errors=%zu closed=%zu\n",
+              records.size(), ok, shed, server_errors, closed);
+  return server_errors > 0 ? 1 : 0;
+}

@@ -32,6 +32,16 @@
 //                       run; D is a path or "stderr"
 //     --trace-out F     write a Chrome trace-event file (Perfetto-
 //                       loadable) of the run to F
+//     --digests-out F   write one canonical digest line per --workload
+//                       query to F (the same lines sia_client emits), for
+//                       byte-comparing a served run against a local batch
+//                       run. Requires --rewrite + --workload; incompatible
+//                       with --deadline-ms (deadline outcomes are timing-
+//                       dependent, digests must be deterministic)
+//     --execute-sf SF   with --digests-out: generate TPC-H data at SF
+//                       (seed 42, matching sia_serve --data-seed) and
+//                       execute every rewritten query so digest lines
+//                       carry rows/content_hash/order_hash
 //     --werror          exit non-zero on warnings too
 //     -q, --quiet       print only the summary line
 //
@@ -44,6 +54,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,6 +66,8 @@
 #include "common/fault_injection.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "engine/executor.h"
+#include "engine/tpch_gen.h"
 #include "ir/binder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -64,6 +77,8 @@
 #include "rewrite/rewrite_cache.h"
 #include "rewrite/rules.h"
 #include "rewrite/sia_rewriter.h"
+#include "server/protocol.h"
+#include "server/service.h"
 #include "workload/querygen.h"
 
 namespace {
@@ -82,6 +97,8 @@ struct LintOptions {
   bool list_fault_points = false;
   std::string metrics_out;  // empty = off; "stderr" or a file path
   std::string trace_out;    // empty = off
+  std::string digests_out;  // empty = off
+  double execute_sf = 0;    // 0 = rewrite-only digests
   std::vector<std::string> files;
 };
 
@@ -100,7 +117,8 @@ int Usage(const char* argv0) {
                "          [--threads N] [--target TABLE]\n"
                "          [--no-pushdown] [--werror]\n"
                "          [--list-fault-points] [--metrics-out DEST]\n"
-               "          [--trace-out FILE] [-q|--quiet] [file.sql ...]\n",
+               "          [--trace-out FILE] [--digests-out FILE]\n"
+               "          [--execute-sf SF] [-q|--quiet] [file.sql ...]\n",
                argv0);
   return 2;
 }
@@ -437,6 +455,19 @@ int main(int argc, char** argv) {
         if (v == nullptr) return Usage(argv[0]);
         options.trace_out = v;
       }
+    } else if (arg == "--digests-out" ||
+               arg.rfind("--digests-out=", 0) == 0) {
+      if (arg.size() > std::strlen("--digests-out")) {
+        options.digests_out = arg.substr(std::strlen("--digests-out="));
+      } else {
+        const char* v = next();
+        if (v == nullptr) return Usage(argv[0]);
+        options.digests_out = v;
+      }
+    } else if (arg == "--execute-sf") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      options.execute_sf = std::atof(v);
     } else if (arg == "--no-pushdown") {
       options.push_down = false;
     } else if (arg == "--werror") {
@@ -459,6 +490,24 @@ int main(int argc, char** argv) {
                  "--threads and --deadline-ms are incompatible: the "
                  "deadline is an absolute instant, so a batch would "
                  "share one budget across all queries\n");
+    return Usage(argv[0]);
+  }
+  if (!options.digests_out.empty()) {
+    if (!options.rewrite || options.workload_count == 0) {
+      std::fprintf(stderr,
+                   "--digests-out requires --rewrite and --workload\n");
+      return Usage(argv[0]);
+    }
+    if (options.deadline_ms > 0) {
+      std::fprintf(stderr,
+                   "--digests-out and --deadline-ms are incompatible: "
+                   "digests must be deterministic, deadline outcomes are "
+                   "timing-dependent\n");
+      return Usage(argv[0]);
+    }
+  }
+  if (options.execute_sf > 0 && options.digests_out.empty()) {
+    std::fprintf(stderr, "--execute-sf only makes sense with --digests-out\n");
     return Usage(argv[0]);
   }
 
@@ -508,9 +557,13 @@ int main(int argc, char** argv) {
     // Batch path: rewrite every workload query up front on a private
     // pool through one shared single-flight cache, then lint the
     // outcomes in workload order (output identical to the serial path).
+    // --digests-out also goes through here even at --threads 1 (the
+    // pool degenerates to inline execution) so digest lines always come
+    // from cache-mediated outcomes, exactly like a served run.
     std::vector<sia::RewriteOutcome> precomputed;
     bool have_precomputed = false;
-    if (options.rewrite && options.threads > 1) {
+    if (options.rewrite &&
+        (options.threads > 1 || !options.digests_out.empty())) {
       sia::ThreadPool pool(static_cast<size_t>(options.threads));
       sia::RewriteCache cache;
       sia::BatchRewriteOptions batch;
@@ -539,6 +592,41 @@ int main(int argc, char** argv) {
       LintQuery("workload:seed" + std::to_string(q.seed), q.query, catalog,
                 options, &totals,
                 have_precomputed ? &precomputed[qi] : nullptr);
+    }
+
+    // Digest lines render through the same code a served run uses
+    // (server/service.h ReplyFromOutcome + ExecuteInto, protocol.h
+    // FormatDigestLine), so equality with sia_client output is by
+    // construction, not by parallel formatting.
+    if (!options.digests_out.empty()) {
+      std::ofstream out(options.digests_out);
+      if (!out) {
+        std::fprintf(stderr, "--digests-out: cannot write %s\n",
+                     options.digests_out.c_str());
+        return 2;
+      }
+      std::optional<sia::TpchData> data;
+      sia::Executor executor;
+      if (options.execute_sf > 0) {
+        data.emplace(sia::GenerateTpch(options.execute_sf, 42));
+        executor.RegisterTable("orders", &data->orders);
+        executor.RegisterTable("lineitem", &data->lineitem);
+      }
+      for (size_t qi = 0; qi < queries->size(); ++qi) {
+        sia::server::QueryReply reply =
+            sia::server::ReplyFromOutcome(precomputed[qi]);
+        if (data.has_value()) {
+          const sia::Status executed = sia::server::ExecuteInto(
+              precomputed[qi].rewritten, catalog, executor, &reply);
+          if (!executed.ok()) {
+            std::fprintf(stderr, "--digests-out: execution failed: %s\n",
+                         executed.ToString().c_str());
+            return 2;
+          }
+        }
+        out << sia::server::FormatDigestLine((*queries)[qi].seed, reply)
+            << "\n";
+      }
     }
   }
 
