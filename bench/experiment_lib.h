@@ -50,7 +50,7 @@ struct EfficacyRun {
 // Runs the shared §6.4 experiment: every query x every non-empty subset
 // of {l_shipdate, l_commitdate, l_receiptdate} x every technique.
 // The "possible" probe runs once per (query, subset).
-Result<EfficacyRun> RunEfficacyExperiment(const EfficacyConfig& config);
+[[nodiscard]] Result<EfficacyRun> RunEfficacyExperiment(const EfficacyConfig& config);
 
 // Reads a positive integer env var, or `fallback`.
 int64_t EnvInt(const char* name, int64_t fallback);

@@ -43,7 +43,7 @@ struct RuntimeConfig {
 // Rewrites the workload concurrently on the shared thread pool (one
 // RewriteCache across the batch), then times original vs rewritten
 // execution per query.
-Result<std::vector<RuntimeRecord>> RunRuntimeExperiment(
+[[nodiscard]] Result<std::vector<RuntimeRecord>> RunRuntimeExperiment(
     const RuntimeConfig& config);
 
 // Order-sensitive fold of every record's original-output digests

@@ -39,6 +39,23 @@
 # to sia_lint --digests-out batch runs at --threads 1 AND 4; then
 # SIGTERM the daemon and require a clean drain (exit 0, DRAINED line).
 #
+# `check.sh --static` additionally runs the compile-time concurrency and
+# conventions gates:
+#   - sia_conventions (tools/conventions_lib.cc) must report zero
+#     findings across src/ tools/ tests/ bench/ — the lock-annotation,
+#     raw-primitive, [[nodiscard]], obs-catalog, span-scope, and
+#     SIA_NO_THREAD_SAFETY_ANALYSIS invariants;
+#   - when clang++ >= ${CLANG_MIN_MAJOR} is installed, the whole tree is
+#     rebuilt with clang in ${BUILD_DIR}-static so -Wthread-safety (see
+#     CMakeLists.txt) verifies every SIA_GUARDED_BY / SIA_REQUIRES /
+#     SIA_EXCLUDES annotation under -Werror, and clang-tidy (the
+#     repo-root .clang-tidy profile, WarningsAsErrors on the bugprone
+#     and performance families — a gate here, not just an editor
+#     profile) runs over the tree's compile_commands.json. Without
+#     clang the stage degrades to sia_conventions alone, with a loud
+#     warning: the annotations still compile (they expand to nothing
+#     under GCC) but are unverified.
+#
 # Environment overrides:
 #   BUILD_DIR        build directory (default build-check)
 #   SANITIZE         SIA_SANITIZE value (default address,undefined)
@@ -69,15 +86,40 @@ JOBS=${JOBS:-$(nproc)}
 
 FAULT_SWEEP=0
 SERVE_SMOKE=0
+STATIC=0
 for arg in "$@"; do
   case "$arg" in
     --fault-sweep) FAULT_SWEEP=1 ;;
     --serve-smoke) SERVE_SMOKE=1 ;;
+    --static) STATIC=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
+# Oldest clang whose thread-safety analysis understands every annotation
+# sync.h emits (scoped_lockable with split Unlock/Lock re-acquire).
+CLANG_MIN_MAJOR=14
+
+# A build dir configured with one compiler silently keeps it forever:
+# `cmake -B dir` on an existing cache ignores a changed CC/CXX, so a
+# stale dir would make the clang stages below "pass" under GCC (where
+# every thread-safety annotation expands to nothing). Refuse to reuse a
+# cache whose compiler differs from the one this run needs.
+require_compiler() { # <build-dir> <compiler>
+  local cache="$1/CMakeCache.txt" cached want
+  [[ -f "${cache}" ]] || return 0
+  cached=$(sed -n 's/^CMAKE_CXX_COMPILER:[^=]*=//p' "${cache}" | head -n1)
+  want=$(command -v "$2" || true)
+  [[ -n "${cached}" && -n "${want}" ]] || return 0
+  if [[ "$(readlink -f "${cached}")" != "$(readlink -f "${want}")" ]]; then
+    echo "ERROR: $1 was configured with ${cached}, but this run needs $2;" \
+         "remove it (rm -rf $1) and re-run" >&2
+    exit 1
+  fi
+}
+
 echo "== configure (${BUILD_DIR}: SIA_SANITIZE=${SANITIZE}, SIA_WERROR=ON)"
+require_compiler "${BUILD_DIR}" "${CXX:-c++}"
 cmake -B "${BUILD_DIR}" -S . \
   -DSIA_SANITIZE="${SANITIZE}" -DSIA_WERROR=ON >/dev/null
 
@@ -122,6 +164,48 @@ if c++ -std=c++20 -Isrc -fsyntax-only "${COMPILE_FAIL_SRC}" 2>/dev/null; then
   exit 1
 fi
 echo "   (rejected, as required)"
+
+# --- Static concurrency/conventions gates (--static) ---------------------
+if [[ "${STATIC}" -eq 1 ]]; then
+  echo "== sia_conventions (repo-invariant linter, zero findings required)"
+  "${BUILD_DIR}/tools/sia_conventions" --root=.
+
+  CLANG_BIN=$(command -v clang++ || true)
+  CLANG_MAJOR=0
+  if [[ -n "${CLANG_BIN}" ]]; then
+    CLANG_MAJOR=$("${CLANG_BIN}" -dumpversion 2>/dev/null | cut -d. -f1)
+    CLANG_MAJOR=${CLANG_MAJOR:-0}
+  fi
+  if [[ -z "${CLANG_BIN}" || "${CLANG_MAJOR}" -lt "${CLANG_MIN_MAJOR}" ]]; then
+    echo "!!" >&2
+    echo "!! WARNING: clang++ >= ${CLANG_MIN_MAJOR} not found" \
+         "(found: ${CLANG_BIN:-none}, major ${CLANG_MAJOR})." >&2
+    echo "!! The -Wthread-safety and clang-tidy gates were SKIPPED: the" >&2
+    echo "!! sync.h lock annotations compile (they are no-ops under GCC)" >&2
+    echo "!! but are UNVERIFIED on this machine. Install clang to run" >&2
+    echo "!! the full static gate." >&2
+    echo "!!" >&2
+  else
+    STATIC_DIR="${BUILD_DIR}-static"
+    echo "== clang -Wthread-safety -Werror (${STATIC_DIR}," \
+         "clang ${CLANG_MAJOR})"
+    require_compiler "${STATIC_DIR}" clang++
+    cmake -B "${STATIC_DIR}" -S . -DCMAKE_CXX_COMPILER="${CLANG_BIN}" \
+      -DSIA_WERROR=ON >/dev/null
+    cmake --build "${STATIC_DIR}" -j "${JOBS}"
+
+    TIDY_BIN=$(command -v clang-tidy || true)
+    if [[ -z "${TIDY_BIN}" ]]; then
+      echo "!! WARNING: clang-tidy not found; the .clang-tidy gate was" \
+           "SKIPPED." >&2
+    else
+      echo "== clang-tidy (WarningsAsErrors: bugprone-*, performance-*)"
+      # Sources only: headers are pulled in through HeaderFilterRegex.
+      find src tools bench -name '*.cc' -print0 |
+        xargs -0 -P "${JOBS}" -n 8 "${TIDY_BIN}" -p "${STATIC_DIR}" --quiet
+    fi
+  fi
+fi
 
 LINT="${BUILD_DIR}/tools/sia_lint"
 
@@ -211,6 +295,7 @@ fi
 TSAN_DIR="${BUILD_DIR}-tsan"
 echo "== obs + parallel + server concurrency tests under ThreadSanitizer" \
      "(${TSAN_DIR})"
+require_compiler "${TSAN_DIR}" "${CXX:-c++}"
 cmake -B "${TSAN_DIR}" -S . -DSIA_SANITIZE=thread >/dev/null
 cmake --build "${TSAN_DIR}" -j "${JOBS}" \
   --target obs_test parallel_test server_test
@@ -233,6 +318,8 @@ OBS_ON_DIR="${BUILD_DIR}-obs-on"
 OBS_OFF_DIR="${BUILD_DIR}-obs-off"
 echo "== obs overhead guard (disabled-at-runtime vs compiled-out," \
      "tolerance ${OBS_OVERHEAD_PCT}%)"
+require_compiler "${OBS_ON_DIR}" "${CXX:-c++}"
+require_compiler "${OBS_OFF_DIR}" "${CXX:-c++}"
 cmake -B "${OBS_ON_DIR}" -S . >/dev/null
 cmake -B "${OBS_OFF_DIR}" -S . -DSIA_DISABLE_OBS=ON >/dev/null
 cmake --build "${OBS_ON_DIR}" -j "${JOBS}" --target bench_micro

@@ -19,7 +19,7 @@ class Catalog {
   void RegisterTable(const std::string& name, Schema schema);
 
   // Returns the schema for `name`, or NotFound.
-  Result<Schema> GetTable(const std::string& name) const;
+  [[nodiscard]] Result<Schema> GetTable(const std::string& name) const;
 
   bool HasTable(const std::string& name) const;
 
@@ -29,7 +29,7 @@ class Catalog {
   // Builds the joint schema for a FROM list: the concatenation of the
   // tables' schemas in order, with column `table` fields set so that
   // qualified lookup works.
-  Result<Schema> JointSchema(const std::vector<std::string>& tables) const;
+  [[nodiscard]] Result<Schema> JointSchema(const std::vector<std::string>& tables) const;
 
   // A catalog pre-populated with the TPC-H `lineitem` and `orders`
   // tables (the subset of columns Sia's evaluation uses, plus the join

@@ -90,7 +90,7 @@ class Diagnostics {
 
   // OK when no errors; otherwise InvalidArgument carrying the first
   // error's rendering plus an error count, prefixed with `context`.
-  Status ToStatus(const std::string& context) const;
+  [[nodiscard]] Status ToStatus(const std::string& context) const;
 
  private:
   std::vector<Diagnostic> items_;

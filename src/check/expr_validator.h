@@ -52,7 +52,7 @@ void ValidateCnf(const ExprPtr& expr, Diagnostics* diags);
 // Debug builds additionally assert so a broken invariant fails loudly at
 // the rewrite seam that introduced it; release builds report the error
 // to the caller.
-Status CheckBoundPredicate(const ExprPtr& expr, const Schema& schema,
+[[nodiscard]] Status CheckBoundPredicate(const ExprPtr& expr, const Schema& schema,
                            const std::string& context);
 
 }  // namespace sia

@@ -35,7 +35,7 @@ void ValidatePlan(const PlanPtr& plan, Diagnostics* diags,
 
 // Convenience pipeline hook: validates and converts error diagnostics to
 // a Status (debug builds assert; see CheckBoundPredicate).
-Status CheckPlan(const PlanPtr& plan, const std::string& context,
+[[nodiscard]] Status CheckPlan(const PlanPtr& plan, const std::string& context,
                  const Catalog* catalog = nullptr);
 
 // Debug-build-only assertion for seams whose signatures cannot carry a

@@ -31,10 +31,10 @@ int64_t CivilToDay(const CivilDate& d);
 CivilDate DayToCivil(int64_t day);
 
 // Parses "YYYY-MM-DD". Rejects out-of-range months/days.
-Result<CivilDate> ParseDate(const std::string& text);
+[[nodiscard]] Result<CivilDate> ParseDate(const std::string& text);
 
 // Parses "YYYY-MM-DD" directly to an epoch day number.
-Result<int64_t> ParseDateToDay(const std::string& text);
+[[nodiscard]] Result<int64_t> ParseDateToDay(const std::string& text);
 
 // Formats an epoch day number as "YYYY-MM-DD".
 std::string FormatDay(int64_t day);

@@ -98,7 +98,7 @@ struct SolverBudget {
   }
 
   // kTimeout naming the stage when the deadline is already spent.
-  Status RequireRemaining(std::string_view stage) const {
+  [[nodiscard]] Status RequireRemaining(std::string_view stage) const {
     if (!Exhausted()) return Status::OK();
     if (obs::MetricsRegistry::Enabled()) {
       obs::IncrementCounter("deadline.exhausted");

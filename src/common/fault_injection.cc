@@ -129,7 +129,7 @@ Status FaultRegistry::Arm(const std::string& point, const FaultSpec& spec) {
   if (std::find(known.begin(), known.end(), point) == known.end()) {
     return Status::InvalidArgument("unknown fault point '" + point + "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const bool fresh = armed_.find(point) == armed_.end();
   armed_[point] = Armed{spec, 0, 0, false};
   if (fresh) armed_points_.fetch_add(1, std::memory_order_relaxed);
@@ -152,14 +152,14 @@ Status FaultRegistry::ArmFromSpec(const std::string& spec) {
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (armed_.erase(point) > 0) {
     armed_points_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 
 void FaultRegistry::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   armed_points_.fetch_sub(static_cast<int>(armed_.size()),
                           std::memory_order_relaxed);
   armed_.clear();
@@ -170,7 +170,7 @@ Status FaultRegistry::Fire(std::string_view point) {
   Status injected = Status::OK();
   bool armed_hit = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     const auto it = armed_.find(point);
     if (it == armed_.end()) return Status::OK();
     armed_hit = true;
@@ -219,13 +219,13 @@ Status FaultRegistry::Fire(std::string_view point) {
 }
 
 uint64_t FaultRegistry::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = armed_.find(point);
   return it == armed_.end() ? 0 : it->second.hits;
 }
 
 uint64_t FaultRegistry::failures_injected(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = armed_.find(point);
   return it == armed_.end() ? 0 : it->second.failures;
 }

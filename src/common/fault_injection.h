@@ -4,13 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace sia {
 
@@ -52,7 +52,7 @@ struct FaultSpec {
 
   // Parses the part after `point=` in SIA_FAULTS ("once", "always",
   // "nth:3", "prob:0.25", "latency:50").
-  static Result<FaultSpec> Parse(std::string_view text);
+  [[nodiscard]] static Result<FaultSpec> Parse(std::string_view text);
 };
 
 class FaultRegistry {
@@ -68,24 +68,26 @@ class FaultRegistry {
 
   // Arms `point` with `spec`. The point must be one of KnownPoints()
   // (typos in a fault sweep otherwise silently test nothing).
-  Status Arm(const std::string& point, const FaultSpec& spec);
+  [[nodiscard]] Status Arm(const std::string& point, const FaultSpec& spec)
+      SIA_EXCLUDES(mu_);
 
   // Parses and arms a full SIA_FAULTS-style spec string.
-  Status ArmFromSpec(const std::string& spec);
+  [[nodiscard]] Status ArmFromSpec(const std::string& spec) SIA_EXCLUDES(mu_);
 
-  void Disarm(const std::string& point);
-  void DisarmAll();
+  void Disarm(const std::string& point) SIA_EXCLUDES(mu_);
+  void DisarmAll() SIA_EXCLUDES(mu_);
 
   // Fires the fault point: returns a non-OK Status when the armed spec
   // says this hit fails (kInternal, message naming the point), sleeps
   // for latency specs, and returns OK otherwise. Hits on unarmed points
   // return OK.
-  Status Fire(std::string_view point);
+  [[nodiscard]] Status Fire(std::string_view point) SIA_EXCLUDES(mu_);
 
   // Observability for tests: total hits / injected failures per point
   // since arming (reset by Arm/Disarm).
-  uint64_t hits(const std::string& point) const;
-  uint64_t failures_injected(const std::string& point) const;
+  uint64_t hits(const std::string& point) const SIA_EXCLUDES(mu_);
+  uint64_t failures_injected(const std::string& point) const
+      SIA_EXCLUDES(mu_);
 
   // Every fault point compiled into the pipeline. Kept in one place so
   // the fault-sweep driver can iterate them without firing anything.
@@ -101,9 +103,13 @@ class FaultRegistry {
     bool spent = false;  // kOnce fired already
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Armed, std::less<>> armed_;
-  Rng rng_{0xFA017u};  // kProbabilistic; fixed seed for reproducible sweeps
+  // Leaf lock: Fire deliberately reports metrics and sleeps *outside*
+  // the critical section, so the obs registry lock is never taken under
+  // mu_ and latency faults never serialize other threads' checks.
+  mutable Mutex mu_;
+  std::map<std::string, Armed, std::less<>> armed_ SIA_GUARDED_BY(mu_);
+  // kProbabilistic; fixed seed for reproducible sweeps
+  Rng rng_ SIA_GUARDED_BY(mu_){0xFA017u};
 
   static std::atomic<int> armed_points_;
 };

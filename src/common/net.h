@@ -47,19 +47,19 @@ class Socket {
 
   // Writes all of `data`, polling for writability; partial progress
   // consumes the one shared timeout.
-  Status WriteAll(const void* data, size_t size, int64_t timeout_ms);
+  [[nodiscard]] Status WriteAll(const void* data, size_t size, int64_t timeout_ms);
 
   // Reads exactly `size` bytes. kUnavailable on EOF (with the byte count
   // in the message when the close was mid-read).
-  Status ReadExact(void* data, size_t size, int64_t timeout_ms);
+  [[nodiscard]] Status ReadExact(void* data, size_t size, int64_t timeout_ms);
 
   // Sends one frame: 4-byte big-endian payload length, then the payload.
-  Status SendFrame(std::string_view payload, int64_t timeout_ms);
+  [[nodiscard]] Status SendFrame(std::string_view payload, int64_t timeout_ms);
 
   // Receives one frame. kUnavailable when the peer closed before sending
   // a complete header (the clean end-of-stream case) or mid-payload;
   // kParseError for a zero or >kMaxFrameBytes length prefix.
-  Result<std::string> RecvFrame(int64_t timeout_ms);
+  [[nodiscard]] Result<std::string> RecvFrame(int64_t timeout_ms);
 
   // Half-closes the write side (the peer sees EOF after draining).
   void ShutdownWrite();
@@ -73,7 +73,7 @@ class Listener {
  public:
   // Binds and listens on `host:port`; port 0 picks an ephemeral port
   // (read it back from port()).
-  static Result<Listener> Bind(const std::string& host, uint16_t port,
+  [[nodiscard]] static Result<Listener> Bind(const std::string& host, uint16_t port,
                                int backlog = 128);
 
   Listener() = default;
@@ -86,7 +86,7 @@ class Listener {
 
   // Waits up to `timeout_ms` for a connection; kTimeout when none
   // arrived (the accept loop's polling heartbeat, not an error).
-  Result<Socket> Accept(int64_t timeout_ms);
+  [[nodiscard]] Result<Socket> Accept(int64_t timeout_ms);
 
  private:
   Socket fd_;  // listening fd, reusing Socket's RAII
@@ -94,7 +94,7 @@ class Listener {
 };
 
 // Connects to `host:port` within `timeout_ms`.
-Result<Socket> Connect(const std::string& host, uint16_t port,
+[[nodiscard]] Result<Socket> Connect(const std::string& host, uint16_t port,
                        int64_t timeout_ms);
 
 }  // namespace sia::net

@@ -27,41 +27,49 @@ const char* StatusCodeName(StatusCode code);
 
 // Status is the result of an operation that can fail but returns no value.
 // It is cheap to copy in the OK case and carries a message otherwise.
-class Status {
+//
+// The class itself is [[nodiscard]]: any call returning a Status (or a
+// Result<T>) by value must consume it — SIA_RETURN_IF_ERROR, a branch on
+// ok(), or an explicit `(void)` cast with a comment saying why dropping
+// the error is correct. Declaration-site [[nodiscard]] on factories and
+// pipeline entry points is still swept on by convention (and enforced by
+// tools/sia_conventions) so the intent survives at the API surface even
+// for readers who never open this header.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status Unsupported(std::string msg) {
+  [[nodiscard]] static Status Unsupported(std::string msg) {
     return Status(StatusCode::kUnsupported, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status TypeError(std::string msg) {
+  [[nodiscard]] static Status TypeError(std::string msg) {
     return Status(StatusCode::kTypeError, std::move(msg));
   }
-  static Status SolverError(std::string msg) {
+  [[nodiscard]] static Status SolverError(std::string msg) {
     return Status(StatusCode::kSolverError, std::move(msg));
   }
-  static Status Timeout(std::string msg) {
+  [[nodiscard]] static Status Timeout(std::string msg) {
     return Status(StatusCode::kTimeout, std::move(msg));
   }
   // The resource exists but cannot take the work right now (a full
   // admission queue, a draining server, a peer that closed mid-frame).
   // Retrying later may succeed — unlike kInternal, which means a bug.
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -78,9 +86,10 @@ class Status {
 };
 
 // Result<T> holds either a value or an error Status. The accessors CHECK
-// the state in debug builds; use ok() before dereferencing.
+// the state in debug builds; use ok() before dereferencing. [[nodiscard]]
+// for the same reason as Status: a dropped Result is a swallowed error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT

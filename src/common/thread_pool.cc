@@ -27,11 +27,12 @@ struct ForState {
   std::atomic<size_t> next{0};        // next chunk index to claim
   std::atomic<bool> failed{false};    // set => unstarted chunks skip
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  size_t done = 0;                    // chunks finished (run or skipped)
-  size_t error_chunk = std::numeric_limits<size_t>::max();
-  Status status;
+  Mutex mu;
+  CondVar done_cv;
+  // chunks finished (run or skipped)
+  size_t done SIA_GUARDED_BY(mu) = 0;
+  size_t error_chunk SIA_GUARDED_BY(mu) = std::numeric_limits<size_t>::max();
+  Status status SIA_GUARDED_BY(mu);
 };
 
 Status RunChunk(const ForState& state, size_t chunk) {
@@ -60,7 +61,7 @@ void DrainChunks(ForState& state, bool is_helper) {
       chunk_status = RunChunk(state, chunk);
       ++ran;
     }
-    std::lock_guard<std::mutex> lock(state.mu);
+    MutexLock lock(&state.mu);
     if (!chunk_status.ok() && chunk < state.error_chunk) {
       // Keep the lowest-indexed failure so the reported error does not
       // depend on scheduling.
@@ -68,7 +69,7 @@ void DrainChunks(ForState& state, bool is_helper) {
       state.status = std::move(chunk_status);
       state.failed.store(true, std::memory_order_release);
     }
-    if (++state.done == state.chunks) state.done_cv.notify_all();
+    if (++state.done == state.chunks) state.done_cv.NotifyAll();
   }
   if (is_helper && ran > 0) SIA_COUNTER_ADD("pool.chunks_stolen", ran);
 }
@@ -85,19 +86,19 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  cv_.NotifyAll();
+  for (Thread& w : workers_) w.Join();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(&mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -115,14 +116,14 @@ void ThreadPool::Submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     queue_.push_back(std::move(task));
     SIA_COUNTER_INC("pool.tasks");
     if (obs::MetricsRegistry::Enabled()) {
       obs::SetGauge("pool.queue_depth", static_cast<double>(queue_.size()));
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 Status ThreadPool::ParallelFor(
@@ -165,8 +166,8 @@ Status ThreadPool::ParallelFor(
   }
   DrainChunks(*state, /*is_helper=*/false);
 
-  std::unique_lock<std::mutex> lock(state->mu);
-  state->done_cv.wait(lock, [&] { return state->done == state->chunks; });
+  MutexLock lock(&state->mu);
+  while (state->done != state->chunks) state->done_cv.Wait(&state->mu);
   return state->status;
 }
 
@@ -180,7 +181,7 @@ size_t ThreadPool::DefaultThreadCount() {
     // Malformed values fall through to the hardware default rather than
     // silently serializing the whole process.
   }
-  const unsigned hw = std::thread::hardware_concurrency();
+  const unsigned hw = HardwareConcurrency();
   return hw == 0 ? 1 : std::min<size_t>(hw, kMaxThreads);
 }
 

@@ -1,15 +1,13 @@
 #ifndef SIA_COMMON_THREAD_POOL_H_
 #define SIA_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
 
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace sia {
 
@@ -65,22 +63,28 @@ class ThreadPool {
   // Completion waits only on chunks actually claimed by a thread, never
   // on queued-but-unscheduled helper tasks, so nested calls cannot
   // deadlock (they may simply run with less parallelism).
-  Status ParallelFor(size_t total, size_t grain,
-                     const std::function<Status(size_t, size_t)>& body);
+  [[nodiscard]] Status ParallelFor(
+      size_t total, size_t grain,
+      const std::function<Status(size_t, size_t)>& body) SIA_EXCLUDES(mu_);
 
   // Enqueues `task` for a background worker (FIFO). ParallelFor is built
   // on this; exposed for tests and one-off asynchronous work. With no
   // background workers the task runs inline, on the caller.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) SIA_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() SIA_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  // Lock hierarchy: mu_ is a leaf among sia locks (nothing in the tree
+  // is acquired while it is held), but the obs registry lock may be
+  // taken under it for the queue-depth gauge.
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SIA_GUARDED_BY(mu_);
+  bool shutdown_ SIA_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, before any worker exists; read-only
+  // afterwards, so unguarded reads (thread_count, Submit) are safe.
+  std::vector<Thread> workers_;
 };
 
 }  // namespace sia

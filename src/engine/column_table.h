@@ -68,7 +68,7 @@ class Table {
 
   // Appends a row; values must match the schema's types (NULLs allowed
   // for nullable columns).
-  Status AppendRow(const Tuple& row);
+  [[nodiscard]] Status AppendRow(const Tuple& row);
 
   // Fast paths used by the data generator.
   void AppendIntRow(const std::vector<int64_t>& ints);

@@ -41,7 +41,7 @@ struct CostAwareOutcome {
 // table the learned predicate filters). The learned predicate must use
 // only that table's columns, which occupy a prefix or contiguous span of
 // the joint schema; the estimate remaps indices accordingly.
-Result<CostAwareOutcome> RewriteQueryCostAware(const ParsedQuery& query,
+[[nodiscard]] Result<CostAwareOutcome> RewriteQueryCostAware(const ParsedQuery& query,
                                                const Catalog& catalog,
                                                const Table& target_storage,
                                                const CostAwareOptions& options);

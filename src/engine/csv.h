@@ -21,14 +21,14 @@ namespace sia {
 // RFC 4180 implementation (unsupported constructs produce ParseError).
 
 // Parses CSV text into a table with the given schema.
-Result<Table> ReadCsv(const Schema& schema, std::istream& in);
-Result<Table> ReadCsvString(const Schema& schema, const std::string& text);
-Result<Table> ReadCsvFile(const Schema& schema, const std::string& path);
+[[nodiscard]] Result<Table> ReadCsv(const Schema& schema, std::istream& in);
+[[nodiscard]] Result<Table> ReadCsvString(const Schema& schema, const std::string& text);
+[[nodiscard]] Result<Table> ReadCsvFile(const Schema& schema, const std::string& path);
 
 // Writes a table as CSV (header + rows).
-Status WriteCsv(const Table& table, std::ostream& out);
-Result<std::string> WriteCsvString(const Table& table);
-Status WriteCsvFile(const Table& table, const std::string& path);
+[[nodiscard]] Status WriteCsv(const Table& table, std::ostream& out);
+[[nodiscard]] Result<std::string> WriteCsvString(const Table& table);
+[[nodiscard]] Status WriteCsvFile(const Table& table, const std::string& path);
 
 }  // namespace sia
 

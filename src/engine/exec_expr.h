@@ -30,7 +30,7 @@ class RowAccessor {
 class CompiledExpr {
  public:
   // Compiles a bound expression. Fails on unbound columns.
-  static Result<CompiledExpr> Compile(const ExprPtr& expr);
+  [[nodiscard]] static Result<CompiledExpr> Compile(const ExprPtr& expr);
 
   // Evaluates a predicate: 0 = FALSE, 1 = TRUE, 2 = UNKNOWN.
   template <typename Accessor>
@@ -94,7 +94,7 @@ class CompiledExpr {
     bool null = false;
   };
 
-  Status Emit(const ExprPtr& expr);
+  [[nodiscard]] Status Emit(const ExprPtr& expr);
 
   template <typename Accessor>
   Slot Run(const Accessor& row) const {

@@ -26,7 +26,7 @@ inline constexpr size_t kMaxRowIndex = UINT32_MAX;
 // Returns InvalidArgument naming `what` when `row_count` exceeds the
 // 32-bit row-index domain; every executor stage that narrows a size_t
 // row number into a RowIndex guards with this first.
-Status CheckRowIndexLimit(size_t row_count, const std::string& what);
+[[nodiscard]] Status CheckRowIndexLimit(size_t row_count, const std::string& what);
 
 // A (possibly multi-part) row view over base tables: the result of a scan
 // or a chain of joins is represented as aligned row-index vectors into
@@ -88,13 +88,13 @@ class Executor {
   // Borrowed; used by tests to pin exact thread counts.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
-  Result<QueryOutput> Execute(const PlanPtr& plan);
+  [[nodiscard]] Result<QueryOutput> Execute(const PlanPtr& plan);
 
  private:
-  Result<Relation> ExecuteNode(const PlanPtr& plan, ExecStats* stats);
-  Result<Relation> ExecuteScan(const PlanPtr& plan, ExecStats* stats);
-  Result<Relation> ExecuteFilter(const PlanPtr& plan, ExecStats* stats);
-  Result<Relation> ExecuteJoin(const PlanPtr& plan, ExecStats* stats);
+  [[nodiscard]] Result<Relation> ExecuteNode(const PlanPtr& plan, ExecStats* stats);
+  [[nodiscard]] Result<Relation> ExecuteScan(const PlanPtr& plan, ExecStats* stats);
+  [[nodiscard]] Result<Relation> ExecuteFilter(const PlanPtr& plan, ExecStats* stats);
+  [[nodiscard]] Result<Relation> ExecuteJoin(const PlanPtr& plan, ExecStats* stats);
 
   ThreadPool& pool() const;
 

@@ -14,12 +14,12 @@ namespace sia {
 // Plans and executes a parsed query in one call — the "psql" of this
 // engine. Planner options control whether single-table conjuncts are
 // pushed below the join (the optimization Sia's rewrites unlock).
-Result<QueryOutput> RunQuery(const ParsedQuery& query, const Catalog& catalog,
+[[nodiscard]] Result<QueryOutput> RunQuery(const ParsedQuery& query, const Catalog& catalog,
                              Executor& executor,
                              const PlannerOptions& planner_options = {});
 
 // Parses, plans and executes a SQL string.
-Result<QueryOutput> RunSql(const std::string& sql, const Catalog& catalog,
+[[nodiscard]] Result<QueryOutput> RunSql(const std::string& sql, const Catalog& catalog,
                            Executor& executor,
                            const PlannerOptions& planner_options = {});
 
@@ -41,14 +41,14 @@ struct ParanoidReport {
 // is discarded and the original's result returned, so a broken rewrite
 // can cost time but never correctness. Only an original-side failure
 // surfaces as an error.
-Result<ParanoidReport> RunRewriteParanoid(
+[[nodiscard]] Result<ParanoidReport> RunRewriteParanoid(
     const ParsedQuery& original, const ParsedQuery& rewritten,
     const Catalog& catalog, Executor& executor,
     const PlannerOptions& planner_options = {});
 
 // Fraction of `table` rows that satisfy `predicate` (bound against the
 // table schema). Used for the paper's Table 4 selectivity analysis.
-Result<double> MeasureSelectivity(const Table& table,
+[[nodiscard]] Result<double> MeasureSelectivity(const Table& table,
                                   const ExprPtr& predicate);
 
 }  // namespace sia

@@ -27,7 +27,7 @@ struct SelectivityEstimate {
 
 // `predicate` must be bound against `table`'s schema. `sample_size` = 0
 // means scan everything (exact).
-Result<SelectivityEstimate> EstimateSelectivity(const Table& table,
+[[nodiscard]] Result<SelectivityEstimate> EstimateSelectivity(const Table& table,
                                                 const ExprPtr& predicate,
                                                 size_t sample_size = 1000);
 

@@ -26,12 +26,12 @@ class VectorizedFilter {
  public:
   // Compiles a bound predicate. Returns Unsupported for programs that
   // touch DOUBLE columns/literals (caller should fall back).
-  static Result<VectorizedFilter> Compile(const ExprPtr& expr);
+  [[nodiscard]] static Result<VectorizedFilter> Compile(const ExprPtr& expr);
 
   // Appends to `out` the indices of all rows of `table` on which the
   // predicate evaluates to TRUE. Columns containing NULLs make this
   // return Unsupported (fall back).
-  Status FilterTable(const Table& table, std::vector<uint32_t>* out) const;
+  [[nodiscard]] Status FilterTable(const Table& table, std::vector<uint32_t>* out) const;
 
   // FilterTable restricted to rows [begin_row, end_row): the morsel-
   // parallel scan runs one FilterRange per morsel into a morsel-local
@@ -39,7 +39,7 @@ class VectorizedFilter {
   // per-morsel outputs in morsel order reproduces FilterTable exactly.
   // Blocks are aligned to the range start, not to row 0; results do not
   // depend on the split points, only on the predicate.
-  Status FilterRange(const Table& table, size_t begin_row, size_t end_row,
+  [[nodiscard]] Status FilterRange(const Table& table, size_t begin_row, size_t end_row,
                      std::vector<uint32_t>* out) const;
 
  private:

@@ -14,7 +14,7 @@ namespace sia {
 // Also type-checks: predicates may only combine boolean subexpressions
 // with AND/OR/NOT, comparisons require numeric-like operands, and
 // arithmetic rejects boolean operands.
-Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema);
+[[nodiscard]] Result<ExprPtr> Bind(const ExprPtr& expr, const Schema& schema);
 
 }  // namespace sia
 

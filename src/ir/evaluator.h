@@ -21,14 +21,14 @@ TruthValue Not3(TruthValue a);
 // must be bound (index() valid for `tuple`). NULL propagates through
 // arithmetic; division by zero yields NULL (documented deviation: SQL
 // raises an error, but synthesis never needs to observe it).
-Result<Value> EvalScalar(const Expr& expr, const Tuple& tuple);
+[[nodiscard]] Result<Value> EvalScalar(const Expr& expr, const Tuple& tuple);
 
 // Evaluates a bound predicate against `tuple` under three-valued logic.
-Result<TruthValue> EvalPredicate(const Expr& expr, const Tuple& tuple);
+[[nodiscard]] Result<TruthValue> EvalPredicate(const Expr& expr, const Tuple& tuple);
 
 // Convenience: true iff the predicate evaluates to TRUE (not UNKNOWN).
 // Returns an error for unbound columns or type errors.
-Result<bool> Satisfies(const Expr& expr, const Tuple& tuple);
+[[nodiscard]] Result<bool> Satisfies(const Expr& expr, const Tuple& tuple);
 
 }  // namespace sia
 

@@ -50,7 +50,7 @@ struct LearnedPredicate {
 // exactly the failure mode the paper notes is later discarded by Verify.
 //
 // `columns` gives the schema indices of the sample dimensions, in order.
-Result<LearnedPredicate> Learn(const TrainingSet& data,
+[[nodiscard]] Result<LearnedPredicate> Learn(const TrainingSet& data,
                                const std::vector<size_t>& columns,
                                const LearnOptions& options = LearnOptions());
 

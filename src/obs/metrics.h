@@ -7,7 +7,9 @@
 // Layering: src/obs sits *below* src/common (sia_common links sia_obs so
 // fault injection and deadlines can report), so this library depends only
 // on the C++ standard library — errors are surfaced as bool + message, not
-// sia::Status.
+// sia::Status. (common/sync.h is fine: it is header-only and
+// standard-library-only by contract, existing exactly so annotated locks
+// can be used below the sia_common link boundary.)
 //
 // Cost discipline (mirrors FaultRegistry in src/common/fault_injection.h):
 // when no metrics sink is armed, every instrumentation site costs exactly
@@ -25,9 +27,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "common/sync.h"
 
 namespace sia::obs {
 
@@ -119,16 +122,16 @@ class MetricsRegistry {
     enabled_.store(enabled, std::memory_order_relaxed);
   }
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) SIA_EXCLUDES(mu_);
+  Gauge& GetGauge(std::string_view name) SIA_EXCLUDES(mu_);
+  Histogram& GetHistogram(std::string_view name) SIA_EXCLUDES(mu_);
 
   // Zero every value; never removes entries (cached references stay valid).
-  void ResetAll();
+  void ResetAll() SIA_EXCLUDES(mu_);
 
   // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
   //  p50,p95,p99,buckets:[...]}}} with names in sorted order.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const SIA_EXCLUDES(mu_);
 
   // dest is "stderr" or a file path. Returns false and sets *error (if
   // non-null) on I/O failure.
@@ -140,10 +143,17 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // Leaf lock of the whole tree: component locks (thread pool, admission
+  // queue, fault registry) may be held when a gauge/counter lookup takes
+  // mu_, so nothing here may call back out of src/obs. Guards only the
+  // name->object maps; the metric objects themselves are lock-free.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      SIA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      SIA_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      SIA_GUARDED_BY(mu_);
 
   static std::atomic<bool> enabled_;
 };

@@ -29,37 +29,46 @@ namespace internal {
 // live in Tracer without exposing the ring layout in the header.
 class TracerAccess {
  public:
-  static void Init(ThreadRing& ring, int tid) { ring.tid_ = tid; }
+  static void Init(ThreadRing& ring, int tid) {
+    // The ring is freshly constructed and unpublished, but the stamp is
+    // taken under its lock anyway: uncontended, and it keeps tid_'s
+    // every access provably guarded.
+    MutexLock lock(&ring.mu_);
+    ring.tid_ = tid;
+  }
 
   static void Drain(const std::shared_ptr<ThreadRing>& ring,
                     std::vector<TraceEvent>& out) {
-    std::lock_guard<std::mutex> lock(ring->mu_);
+    ThreadRing& r = *ring;
+    MutexLock lock(&r.mu_);
     // Before wrapping, next_ stays 0 and the valid range is simply the
     // vector's contents; after wrapping, next_ is the oldest slot.
     const size_t count =
-        ring->wrapped_ ? ThreadRing::kCapacity : ring->events_.size();
-    const size_t start = ring->wrapped_ ? ring->next_ : 0;
+        r.wrapped_ ? ThreadRing::kCapacity : r.events_.size();
+    const size_t start = r.wrapped_ ? r.next_ : 0;
     for (size_t i = 0; i < count; ++i) {
-      out.push_back(ring->events_[(start + i) % ThreadRing::kCapacity]);
+      out.push_back(r.events_[(start + i) % ThreadRing::kCapacity]);
     }
   }
 
   static uint64_t Dropped(const std::shared_ptr<ThreadRing>& ring) {
-    std::lock_guard<std::mutex> lock(ring->mu_);
-    return ring->dropped_;
+    ThreadRing& r = *ring;
+    MutexLock lock(&r.mu_);
+    return r.dropped_;
   }
 
   static void Clear(const std::shared_ptr<ThreadRing>& ring) {
-    std::lock_guard<std::mutex> lock(ring->mu_);
-    ring->events_.clear();
-    ring->next_ = 0;
-    ring->wrapped_ = false;
-    ring->dropped_ = 0;
+    ThreadRing& r = *ring;
+    MutexLock lock(&r.mu_);
+    r.events_.clear();
+    r.next_ = 0;
+    r.wrapped_ = false;
+    r.dropped_ = 0;
   }
 };
 
 void ThreadRing::Push(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   event.tid = tid_;
   if (!wrapped_ && events_.size() < kCapacity) {
     events_.push_back(std::move(event));
@@ -93,7 +102,7 @@ uint64_t Tracer::NowMicros() const {
 internal::ThreadRing& Tracer::ThisThreadRing() {
   if (tls_ring == nullptr) {
     tls_ring = std::make_shared<internal::ThreadRing>();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     internal::TracerAccess::Init(*tls_ring, next_tid_++);
     rings_.push_back(tls_ring);
   }
@@ -103,7 +112,7 @@ internal::ThreadRing& Tracer::ThisThreadRing() {
 std::vector<TraceEvent> Tracer::CollectEvents() const {
   std::vector<std::shared_ptr<internal::ThreadRing>> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rings = rings_;
   }
   std::vector<TraceEvent> events;
@@ -121,7 +130,7 @@ std::vector<TraceEvent> Tracer::CollectEvents() const {
 uint64_t Tracer::DroppedCount() const {
   std::vector<std::shared_ptr<internal::ThreadRing>> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rings = rings_;
   }
   uint64_t dropped = 0;
@@ -134,7 +143,7 @@ uint64_t Tracer::DroppedCount() const {
 void Tracer::Clear() {
   std::vector<std::shared_ptr<internal::ThreadRing>> rings;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     rings = rings_;
   }
   for (const auto& ring : rings) {

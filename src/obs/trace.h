@@ -22,11 +22,11 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/sync.h"
 #include "obs/metrics.h"  // for SIA_OBS_CONCAT_
 
 namespace sia::obs {
@@ -50,16 +50,19 @@ class ThreadRing {
  public:
   static constexpr size_t kCapacity = 8192;
 
-  void Push(TraceEvent event);
+  void Push(TraceEvent event) SIA_EXCLUDES(mu_);
 
  private:
   friend class TracerAccess;
-  std::mutex mu_;
-  std::vector<TraceEvent> events_;  // ring; valid range depends on wrapped_
-  size_t next_ = 0;
-  bool wrapped_ = false;
-  uint64_t dropped_ = 0;
-  int tid_ = 0;
+  // Per-ring leaf lock: normally touched only by the owning thread; the
+  // exporter (TracerAccess) takes it ring by ring, never holding two.
+  Mutex mu_;
+  // ring; valid range depends on wrapped_
+  std::vector<TraceEvent> events_ SIA_GUARDED_BY(mu_);
+  size_t next_ SIA_GUARDED_BY(mu_) = 0;
+  bool wrapped_ SIA_GUARDED_BY(mu_) = false;
+  uint64_t dropped_ SIA_GUARDED_BY(mu_) = 0;
+  int tid_ SIA_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace internal
@@ -84,7 +87,7 @@ class Tracer {
   uint64_t NowMicros() const;
 
   // The calling thread's ring, created and registered on first use.
-  internal::ThreadRing& ThisThreadRing();
+  internal::ThreadRing& ThisThreadRing() SIA_EXCLUDES(mu_);
 
   // Snapshot of every recorded span across all threads, sorted by start
   // time (ties broken by depth so parents precede children).
@@ -109,9 +112,14 @@ class Tracer {
   Tracer();
 
   std::chrono::steady_clock::time_point epoch_;
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<internal::ThreadRing>> rings_;
-  int next_tid_ = 1;
+  // Registry lock, ordered before any ring's mu_ (ThisThreadRing holds
+  // it while stamping the new ring's tid under that ring's lock);
+  // the collectors copy rings_ out under mu_ and drain each ring after
+  // releasing it.
+  mutable Mutex mu_;
+  std::vector<std::shared_ptr<internal::ThreadRing>> rings_
+      SIA_GUARDED_BY(mu_);
+  int next_tid_ SIA_GUARDED_BY(mu_) = 1;
 
   static std::atomic<bool> enabled_;
 };

@@ -32,7 +32,7 @@ struct Token {
 
 // Tokenizes `sql`. Symbols cover: ( ) , ; . + - * / < <= > >= = <> !=
 // Comments: "--" to end of line.
-Result<std::vector<Token>> Lex(const std::string& sql);
+[[nodiscard]] Result<std::vector<Token>> Lex(const std::string& sql);
 
 }  // namespace sia
 

@@ -10,11 +10,11 @@ namespace sia {
 
 // Parses a SELECT statement. The produced expression trees are unbound;
 // bind them with sia::Bind against the catalog's joint schema.
-Result<ParsedQuery> ParseQuery(const std::string& sql);
+[[nodiscard]] Result<ParsedQuery> ParseQuery(const std::string& sql);
 
 // Parses a standalone predicate / scalar expression (the WHERE-clause
 // grammar of §4.1, plus DATE '...' and INTERVAL 'n' DAY literals).
-Result<ExprPtr> ParseExpression(const std::string& text);
+[[nodiscard]] Result<ExprPtr> ParseExpression(const std::string& text);
 
 }  // namespace sia
 

@@ -42,7 +42,7 @@ struct BatchRewriteOptions {
 // the first failing query's error aborts the batch. Queries rewritten on
 // a worker get full stats; queries served by the shared cache come back
 // with `from_cache` set.
-Result<std::vector<RewriteOutcome>> RewriteBatch(
+[[nodiscard]] Result<std::vector<RewriteOutcome>> RewriteBatch(
     const std::vector<ParsedQuery>& queries, const Catalog& catalog,
     const BatchRewriteOptions& options);
 

@@ -24,7 +24,7 @@ struct PlannerOptions {
 // enabled, join-level conjuncts on the join, the rest in a residual
 // filter). Expressions in the returned plan are bound to their node's
 // input schema.
-Result<PlanPtr> PlanQuery(const ParsedQuery& query, const Catalog& catalog,
+[[nodiscard]] Result<PlanPtr> PlanQuery(const ParsedQuery& query, const Catalog& catalog,
                           const PlannerOptions& options = {});
 
 }  // namespace sia

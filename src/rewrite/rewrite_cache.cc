@@ -16,7 +16,7 @@ std::string RewriteCache::MakeKey(const ExprPtr& bound_predicate,
 std::optional<RewriteCache::Entry> RewriteCache::Lookup(
     const ExprPtr& bound_predicate, const std::vector<size_t>& cols) {
   const std::string key = MakeKey(bound_predicate, cols);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   const auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
@@ -29,17 +29,17 @@ std::optional<RewriteCache::Entry> RewriteCache::Lookup(
 void RewriteCache::Insert(const ExprPtr& bound_predicate,
                           const std::vector<size_t>& cols, Entry entry) {
   const std::string key = MakeKey(bound_predicate, cols);
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   entries_[key] = std::move(entry);
 }
 
 RewriteCache::Stats RewriteCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return Stats{hits_, misses_, entries_.size(), coalesced_};
 }
 
 void RewriteCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   // In-flight markers are deliberately left alone: their leaders will
   // still erase them and wake any waiters.
   entries_.clear();

@@ -1,11 +1,9 @@
 #ifndef SIA_REWRITE_REWRITE_CACHE_H_
 #define SIA_REWRITE_REWRITE_CACHE_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <exception>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -13,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/sync.h"
 #include "ir/expr.h"
 #include "synth/synthesizer.h"
 
@@ -54,11 +53,13 @@ class RewriteCache {
   // Returns the cached entry, or nullopt on miss. Does not wait for
   // in-flight synthesis; use GetOrSynthesize for single-flight reads.
   std::optional<Entry> Lookup(const ExprPtr& bound_predicate,
-                              const std::vector<size_t>& cols);
+                              const std::vector<size_t>& cols)
+      SIA_EXCLUDES(mutex_);
 
   // Records a synthesis result.
   void Insert(const ExprPtr& bound_predicate,
-              const std::vector<size_t>& cols, Entry entry);
+              const std::vector<size_t>& cols, Entry entry)
+      SIA_EXCLUDES(mutex_);
 
   // Looks up, and on a miss runs `synthesize()` — at most once per key
   // across all concurrent callers — and caches its result. `synthesize`
@@ -72,11 +73,11 @@ class RewriteCache {
   // key. A synthesize() that throws is mapped to kInternal (leaking the
   // exception would strand the waiters).
   template <typename F>
-  Result<Entry> GetOrSynthesize(const ExprPtr& bound_predicate,
+  [[nodiscard]] Result<Entry> GetOrSynthesize(const ExprPtr& bound_predicate,
                                 const std::vector<size_t>& cols,
-                                F&& synthesize) {
+                                F&& synthesize) SIA_EXCLUDES(mutex_) {
     const std::string key = MakeKey(bound_predicate, cols);
-    std::unique_lock<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     for (;;) {
       const auto it = entries_.find(key);
       if (it != entries_.end()) {
@@ -85,31 +86,31 @@ class RewriteCache {
       }
       if (inflight_.insert(key).second) break;  // we lead; synthesize below
       ++coalesced_;
-      inflight_cv_.wait(lock, [&] { return !inflight_.contains(key); });
-      // Re-check from the top: entry present means the leader published
-      // (count it a hit); entry absent means the leader failed and this
-      // thread may take over.
+      // Wait for the leader, then re-check from the top: entry present
+      // means the leader published (count it a hit); entry absent means
+      // the leader failed and this thread may take over.
+      while (inflight_.contains(key)) inflight_cv_.Wait(&mutex_);
     }
     ++misses_;
-    lock.unlock();
+    lock.Unlock();
     Result<Entry> result = RunSynthesize(std::forward<F>(synthesize));
-    lock.lock();
+    lock.Lock();
     inflight_.erase(key);
-    inflight_cv_.notify_all();
+    inflight_cv_.NotifyAll();
     if (!result.ok()) return result;
     entries_[key] = *result;
     return result;
   }
 
-  Stats stats() const;
-  void Clear();
+  Stats stats() const SIA_EXCLUDES(mutex_);
+  void Clear() SIA_EXCLUDES(mutex_);
 
  private:
   static std::string MakeKey(const ExprPtr& bound_predicate,
                              const std::vector<size_t>& cols);
 
   template <typename F>
-  static Result<Entry> RunSynthesize(F&& synthesize) {
+  [[nodiscard]] static Result<Entry> RunSynthesize(F&& synthesize) {
     using R = std::decay_t<decltype(synthesize())>;
     try {
       if constexpr (std::is_same_v<R, Result<Entry>>) {
@@ -132,13 +133,17 @@ class RewriteCache {
     }
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable inflight_cv_;
-  std::map<std::string, Entry> entries_;
-  std::set<std::string> inflight_;  // keys with a synthesis in progress
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t coalesced_ = 0;
+  // Leaf lock; never held across a synthesize() call (the single-flight
+  // protocol releases it around the CEGIS run and retakes it to
+  // publish), so a slow solver cannot serialize unrelated lookups.
+  mutable Mutex mutex_;
+  CondVar inflight_cv_;
+  std::map<std::string, Entry> entries_ SIA_GUARDED_BY(mutex_);
+  // keys with a synthesis in progress
+  std::set<std::string> inflight_ SIA_GUARDED_BY(mutex_);
+  size_t hits_ SIA_GUARDED_BY(mutex_) = 0;
+  size_t misses_ SIA_GUARDED_BY(mutex_) = 0;
+  size_t coalesced_ SIA_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace sia

@@ -84,12 +84,12 @@ struct RewriteOutcome {
 // Rewrites `query` (which must reference `options.target_table` in FROM).
 // Returns the outcome even when no predicate could be learned (status
 // kNone, rewritten == query); errors indicate malformed input.
-Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
+[[nodiscard]] Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
                                     const Catalog& catalog,
                                     const RewriteOptions& options);
 
 // Convenience overload: parses `sql` first.
-Result<RewriteOutcome> RewriteQuery(const std::string& sql,
+[[nodiscard]] Result<RewriteOutcome> RewriteQuery(const std::string& sql,
                                     const Catalog& catalog,
                                     const RewriteOptions& options);
 

@@ -6,20 +6,20 @@ namespace sia::server {
 
 bool AdmissionQueue::TryPush(AdmittedConn&& item) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (closed_ || items_.size() >= depth_) return false;
     items_.push_back(std::move(item));
     if (obs::MetricsRegistry::Enabled()) {
       obs::SetGauge("server.queue.depth", static_cast<double>(items_.size()));
     }
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return true;
 }
 
 std::optional<AdmittedConn> AdmissionQueue::Pop() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  MutexLock lock(&mu_);
+  while (!closed_ && items_.empty()) cv_.Wait(&mu_);
   if (items_.empty()) return std::nullopt;  // closed and drained
   AdmittedConn item = std::move(items_.front());
   items_.pop_front();
@@ -31,19 +31,19 @@ std::optional<AdmittedConn> AdmissionQueue::Pop() {
 
 void AdmissionQueue::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t AdmissionQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return items_.size();
 }
 
 bool AdmissionQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return closed_;
 }
 

@@ -14,11 +14,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <optional>
-#include <condition_variable>
 
 #include "common/net.h"
+#include "common/sync.h"
 
 namespace sia::server {
 
@@ -39,24 +38,26 @@ class AdmissionQueue {
   // False when the queue is full or closed — the caller sheds. `item` is
   // moved from only on success, so the caller still owns the connection
   // (and can write the SHED response) after a refusal.
-  bool TryPush(AdmittedConn&& item);
+  bool TryPush(AdmittedConn&& item) SIA_EXCLUDES(mu_);
 
   // Blocks until an item arrives or the queue is closed and empty.
-  std::optional<AdmittedConn> Pop();
+  std::optional<AdmittedConn> Pop() SIA_EXCLUDES(mu_);
 
   // Refuse new pushes; wake every blocked Pop once the backlog drains.
-  void Close();
+  void Close() SIA_EXCLUDES(mu_);
 
-  size_t size() const;
+  size_t size() const SIA_EXCLUDES(mu_);
   size_t depth() const { return depth_; }
-  bool closed() const;
+  bool closed() const SIA_EXCLUDES(mu_);
 
  private:
   const size_t depth_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<AdmittedConn> items_;
-  bool closed_ = false;
+  // Leaf among sia::server locks (only the obs registry lock is ever
+  // taken under it, for the queue-depth gauge).
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<AdmittedConn> items_ SIA_GUARDED_BY(mu_);
+  bool closed_ SIA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace sia::server

@@ -51,7 +51,7 @@ struct Request {
 
 // Splits a request payload into verb + body. kParseError on an empty
 // payload, an unknown verb, embedded NUL bytes, or a missing QUERY body.
-Result<Request> ParseRequest(std::string_view payload);
+[[nodiscard]] Result<Request> ParseRequest(std::string_view payload);
 
 // Per-request outcome fields carried in an OK QUERY response.
 struct QueryReply {
@@ -91,7 +91,7 @@ struct Response {
   std::optional<QueryReply> query;
 };
 
-Result<Response> ParseResponse(std::string_view payload);
+[[nodiscard]] Result<Response> ParseResponse(std::string_view payload);
 
 // --- Digest lines (shared by sia_lint --digests-out and sia_client) ---
 //

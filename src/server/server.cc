@@ -68,15 +68,22 @@ Result<std::unique_ptr<SiaServer>> SiaServer::Start(
   // occupies one for the server's lifetime, and the caller's slot is
   // never used (the acceptor is a dedicated thread).
   server->pool_ = std::make_unique<ThreadPool>(opts.workers + 1);
-  server->live_workers_ = opts.workers;
+  {
+    MutexLock lock(&server->drain_mu_);
+    server->live_workers_ = opts.workers;
+  }
   for (size_t i = 0; i < opts.workers; ++i) {
     server->pool_->Submit([raw = server.get()] { raw->WorkerLoop(); });
   }
-  server->acceptor_ = std::thread([raw = server.get()] { raw->AcceptLoop(); });
+  server->acceptor_ = Thread([raw = server.get()] { raw->AcceptLoop(); });
   return server;
 }
 
-SiaServer::~SiaServer() { DrainAndStop(); }
+SiaServer::~SiaServer() {
+  // A drain timeout is already recorded in drain_result_ for callers who
+  // asked; the destructor has nobody to report it to.
+  (void)DrainAndStop();
+}
 
 void SiaServer::AcceptLoop() {
   std::vector<LingeringConn> lingering;
@@ -159,10 +166,10 @@ void SiaServer::WorkerLoop() {
     ServeConn(std::move(*item));
   }
   {
-    std::lock_guard<std::mutex> lock(drain_mu_);
+    MutexLock lock(&drain_mu_);
     --live_workers_;
   }
-  drain_cv_.notify_all();
+  drain_cv_.NotifyAll();
 }
 
 void SiaServer::ServeConn(AdmittedConn admitted) {
@@ -179,8 +186,10 @@ void SiaServer::ServeConn(AdmittedConn admitted) {
     protocol_errors_.fetch_add(1, std::memory_order_relaxed);
     SIA_COUNTER_INC("server.requests.protocol_errors");
     if (payload.status().code() != StatusCode::kUnavailable) {
-      admitted.conn.SendFrame(FormatError(payload.status()),
-                              kBestEffortWriteMillis);
+      // Best effort: the connection is already broken from the client's
+      // point of view; a failed ERROR write changes nothing.
+      (void)admitted.conn.SendFrame(FormatError(payload.status()),
+                                    kBestEffortWriteMillis);
     }
     obs::AddGauge("server.inflight", -1);
     return;
@@ -210,31 +219,40 @@ void SiaServer::ServeConn(AdmittedConn admitted) {
 Status SiaServer::DrainAndStop() {
   // Serialized, idempotent: the first caller drains, later callers (and
   // the destructor) get the stored result.
-  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  MutexLock stop_lock(&stop_mu_);
   if (stopped_) return drain_result_;
   stopped_ = true;
 
   stopping_.store(true, std::memory_order_release);
-  if (acceptor_.joinable()) acceptor_.join();
+  if (acceptor_.Joinable()) acceptor_.Join();
   listener_.Close();
   queue_.Close();
 
   Status result = Status::OK();
   {
-    std::unique_lock<std::mutex> lock(drain_mu_);
-    const bool drained = drain_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.drain_deadline_ms),
-        [&] { return live_workers_ == 0; });
-    if (!drained) {
-      result = Status::Timeout(
-          "drain deadline (" + std::to_string(options_.drain_deadline_ms) +
-          "ms) passed with " + std::to_string(live_workers_) +
-          " workers still busy");
+    MutexLock lock(&drain_mu_);
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(options_.drain_deadline_ms);
+    while (live_workers_ != 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        result = Status::Timeout(
+            "drain deadline (" + std::to_string(options_.drain_deadline_ms) +
+            "ms) passed with " + std::to_string(live_workers_) +
+            " workers still busy");
+        break;
+      }
+      const int64_t remaining_ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count() +
+          1;
+      drain_cv_.WaitForMillis(&drain_mu_, remaining_ms);
     }
     // The deadline bounds the graceful exit, not thread lifetime: the
     // workers are joined regardless (every blocking step they can be in
     // carries its own timeout, so this terminates).
-    drain_cv_.wait(lock, [&] { return live_workers_ == 0; });
+    while (live_workers_ != 0) drain_cv_.Wait(&drain_mu_);
   }
   pool_.reset();
   drain_result_ = result;

@@ -23,15 +23,13 @@
 // the deadline bounds the *graceful* exit, not thread lifetime).
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 
 #include "common/net.h"
 #include "common/status.h"
+#include "common/sync.h"
 #include "common/thread_pool.h"
 #include "server/admission_queue.h"
 #include "server/service.h"
@@ -66,7 +64,8 @@ class SiaServer {
  public:
   // Binds, spawns the acceptor and `workers` worker loops, and returns a
   // serving instance.
-  static Result<std::unique_ptr<SiaServer>> Start(const ServerOptions& options);
+  [[nodiscard]] static Result<std::unique_ptr<SiaServer>> Start(
+      const ServerOptions& options);
 
   // Drains (if the caller did not) and joins everything.
   ~SiaServer();
@@ -76,7 +75,7 @@ class SiaServer {
   // Stop accepting, refuse new admissions, finish all admitted requests.
   // Idempotent. Returns kTimeout when the backlog outlived
   // drain_deadline_ms; OK otherwise.
-  Status DrainAndStop();
+  [[nodiscard]] Status DrainAndStop() SIA_EXCLUDES(stop_mu_, drain_mu_);
 
   ServerCounters counters() const;
 
@@ -84,7 +83,7 @@ class SiaServer {
   explicit SiaServer(const ServerOptions& options);
 
   void AcceptLoop();
-  void WorkerLoop();
+  void WorkerLoop() SIA_EXCLUDES(drain_mu_);
   // One admitted connection end to end: read frame, serve, respond.
   void ServeConn(AdmittedConn admitted);
 
@@ -93,18 +92,22 @@ class SiaServer {
   net::Listener listener_;
   AdmissionQueue queue_;
   std::unique_ptr<ThreadPool> pool_;  // workers_ + 1 (caller-counting pool)
-  std::thread acceptor_;
+  Thread acceptor_;
 
   std::atomic<bool> stopping_{false};
 
+  // Lock hierarchy: stop_mu_ -> drain_mu_ (DrainAndStop holds the stop
+  // lock for its whole run, taking the drain lock inside it). Both are
+  // ordered before the AdmissionQueue's internal lock, which Close()
+  // takes while stop_mu_ is held.
   // DrainAndStop serialization + stored result for idempotent calls.
-  std::mutex stop_mu_;
-  bool stopped_ = false;
-  Status drain_result_;
+  Mutex stop_mu_ SIA_ACQUIRED_BEFORE(drain_mu_);
+  bool stopped_ SIA_GUARDED_BY(stop_mu_) = false;
+  Status drain_result_ SIA_GUARDED_BY(stop_mu_);
 
-  std::mutex drain_mu_;
-  std::condition_variable drain_cv_;
-  size_t live_workers_ = 0;
+  Mutex drain_mu_;
+  CondVar drain_cv_;
+  size_t live_workers_ SIA_GUARDED_BY(drain_mu_) = 0;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> shed_{0};

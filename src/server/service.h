@@ -48,7 +48,7 @@ QueryReply ReplyFromOutcome(const RewriteOutcome& outcome);
 
 // Executes `query` and folds row_count/content_hash/order_hash into
 // `reply`. Shared with sia_lint --execute-sf.
-Status ExecuteInto(const ParsedQuery& query, const Catalog& catalog,
+[[nodiscard]] Status ExecuteInto(const ParsedQuery& query, const Catalog& catalog,
                    Executor& executor, QueryReply* reply);
 
 class QueryService {

@@ -41,23 +41,23 @@ class Encoder {
   // Formula asserting "p evaluates to TRUE" for the symbolic tuple.
   // Under kThreeValued this is is_true(p) (NULL outcomes excluded),
   // matching the WHERE-clause semantics.
-  Result<z3::expr> EncodeTrue(const ExprPtr& predicate);
+  [[nodiscard]] Result<z3::expr> EncodeTrue(const ExprPtr& predicate);
 
   // Formula asserting "p does NOT evaluate to TRUE" (FALSE or NULL).
-  Result<z3::expr> EncodeNotTrue(const ExprPtr& predicate);
+  [[nodiscard]] Result<z3::expr> EncodeNotTrue(const ExprPtr& predicate);
 
   // Value variable for a column (shared with the owning SmtContext).
   z3::expr ColumnVar(size_t index);
 
   // Constraint pinning the Cols' variables to a concrete sample, i.e.
   // AND_i (c_i == sample[i]). Used to build the paper's NotOld formulas.
-  Result<z3::expr> TupleEquals(const std::vector<size_t>& cols,
+  [[nodiscard]] Result<z3::expr> TupleEquals(const std::vector<size_t>& cols,
                                const Tuple& sample);
 
   // Extracts concrete values for `cols` from a model, completing
   // unconstrained variables with 0. Values are tagged with the columns'
   // schema types (dates come back as DATE values).
-  Result<Tuple> ExtractTuple(const z3::model& model,
+  [[nodiscard]] Result<Tuple> ExtractTuple(const z3::model& model,
                              const std::vector<size_t>& cols);
 
   const Schema& schema() const { return schema_; }
@@ -71,8 +71,8 @@ class Encoder {
     z3::expr is_null;
   };
 
-  Result<Encoded> EncodeScalar(const ExprPtr& e);
-  Result<Encoded> EncodePredicate(const ExprPtr& e);
+  [[nodiscard]] Result<Encoded> EncodeScalar(const ExprPtr& e);
+  [[nodiscard]] Result<Encoded> EncodePredicate(const ExprPtr& e);
 
   bool ReferencesColumns(const ExprPtr& e) const;
 

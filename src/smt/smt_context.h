@@ -43,11 +43,11 @@ class SmtContext {
   // to kSolverError. `params` carries caller settings (seeds, tactics)
   // that must survive the per-call timeout update; pass nullptr when
   // there are none.
-  Result<z3::check_result> Check(z3::solver* solver, z3::params* params,
+  [[nodiscard]] Result<z3::check_result> Check(z3::solver* solver, z3::params* params,
                                  std::string_view stage);
 
   // Same contract for optimization queries (`smt.optimize` fault point).
-  Result<z3::check_result> CheckOptimize(z3::optimize* opt,
+  [[nodiscard]] Result<z3::check_result> CheckOptimize(z3::optimize* opt,
                                          std::string_view stage);
 
   // Value variable for column `index`.

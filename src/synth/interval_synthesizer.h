@@ -37,7 +37,7 @@ struct IntervalOptions {
 // have an integral type. Returns kNone when the feasible set is
 // unbounded on both sides (only TRUE is valid), an equality/interval
 // predicate otherwise.
-Result<SynthesisResult> SynthesizeInterval(const ExprPtr& predicate,
+[[nodiscard]] Result<SynthesisResult> SynthesizeInterval(const ExprPtr& predicate,
                                            const Schema& schema, size_t col,
                                            const IntervalOptions& options =
                                                IntervalOptions());

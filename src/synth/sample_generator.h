@@ -55,19 +55,19 @@ class SampleGenerator {
                   const SampleGenOptions& options = SampleGenOptions());
 
   // TRUE samples: models of  p ∧ NotOld  projected onto Cols'.
-  Result<std::vector<Tuple>> GenerateTrue(size_t count);
+  [[nodiscard]] Result<std::vector<Tuple>> GenerateTrue(size_t count);
 
   // FALSE samples: models of  ∃ Cols'. NotOld ∧ (∀ other. ¬p).
-  Result<std::vector<Tuple>> GenerateFalse(size_t count);
+  [[nodiscard]] Result<std::vector<Tuple>> GenerateFalse(size_t count);
 
   // TRUE counter-examples: satisfy p, rejected by `learned` (p ∧ ¬p₁ ∧
   // NotOld). `learned` must use only Cols'.
-  Result<std::vector<Tuple>> CounterTrue(const ExprPtr& learned,
+  [[nodiscard]] Result<std::vector<Tuple>> CounterTrue(const ExprPtr& learned,
                                          size_t count);
 
   // FALSE counter-examples: unsatisfaction tuples accepted by `learned`
   // (∃ Cols'. p₁ ∧ NotOld ∧ ∀ other. ¬p).
-  Result<std::vector<Tuple>> CounterFalse(const ExprPtr& learned,
+  [[nodiscard]] Result<std::vector<Tuple>> CounterFalse(const ExprPtr& learned,
                                           size_t count);
 
   // True when the most recent Generate*/Counter* call stopped because the
@@ -88,18 +88,18 @@ class SampleGenerator {
 
  private:
   // Builds  ∀ other. ¬p  (or just ¬p when every column of p is in Cols').
-  Result<z3::expr> BuildUnsatCore();
+  [[nodiscard]] Result<z3::expr> BuildUnsatCore();
 
   // Shared sampling loop: repeatedly check `base ∧ NotOld (∧ hints)`,
   // extract Cols' tuples, and extend NotOld. `stage` names the pipeline
   // stage for deadline/fault reporting.
-  Result<std::vector<Tuple>> Sample(const z3::expr& base, size_t count,
+  [[nodiscard]] Result<std::vector<Tuple>> Sample(const z3::expr& base, size_t count,
                                     std::vector<Tuple>* seen,
                                     std::string_view stage);
 
   // The conjunction of not-equal-to-previous-sample constraints for the
   // given history.
-  Result<z3::expr> NotOld(const std::vector<Tuple>& seen);
+  [[nodiscard]] Result<z3::expr> NotOld(const std::vector<Tuple>& seen);
 
   // Optional domain-box / non-zero hint constraints, by strength layer.
   std::vector<z3::expr> HintLayers();

@@ -104,7 +104,7 @@ struct SynthesisResult {
 //
 // `predicate` must be bound against `schema`; NULL-able columns are
 // handled in Verify via the three-valued encoding.
-Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
+[[nodiscard]] Result<SynthesisResult> Synthesize(const ExprPtr& predicate,
                                    const Schema& schema,
                                    const std::vector<size_t>& cols,
                                    const SynthesisOptions& options =

@@ -30,14 +30,14 @@ enum class VerifyResult {
 // `learned` under SQL three-valued logic, using the value+is-null pair
 // encoding for every nullable column. Both predicates must be bound
 // against `schema`.
-Result<VerifyResult> VerifyImplies(const ExprPtr& original,
+[[nodiscard]] Result<VerifyResult> VerifyImplies(const ExprPtr& original,
                                    const ExprPtr& learned,
                                    const Schema& schema,
                                    const VerifyOptions& options = {});
 
 // Checks semantic equivalence: p ⟹ q and q ⟹ p. Used by tests and the
 // rewriter's self-check mode.
-Result<VerifyResult> VerifyEquivalent(const ExprPtr& p, const ExprPtr& q,
+[[nodiscard]] Result<VerifyResult> VerifyEquivalent(const ExprPtr& p, const ExprPtr& q,
                                       const Schema& schema,
                                       const VerifyOptions& options = {});
 

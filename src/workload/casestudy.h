@@ -52,7 +52,7 @@ struct CaseStudyReport {
   double frac_over_10s = 0;
 };
 
-Result<CaseStudyReport> SimulateCaseStudy(const Catalog& catalog,
+[[nodiscard]] Result<CaseStudyReport> SimulateCaseStudy(const Catalog& catalog,
                                           const CaseStudyOptions& options = {});
 
 // CDF helper: returns the values at the given percentiles (0-100) of the

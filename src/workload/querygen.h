@@ -43,7 +43,7 @@ struct QueryGenOptions {
 // Generates `count` queries against the TPC-H catalog. Deterministic for
 // a given seed. Returns an error only on internal failures; unsatisfiable
 // drafts are silently resampled.
-Result<std::vector<GeneratedQuery>> GenerateWorkload(
+[[nodiscard]] Result<std::vector<GeneratedQuery>> GenerateWorkload(
     const Catalog& catalog, size_t count,
     const QueryGenOptions& options = {});
 

@@ -1,0 +1,285 @@
+// Tests for the repo-invariant conventions linter (tools/conventions_lib):
+// one known-bad fixture per rule, the matching known-good shape, the
+// in-place suppression syntax, the DESIGN.md catalog extraction, and —
+// the actual gate — a clean run over this repository's own tree.
+//
+// Fixtures are inline strings. Obs-call fixtures use escaped quotes on
+// purpose: the linter's obs-name rule reads string literals, and the
+// \" form keeps this file's own text from matching the call pattern
+// when the tree walk lints conventions_test.cc itself.
+
+#include "tools/conventions_lib.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace sia::conventions {
+namespace {
+
+size_t CountRule(const std::vector<Finding>& findings,
+                 const std::string& rule) {
+  return static_cast<size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+std::vector<Finding> Lint(const std::string& path, const std::string& text) {
+  return LintFile(path, text, Options{});
+}
+
+TEST(MutexGuardedByTest, UnguardedMutexMemberIsFlagged) {
+  const std::string bad = R"cc(
+class Counter {
+ private:
+  Mutex mu_;
+  int count_ = 0;
+};
+)cc";
+  const auto findings = Lint("src/fake/counter.h", bad);
+  ASSERT_EQ(CountRule(findings, "mutex-guarded-by"), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(MutexGuardedByTest, GuardedMutexIsClean) {
+  const std::string good = R"cc(
+class Counter {
+ private:
+  Mutex mu_;
+  int count_ SIA_GUARDED_BY(mu_) = 0;
+};
+)cc";
+  EXPECT_EQ(CountRule(Lint("src/fake/counter.h", good), "mutex-guarded-by"),
+            0u);
+}
+
+TEST(MutexGuardedByTest, OrderedDeclarationAndPointersHandled) {
+  // SIA_ACQUIRED_BEFORE on the declaration is still a declaration; a
+  // Mutex* member is not (MutexLock holds one).
+  const std::string text = R"cc(
+class S {
+  Mutex stop_mu_ SIA_ACQUIRED_BEFORE(drain_mu_);
+  Mutex* borrowed_;
+};
+)cc";
+  const auto findings = Lint("src/fake/s.h", text);
+  ASSERT_EQ(CountRule(findings, "mutex-guarded-by"), 1u);
+  EXPECT_NE(findings[0].message.find("stop_mu_"), std::string::npos);
+}
+
+TEST(RawSyncPrimitiveTest, StdMutexOutsideSyncHeaderIsFlagged) {
+  const std::string bad = R"cc(
+#include <mutex>
+std::mutex g_mu;
+void F() { std::lock_guard<std::mutex> lock(g_mu); }
+)cc";
+  const auto findings = Lint("src/fake/raw.cc", bad);
+  // line 3 decl + line 4 lock_guard and its template argument.
+  EXPECT_EQ(CountRule(findings, "raw-sync-primitive"), 3u);
+}
+
+TEST(RawSyncPrimitiveTest, SyncHeaderItselfIsExempt) {
+  const std::string wrapper = "class Mutex { std::mutex mu_; };\n";
+  EXPECT_TRUE(Lint("src/common/sync.h", wrapper).empty());
+}
+
+TEST(RawSyncPrimitiveTest, ThisThreadAndCommentsAllowed) {
+  const std::string good = R"cc(
+#include <thread>
+// std::thread is banned, but saying so in a comment is fine.
+void Nap() { std::this_thread::yield(); }
+)cc";
+  EXPECT_EQ(CountRule(Lint("src/fake/nap.cc", good), "raw-sync-primitive"),
+            0u);
+}
+
+TEST(RawSyncPrimitiveTest, StdThreadIsFlagged) {
+  const std::string bad = "void F() { std::thread t([] {}); t.join(); }\n";
+  EXPECT_EQ(CountRule(Lint("src/fake/t.cc", bad), "raw-sync-primitive"), 1u);
+}
+
+TEST(NodiscardStatusTest, BareDeclarationIsFlagged) {
+  const std::string bad = R"cc(
+Status Open(const std::string& path);
+Result<int> Parse(const std::string& text);
+)cc";
+  EXPECT_EQ(CountRule(Lint("src/fake/api.h", bad), "nodiscard-status"), 2u);
+}
+
+TEST(NodiscardStatusTest, AnnotatedAndNonHeaderAreClean) {
+  const std::string good = R"cc(
+[[nodiscard]] Status Open(const std::string& path);
+[[nodiscard]]
+Result<int> Parse(const std::string& text);
+)cc";
+  EXPECT_EQ(CountRule(Lint("src/fake/api.h", good), "nodiscard-status"), 0u);
+  // Definitions in .cc files are not re-annotated.
+  const std::string cc = "Status Open(const std::string& path) {}\n";
+  EXPECT_EQ(CountRule(Lint("src/fake/api.cc", cc), "nodiscard-status"), 0u);
+}
+
+TEST(NodiscardStatusTest, ConstructorsAndVariablesNotFlagged) {
+  const std::string text = R"cc(
+class Status {
+ public:
+  Status() = default;
+  explicit Status(int code);
+};
+struct Holder {
+  Status last_status;
+  Status pending SIA_GUARDED_BY(mu_);
+};
+)cc";
+  EXPECT_EQ(CountRule(Lint("src/fake/status.h", text), "nodiscard-status"),
+            0u);
+}
+
+Options CatalogOptions() {
+  Options opts;
+  opts.catalog = {"parse.query", "rewrite.degraded.*", "fault.hit.*"};
+  return opts;
+}
+
+TEST(ObsNameCatalogTest, UnknownNameIsFlagged) {
+  const std::string bad = "void F() { SIA_COUNTER_INC(\"bogus.name\"); }\n";
+  const auto findings = LintFile("src/fake/obs.cc", bad, CatalogOptions());
+  ASSERT_EQ(CountRule(findings, "obs-name-catalog"), 1u);
+  EXPECT_NE(findings[0].message.find("bogus.name"), std::string::npos);
+}
+
+TEST(ObsNameCatalogTest, CatalogWildcardAndTestNamesAllowed) {
+  const std::string good =
+      "void F() {\n"
+      "  SIA_TRACE_SPAN(\"parse.query\");\n"
+      "  SIA_COUNTER_INC(\"rewrite.degraded.gave_up\");\n"
+      "  IncrementCounter(\"fault.hit.synth\");\n"
+      "  SIA_COUNTER_INC(\"test.anything.goes\");\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintFile("src/fake/obs.cc", good, CatalogOptions()),
+                      "obs-name-catalog"),
+            0u);
+}
+
+TEST(ObsNameCatalogTest, ComputedNamesAndEmptyCatalogSkipped) {
+  // A concatenated name cannot be checked statically; a missing catalog
+  // disables the rule rather than flagging everything.
+  const std::string computed =
+      "void F(const std::string& s) {\n"
+      "  IncrementCounter(\"unknown.prefix.\" + s);\n"
+      "}\n";
+  EXPECT_EQ(CountRule(LintFile("src/fake/obs.cc", computed, CatalogOptions()),
+                      "obs-name-catalog"),
+            0u);
+  const std::string bad = "void F() { SIA_COUNTER_INC(\"bogus.name\"); }\n";
+  EXPECT_EQ(CountRule(LintFile("src/fake/obs.cc", bad, Options{}),
+                      "obs-name-catalog"),
+            0u);
+}
+
+TEST(TraceSpanScopeTest, NamespaceScopeSpanIsFlagged) {
+  const std::string bad = R"cc(
+namespace sia {
+SIA_TRACE_SPAN("test.pinned");
+}
+)cc";
+  const auto findings = Lint("src/fake/span.cc", bad);
+  ASSERT_EQ(CountRule(findings, "trace-span-scope"), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(TraceSpanScopeTest, FunctionAndLambdaBodiesAreClean) {
+  const std::string good = R"cc(
+namespace sia {
+struct Runner {
+  void Run() {
+    SIA_TRACE_SPAN("test.fine");
+    auto task = [] { SIA_TRACE_SPAN("test.fine2"); };
+    task();
+  }
+};
+}
+)cc";
+  EXPECT_EQ(CountRule(Lint("src/fake/span.cc", good), "trace-span-scope"),
+            0u);
+}
+
+TEST(TraceSpanScopeTest, ClassScopeSpanIsFlagged) {
+  const std::string bad = R"cc(
+class Widget {
+  SIA_TRACE_SPAN("test.member");
+};
+)cc";
+  EXPECT_EQ(CountRule(Lint("src/fake/w.h", bad), "trace-span-scope"), 1u);
+}
+
+TEST(NtsaJustifiedTest, BareAnnotationIsFlagged) {
+  const std::string bad =
+      "void Init() SIA_NO_THREAD_SAFETY_ANALYSIS;\n";
+  EXPECT_EQ(CountRule(Lint("src/fake/init.h", bad), "ntsa-justified"), 1u);
+}
+
+TEST(NtsaJustifiedTest, JustifiedAnnotationsAreClean) {
+  const std::string same_line =
+      "void Init() SIA_NO_THREAD_SAFETY_ANALYSIS;  // ctor-only path\n";
+  EXPECT_EQ(CountRule(Lint("src/fake/init.h", same_line), "ntsa-justified"),
+            0u);
+  const std::string above =
+      "// Runs before any thread exists; locking would deadlock the\n"
+      "// fork handler.\n"
+      "void Init() SIA_NO_THREAD_SAFETY_ANALYSIS;\n";
+  EXPECT_EQ(CountRule(Lint("src/fake/init.h", above), "ntsa-justified"), 0u);
+}
+
+TEST(SuppressionTest, AllowDirectiveSilencesRuleOnLineOrAbove) {
+  const std::string same_line =
+      "std::thread t;  // sia-conventions: allow(raw-sync-primitive) "
+      "fixture\n";
+  EXPECT_TRUE(Lint("src/fake/s.cc", same_line).empty());
+  const std::string above =
+      "// sia-conventions: allow(raw-sync-primitive) fixture\n"
+      "std::thread t;\n";
+  EXPECT_TRUE(Lint("src/fake/s.cc", above).empty());
+  // The directive names the rule: a different rule still fires.
+  const std::string wrong_rule =
+      "std::thread t;  // sia-conventions: allow(nodiscard-status) oops\n";
+  EXPECT_EQ(CountRule(Lint("src/fake/s.cc", wrong_rule),
+                      "raw-sync-primitive"),
+            1u);
+}
+
+TEST(ExtractCatalogTest, BracesPlaceholdersAndWildcardsExpand) {
+  const std::string md =
+      "**Span naming convention.** spans: `parse.query`,\n"
+      "`exec.join_{build,probe}_rows`, `synth.status.<status>`,\n"
+      "`rewrite.degraded.*`.\n"
+      "**CLI and bench surface.** `outside.name` is not part of it.\n";
+  const auto catalog = ExtractCatalog(md);
+  auto has = [&](const std::string& s) {
+    return std::find(catalog.begin(), catalog.end(), s) != catalog.end();
+  };
+  EXPECT_TRUE(has("parse.query"));
+  EXPECT_TRUE(has("exec.join_build_rows"));
+  EXPECT_TRUE(has("exec.join_probe_rows"));
+  EXPECT_TRUE(has("synth.status.*"));
+  EXPECT_TRUE(has("rewrite.degraded.*"));
+  EXPECT_FALSE(has("outside.name"));
+}
+
+// The gate itself: this repository's tree has zero findings. A failure
+// here means a convention regressed (or a new obs name is missing from
+// DESIGN.md's catalog) — fix the code or the catalog, or add an
+// explicit `sia-conventions: allow(...)` with a reason.
+TEST(TreeTest, RepositoryIsClean) {
+  size_t scanned = 0;
+  const auto findings = LintTree(SIA_SOURCE_DIR, &scanned);
+  EXPECT_GT(scanned, 100u);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": [" << f.rule << "] "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace sia::conventions

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "obs/metrics.h"
+#include "common/sync.h"
 #include "obs/trace.h"
 #include "obs_json_util.h"
 
@@ -139,14 +140,14 @@ TEST_F(ObsTest, ConcurrentCounterIncrements) {
   constexpr int kThreads = 8;
   constexpr int kIncrements = 20000;
   Counter& c = reg().GetCounter("test.concurrent");
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&c] {
       for (int i = 0; i < kIncrements; ++i) c.Increment();
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (Thread& t : threads) t.Join();
   EXPECT_EQ(c.Value(),
             static_cast<uint64_t>(kThreads) * kIncrements);
 }
@@ -155,7 +156,7 @@ TEST_F(ObsTest, ConcurrentHistogramRecords) {
   constexpr int kThreads = 8;
   constexpr int kRecords = 5000;
   Histogram& h = reg().GetHistogram("test.concurrent_hist");
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(kThreads);
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([&h, t] {
@@ -164,26 +165,26 @@ TEST_F(ObsTest, ConcurrentHistogramRecords) {
       }
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (Thread& t : threads) t.Join();
   EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kRecords);
   EXPECT_DOUBLE_EQ(h.Min(), 1.0);
   EXPECT_DOUBLE_EQ(h.Max(), static_cast<double>(kThreads * kRecords));
   // Gauge Add() is a CAS loop; hammer it too.
   Gauge& g = reg().GetGauge("test.concurrent_gauge");
-  std::vector<std::thread> adders;
+  std::vector<Thread> adders;
   for (int t = 0; t < kThreads; ++t) {
     adders.emplace_back([&g] {
       for (int i = 0; i < kRecords; ++i) g.Add(1.0);
     });
   }
-  for (std::thread& t : adders) t.join();
+  for (Thread& t : adders) t.Join();
   EXPECT_DOUBLE_EQ(g.Value(), static_cast<double>(kThreads * kRecords));
 }
 
 TEST_F(ObsTest, ConcurrentSpansAcrossThreads) {
   constexpr int kThreads = 4;
   constexpr int kSpans = 500;
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   for (int t = 0; t < kThreads; ++t) {
     threads.emplace_back([] {
       for (int i = 0; i < kSpans; ++i) {
@@ -192,7 +193,7 @@ TEST_F(ObsTest, ConcurrentSpansAcrossThreads) {
       }
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (Thread& t : threads) t.Join();
   const std::vector<TraceEvent> events = Tracer::Instance().CollectEvents();
   EXPECT_EQ(events.size(),
             static_cast<size_t>(kThreads) * kSpans * 2);

@@ -15,6 +15,7 @@
 
 #include "catalog/catalog.h"
 #include "common/thread_pool.h"
+#include "common/sync.h"
 #include "engine/column_table.h"
 #include "engine/executor.h"
 #include "engine/runner.h"
@@ -297,7 +298,7 @@ TEST(SingleFlightCacheTest, ExactlyOneSynthesisUnderEightRacingWorkers) {
     return MakeEntry(SynthesisStatus::kOptimal);
   };
 
-  std::vector<std::thread> workers;
+  std::vector<Thread> workers;
   std::atomic<int> ok_results{0};
   for (int w = 0; w < kWorkers; ++w) {
     workers.emplace_back([&] {
@@ -307,7 +308,7 @@ TEST(SingleFlightCacheTest, ExactlyOneSynthesisUnderEightRacingWorkers) {
       }
     });
   }
-  for (std::thread& t : workers) t.join();
+  for (Thread& t : workers) t.Join();
 
   EXPECT_EQ(calls.load(), 1);
   EXPECT_EQ(ok_results.load(), kWorkers);
@@ -367,18 +368,18 @@ TEST(SingleFlightCacheTest, WaiterTakesOverWhenLeaderFails) {
   };
 
   std::atomic<int> successes{0};
-  std::thread a([&] {
+  Thread a([&] {
     if (cache.GetOrSynthesize(key, {0}, synthesize).ok()) {
       successes.fetch_add(1);
     }
   });
-  std::thread b([&] {
+  Thread b([&] {
     if (cache.GetOrSynthesize(key, {0}, synthesize).ok()) {
       successes.fetch_add(1);
     }
   });
-  a.join();
-  b.join();
+  a.Join();
+  b.Join();
 
   // One worker got the error, the other took over, synthesized, and
   // succeeded; both synthesize attempts ran.

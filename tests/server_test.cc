@@ -19,6 +19,7 @@
 
 #include "common/fault_injection.h"
 #include "common/net.h"
+#include "common/sync.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
 #include "server/admission_queue.h"
@@ -183,11 +184,11 @@ TEST(AdmissionQueueTest, CloseDrainsBacklogThenReturnsNullopt) {
 
 TEST(AdmissionQueueTest, CloseWakesBlockedPop) {
   AdmissionQueue queue(1);
-  std::thread popper([&] { EXPECT_FALSE(queue.Pop().has_value()); });
+  Thread popper([&] { EXPECT_FALSE(queue.Pop().has_value()); });
   // Give the popper a moment to block, then close underneath it.
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
   queue.Close();
-  popper.join();
+  popper.Join();
 }
 
 // --- whole-server tests ------------------------------------------------------
@@ -308,7 +309,7 @@ TEST(ServerTest, MalformedFramesNeverKillTheServer) {
   // NUL and invalid-UTF-8 junk inside a well-formed frame: a protocol
   // ERROR, not a crash.
   {
-    const std::string junk("QU\0ERY\n\xff\xfe\x01 SELECT", 19);
+    const std::string junk("QU\0ERY\n\xff\xfe\x01 SELECT", 17);
     auto parsed = RoundTrip(port, junk);
     ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
     EXPECT_EQ(parsed->kind, ResponseKind::kError);
@@ -370,7 +371,7 @@ TEST(ServerTest, BurstBeyondQueueDepthShedsExplicitly) {
   }
 
   std::atomic<size_t> ok{0}, shed{0}, other{0};
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(conns.size());
   for (size_t i = 0; i < conns.size(); ++i) {
     threads.emplace_back([&, i] {
@@ -397,7 +398,7 @@ TEST(ServerTest, BurstBeyondQueueDepthShedsExplicitly) {
       }
     });
   }
-  for (std::thread& t : threads) t.join();
+  for (Thread& t : threads) t.Join();
   FaultRegistry::Instance().DisarmAll();
 
   // Every connection was answered (zero hung/failed), some were served,
@@ -437,7 +438,7 @@ TEST(ServerTest, DrainMidBurstCompletesAdmittedRequests) {
 
   std::atomic<size_t> responded{0};
   std::vector<std::optional<QueryReply>> replies(queries->size());
-  std::vector<std::thread> threads;
+  std::vector<Thread> threads;
   threads.reserve(queries->size());
   for (size_t i = 0; i < queries->size(); ++i) {
     threads.emplace_back([&, i] {
@@ -463,7 +464,7 @@ TEST(ServerTest, DrainMidBurstCompletesAdmittedRequests) {
   }
   const Status drained = (*server)->DrainAndStop();
   EXPECT_TRUE(drained.ok()) << drained.ToString();
-  for (std::thread& t : threads) t.join();
+  for (Thread& t : threads) t.Join();
 
   const ServerCounters counters = (*server)->counters();
   EXPECT_EQ(counters.accepted,

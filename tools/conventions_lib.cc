@@ -1,0 +1,502 @@
+#include "tools/conventions_lib.h"
+
+#include <algorithm>
+#include <tuple>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace sia::conventions {
+namespace {
+
+// ---------------------------------------------------------------------
+// Source scrubbing. Line structure (every '\n') is preserved in both
+// variants so offsets map straight back to line numbers.
+
+struct Scrubbed {
+  std::string no_comments;  // comments blanked; strings intact
+  std::string code_only;    // comments, string/char literals, and
+                            // preprocessor directives blanked
+};
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+Scrubbed Scrub(const std::string& in) {
+  const size_t n = in.size();
+  std::string nc(in), co(in);
+  auto blank = [&](std::string& s, size_t from, size_t to) {
+    for (size_t k = from; k < to && k < n; ++k) {
+      if (s[k] != '\n') s[k] = ' ';
+    }
+  };
+  bool at_line_start = true;  // only whitespace seen since last '\n'
+  size_t i = 0;
+  while (i < n) {
+    const char c = in[i];
+    if (c == '\n') {
+      at_line_start = true;
+      ++i;
+      continue;
+    }
+    // Preprocessor directive (with backslash continuations): blanked in
+    // code_only so macro *definitions* (SIA_TRACE_SPAN's own body, say)
+    // are not mistaken for uses at namespace scope.
+    if (at_line_start && c == '#') {
+      size_t j = i;
+      while (j < n) {
+        if (in[j] == '\n') {
+          // A backslash immediately before the newline continues the
+          // directive onto the next line.
+          size_t back = j;
+          while (back > i && (in[back - 1] == ' ' || in[back - 1] == '\r')) {
+            --back;
+          }
+          if (back > i && in[back - 1] == '\\') {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      blank(co, i, j);
+      i = j;
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) at_line_start = false;
+    if (c == '/' && i + 1 < n && in[i + 1] == '/') {
+      size_t j = i;
+      while (j < n && in[j] != '\n') ++j;
+      blank(nc, i, j);
+      blank(co, i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && in[i + 1] == '*') {
+      size_t j = i + 2;
+      while (j + 1 < n && !(in[j] == '*' && in[j + 1] == '/')) ++j;
+      j = std::min(n, j + 2);
+      blank(nc, i, j);
+      blank(co, i, j);
+      i = j;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim"
+    if (c == 'R' && i + 1 < n && in[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(in[i - 1]))) {
+      size_t d = i + 2;
+      while (d < n && in[d] != '(' && in[d] != '\n') ++d;
+      if (d < n && in[d] == '(') {
+        const std::string delim = in.substr(i + 2, d - (i + 2));
+        const std::string closer = ")" + delim + "\"";
+        const size_t end = in.find(closer, d + 1);
+        const size_t j = end == std::string::npos ? n : end + closer.size();
+        blank(co, i, j);
+        i = j;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && in[j] != quote && in[j] != '\n') {
+        if (in[j] == '\\' && j + 1 < n) ++j;  // skip the escaped char
+        ++j;
+      }
+      j = std::min(n, j + 1);
+      blank(co, i, j);
+      i = j;
+      continue;
+    }
+    ++i;
+  }
+  return {std::move(nc), std::move(co)};
+}
+
+std::vector<size_t> LineStarts(const std::string& text) {
+  std::vector<size_t> starts{0};
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+size_t LineOf(const std::vector<size_t>& starts, size_t offset) {
+  const auto it =
+      std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<size_t>(it - starts.begin());  // 1-based
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// In-place suppressions: "sia-conventions: allow(rule-a, rule-b)".
+// Returns line -> suppressed rule names. A finding is suppressed by a
+// directive on its own line or the line directly above.
+std::map<size_t, std::set<std::string>> Suppressions(
+    const std::vector<std::string>& raw_lines) {
+  static const std::regex kAllow(
+      "sia-conventions:\\s*allow\\(([A-Za-z0-9_,\\- ]+)\\)");
+  std::map<size_t, std::set<std::string>> out;
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(raw_lines[i], m, kAllow)) continue;
+    std::stringstream list(m[1].str());
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      out[i + 1].insert(Trim(rule));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Rules.
+
+const char kRuleMutexGuardedBy[] = "mutex-guarded-by";
+const char kRuleRawSync[] = "raw-sync-primitive";
+const char kRuleNodiscard[] = "nodiscard-status";
+const char kRuleObsName[] = "obs-name-catalog";
+const char kRuleSpanScope[] = "trace-span-scope";
+const char kRuleNtsa[] = "ntsa-justified";
+
+void RuleRawSync(const std::string& path, const std::string& code,
+                 const std::vector<size_t>& starts,
+                 std::vector<Finding>* out) {
+  static const std::regex kBanned(
+      "std::(recursive_mutex|timed_mutex|shared_mutex|mutex|"
+      "condition_variable_any|condition_variable|lock_guard|unique_lock|"
+      "scoped_lock|shared_lock|thread)\\b");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kBanned);
+       it != std::sregex_iterator(); ++it) {
+    out->push_back({path, LineOf(starts, static_cast<size_t>(it->position())),
+                    kRuleRawSync,
+                    "raw " + it->str() +
+                        " outside common/sync.h; use the annotated "
+                        "Mutex/MutexLock/CondVar/Thread wrappers"});
+  }
+}
+
+void RuleMutexGuardedBy(const std::string& path, const std::string& code,
+                        const std::vector<size_t>& starts,
+                        std::vector<Finding>* out) {
+  // A Mutex member/local declaration, optionally ordered with
+  // SIA_ACQUIRED_BEFORE/AFTER: `Mutex name_ SIA_...(x);` or plain
+  // `Mutex name_;` (MutexLock and Mutex* don't match: the name must
+  // follow whitespace right after the token `Mutex`).
+  static const std::regex kDecl(
+      "\\bMutex\\s+([A-Za-z_]\\w*)\\s*"
+      "(?:SIA_[A-Z_]+\\s*\\([^)]*\\)\\s*)*;");
+  for (auto it = std::sregex_iterator(code.begin(), code.end(), kDecl);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    const std::regex user("SIA_(PT_)?GUARDED_BY\\(\\s*" + name + "\\s*\\)");
+    if (std::regex_search(code, user)) continue;
+    out->push_back({path, LineOf(starts, static_cast<size_t>(it->position())),
+                    kRuleMutexGuardedBy,
+                    "Mutex " + name +
+                        " has no SIA_GUARDED_BY(" + name +
+                        ") members; annotate what it protects (or delete "
+                        "it)"});
+  }
+}
+
+void RuleNodiscard(const std::string& path,
+                   const std::vector<std::string>& code_lines,
+                   const std::vector<std::string>& raw_lines,
+                   std::vector<Finding>* out) {
+  if (!EndsWith(path, ".h")) return;  // declarations live in headers
+  static const std::regex kDecl(
+      "^\\s*(?:static\\s+)?(?:Status|Result<[^;=]*>)\\s+"
+      "[A-Za-z_]\\w*\\s*\\(");
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    if (!std::regex_search(code_lines[i], kDecl)) continue;
+    if (raw_lines[i].find("[[nodiscard]]") != std::string::npos) continue;
+    if (i > 0 && EndsWith(Trim(raw_lines[i - 1]), "[[nodiscard]]")) continue;
+    out->push_back({path, i + 1, kRuleNodiscard,
+                    "Status/Result declaration without [[nodiscard]]"});
+  }
+}
+
+bool NameAllowed(const std::string& name,
+                 const std::vector<std::string>& catalog) {
+  if (name.rfind("test.", 0) == 0) return true;  // test-local names
+  for (const std::string& entry : catalog) {
+    if (!entry.empty() && entry.back() == '*') {
+      if (name.rfind(entry.substr(0, entry.size() - 1), 0) == 0) return true;
+    } else if (name == entry) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void RuleObsName(const std::string& path, const std::string& no_comments,
+                 const std::vector<size_t>& starts, const Options& opts,
+                 std::vector<Finding>* out) {
+  if (opts.catalog.empty()) return;  // no DESIGN.md catalog to check against
+  // Only a lone string literal argument is checked; a computed name
+  // ("prefix." + suffix) is followed by '+', not ',' or ')'.
+  static const std::regex kCall(
+      "\\b(SIA_COUNTER_INC|SIA_COUNTER_ADD|SIA_HISTOGRAM_RECORD|"
+      "SIA_TRACE_SPAN|SetGauge|AddGauge|IncrementCounter|RecordHistogram)"
+      "\\s*\\(\\s*\"([^\"\\n]*)\"\\s*[,)]");
+  for (auto it = std::sregex_iterator(no_comments.begin(),
+                                      no_comments.end(), kCall);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[2].str();
+    if (NameAllowed(name, opts.catalog)) continue;
+    out->push_back({path, LineOf(starts, static_cast<size_t>(it->position())),
+                    kRuleObsName,
+                    "obs name \"" + name +
+                        "\" is not in the DESIGN.md span/metric catalog"});
+  }
+}
+
+void RuleSpanScope(const std::string& path, const std::string& code,
+                   const std::vector<size_t>& starts,
+                   std::vector<Finding>* out) {
+  // Brace-kind tracking: 'n' namespace, 'r' record (class/struct/...),
+  // 'o' anything else (function bodies, lambdas, init-lists). A span at
+  // file scope or directly inside a namespace/record would pin one span
+  // open for the process lifetime — flag it.
+  static const std::regex kNamespace("\\bnamespace\\b");
+  static const std::regex kRecord("\\b(class|struct|union|enum)\\b");
+  std::vector<char> stack;
+  std::string window;  // tokens since the last ; { or }
+  const std::string kSpan = "SIA_TRACE_SPAN";
+  for (size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == 'S' && code.compare(i, kSpan.size(), kSpan) == 0 &&
+        (i == 0 || !IsIdentChar(code[i - 1])) &&
+        (i + kSpan.size() >= code.size() ||
+         !IsIdentChar(code[i + kSpan.size()]))) {
+      if (stack.empty() || stack.back() != 'o') {
+        out->push_back({path, LineOf(starts, i), kRuleSpanScope,
+                        "SIA_TRACE_SPAN outside a function body (the span "
+                        "would stay open for the process lifetime)"});
+      }
+      i += kSpan.size() - 1;
+      window += kSpan;
+      continue;
+    }
+    if (c == '{') {
+      const std::string last = Trim(window);
+      char kind = 'o';
+      if (std::regex_search(window, kNamespace)) {
+        kind = 'n';
+      } else if (std::regex_search(window, kRecord) &&
+                 (last.empty() || last.back() != ')')) {
+        kind = 'r';
+      }
+      stack.push_back(kind);
+      window.clear();
+    } else if (c == '}') {
+      if (!stack.empty()) stack.pop_back();
+      window.clear();
+    } else if (c == ';') {
+      window.clear();
+    } else {
+      window += c;
+    }
+  }
+}
+
+void RuleNtsa(const std::string& path, const std::string& code,
+              const std::vector<size_t>& starts,
+              const std::vector<std::string>& raw_lines,
+              std::vector<Finding>* out) {
+  const std::string kToken = "SIA_NO_THREAD_SAFETY_ANALYSIS";
+  for (size_t pos = code.find(kToken); pos != std::string::npos;
+       pos = code.find(kToken, pos + kToken.size())) {
+    const size_t line = LineOf(starts, pos);
+    const std::string& raw = raw_lines[line - 1];
+    const size_t slash = raw.find("//");
+    const bool same_line = slash != std::string::npos &&
+                           !Trim(raw.substr(slash + 2)).empty();
+    bool above = false;
+    for (size_t j = line - 1; j-- > 0;) {
+      const std::string prev = Trim(raw_lines[j]);
+      if (prev.empty()) break;
+      if (prev.rfind("//", 0) == 0) above = true;
+      break;
+    }
+    if (!same_line && !above) {
+      out->push_back({path, line, kRuleNtsa,
+                      "SIA_NO_THREAD_SAFETY_ANALYSIS without a "
+                      "justification comment on or above the line"});
+    }
+  }
+}
+
+bool IsSyncHeader(const std::string& path) {
+  return EndsWith(path, "common/sync.h");
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleNames() {
+  static const std::vector<std::string> kRules = {
+      kRuleMutexGuardedBy, kRuleRawSync,   kRuleNodiscard,
+      kRuleObsName,        kRuleSpanScope, kRuleNtsa,
+  };
+  return kRules;
+}
+
+std::vector<std::string> ExtractCatalog(const std::string& design_md) {
+  // Restrict to the observability-catalog region so backticked file
+  // names elsewhere in the document can't widen the allow-list.
+  size_t begin = design_md.find("Span naming convention");
+  size_t end = design_md.find("CLI and bench surface");
+  if (begin == std::string::npos) begin = 0;
+  if (end == std::string::npos || end < begin) end = design_md.size();
+  const std::string region = design_md.substr(begin, end - begin);
+
+  static const std::regex kTick("`([a-z][A-Za-z0-9_.{},<>*]*)`");
+  std::set<std::string> names;
+  for (auto it = std::sregex_iterator(region.begin(), region.end(), kTick);
+       it != std::sregex_iterator(); ++it) {
+    std::string token = (*it)[1].str();
+    if (token.find('.') == std::string::npos) continue;
+    // `{a,b}` brace groups expand; one group per token is enough.
+    std::vector<std::string> expanded;
+    const size_t ob = token.find('{');
+    const size_t cb = token.find('}');
+    if (ob != std::string::npos && cb != std::string::npos && cb > ob) {
+      const std::string prefix = token.substr(0, ob);
+      const std::string suffix = token.substr(cb + 1);
+      std::stringstream alts(token.substr(ob + 1, cb - ob - 1));
+      std::string alt;
+      while (std::getline(alts, alt, ',')) {
+        expanded.push_back(prefix + alt + suffix);
+      }
+    } else {
+      expanded.push_back(token);
+    }
+    for (std::string name : expanded) {
+      // `<placeholder>` and `*` tails become prefix wildcards.
+      const size_t lt = name.find('<');
+      if (lt != std::string::npos) name = name.substr(0, lt) + "*";
+      const size_t star = name.find('*');
+      if (star != std::string::npos) name = name.substr(0, star) + "*";
+      names.insert(name);
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& text,
+                              const Options& opts) {
+  const Scrubbed scrubbed = Scrub(text);
+  const std::vector<size_t> starts = LineStarts(text);
+  const std::vector<std::string> raw_lines = SplitLines(text);
+  const std::vector<std::string> code_lines = SplitLines(scrubbed.code_only);
+
+  std::vector<Finding> findings;
+  if (!IsSyncHeader(path)) {
+    RuleRawSync(path, scrubbed.code_only, starts, &findings);
+    RuleMutexGuardedBy(path, scrubbed.code_only, starts, &findings);
+    RuleNtsa(path, scrubbed.code_only, starts, raw_lines, &findings);
+  }
+  RuleNodiscard(path, code_lines, raw_lines, &findings);
+  RuleObsName(path, scrubbed.no_comments, starts, opts, &findings);
+  RuleSpanScope(path, scrubbed.code_only, starts, &findings);
+
+  const auto suppressed = Suppressions(raw_lines);
+  auto is_suppressed = [&](const Finding& f) {
+    for (size_t line : {f.line, f.line - 1}) {
+      const auto it = suppressed.find(line);
+      if (it != suppressed.end() &&
+          (it->second.count(f.rule) != 0 || it->second.count("all") != 0)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(), is_suppressed),
+      findings.end());
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root,
+                              size_t* files_scanned) {
+  namespace fs = std::filesystem;
+  Options opts;
+  {
+    std::ifstream design(fs::path(root) / "DESIGN.md");
+    if (design) {
+      std::stringstream buf;
+      buf << design.rdbuf();
+      opts.catalog = ExtractCatalog(buf.str());
+    }
+  }
+
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "tools", "tests", "bench"}) {
+    const fs::path base = fs::path(root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cc" && ext != ".h") continue;
+      // The known-bad linter fixtures are exercised by
+      // tests/conventions_test.cc, not by the tree walk.
+      if (entry.path().string().find("tests/conventions/") !=
+          std::string::npos) {
+        continue;
+      }
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files_scanned != nullptr) *files_scanned = files.size();
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::ifstream in(file);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::path(file).lexically_relative(root).generic_string();
+    std::vector<Finding> file_findings = LintFile(rel, buf.str(), opts);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return findings;
+}
+
+}  // namespace sia::conventions

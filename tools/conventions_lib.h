@@ -1,0 +1,83 @@
+#ifndef SIA_TOOLS_CONVENTIONS_LIB_H_
+#define SIA_TOOLS_CONVENTIONS_LIB_H_
+
+// Repo-invariant conventions linter (the logic behind sia_conventions).
+//
+// A dependency-free (stdlib-only) source scanner that enforces the
+// repo's cross-cutting invariants — the ones a compiler only checks
+// when it happens to be Clang, plus the ones no compiler checks at all:
+//
+//   mutex-guarded-by      every `Mutex` member has at least one
+//                         SIA_GUARDED_BY(that_mutex) user in the file
+//   raw-sync-primitive    no std::mutex / std::thread / std::lock_guard
+//                         / std::condition_variable / ... outside
+//                         src/common/sync.h (std::this_thread is fine —
+//                         sync.h deliberately does not wrap sleeping)
+//   nodiscard-status      every header declaration returning Status or
+//                         Result<T> carries [[nodiscard]]
+//   obs-name-catalog      every literal metric/span name passed to the
+//                         obs macros appears in DESIGN.md's catalog
+//                         (names starting "test." are always allowed)
+//   trace-span-scope      SIA_TRACE_SPAN only inside function bodies
+//                         (a namespace-scope span would pin one span
+//                         open for the whole process)
+//   ntsa-justified        every SIA_NO_THREAD_SAFETY_ANALYSIS carries a
+//                         justification comment on or above the line
+//
+// Findings are suppressible in place with
+//   // sia-conventions: allow(rule-name) <reason>
+// on the offending line or the line above. Reasons are mandatory by
+// convention (reviewers see them), not enforced.
+//
+// The scanner is token-shaped, not a parser: comments and string/char
+// literals are blanked before the ban/structure rules run (so a banned
+// token in a comment or a fixture string never fires), while the
+// obs-name rule reads the comment-stripped text with strings intact
+// (the names *are* strings). That keeps the linter honest on its own
+// source and on its test fixtures.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sia::conventions {
+
+struct Finding {
+  std::string file;
+  size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+// The rule identifiers, in reporting order.
+const std::vector<std::string>& RuleNames();
+
+// Pulls the allowed metric/span names out of DESIGN.md text: every
+// backticked token between the "Span naming convention." and "CLI and
+// bench surface." markers that looks like a dotted obs name. Brace
+// groups expand (`a.{x,y}` -> a.x, a.y); `<placeholder>` and `.*`
+// tails become prefix wildcards (stored with a trailing '*').
+std::vector<std::string> ExtractCatalog(const std::string& design_md);
+
+struct Options {
+  // Allowed obs names from ExtractCatalog. Empty => the obs-name rule
+  // is skipped (the caller could not find DESIGN.md).
+  std::vector<std::string> catalog;
+};
+
+// Lints one file's contents. `path` drives per-rule scoping (the
+// headers-only rule keys on ".h", the sync.h exemption on the path
+// suffix "common/sync.h"), so pass repo-relative paths.
+std::vector<Finding> LintFile(const std::string& path,
+                              const std::string& text, const Options& opts);
+
+// Walks <root>/{src,tools,tests,bench} for *.cc / *.h (skipping
+// tests/conventions fixtures), lints each against the catalog from
+// <root>/DESIGN.md, and returns findings sorted by file then line.
+// `files_scanned` (optional) reports how many files were read.
+std::vector<Finding> LintTree(const std::string& root,
+                              size_t* files_scanned);
+
+}  // namespace sia::conventions
+
+#endif  // SIA_TOOLS_CONVENTIONS_LIB_H_

@@ -37,6 +37,7 @@
 
 #include "catalog/catalog.h"
 #include "common/net.h"
+#include "common/sync.h"
 #include "server/protocol.h"
 #include "workload/querygen.h"
 
@@ -215,12 +216,12 @@ int main(int argc, char** argv) {
         records[i] = SendQuery(options, sqls[i]);
       }
     };
-    std::vector<std::thread> threads;
+    std::vector<sia::Thread> threads;
     const size_t n =
         std::min(options.concurrency, sqls.size() == 0 ? 1 : sqls.size());
     threads.reserve(n);
     for (size_t t = 0; t < n; ++t) threads.emplace_back(drive);
-    for (std::thread& t : threads) t.join();
+    for (sia::Thread& t : threads) t.Join();
   }
 
   size_t ok = 0, shed = 0, server_errors = 0, closed = 0;

@@ -1,0 +1,94 @@
+// sia_conventions: the repo-invariant linter gate.
+//
+//   sia_conventions [--root=DIR] [file...]
+//
+// With no file arguments, walks DIR (default ".") as a repo tree —
+// src/ tools/ tests/ bench/, *.cc and *.h — and lints every file
+// against the obs-name catalog extracted from DIR/DESIGN.md. With file
+// arguments, lints just those files (paths are reported as given).
+//
+// Prints one line per finding plus a per-rule summary, and exits
+// non-zero when anything fired. Suppress a deliberate violation with
+//   // sia-conventions: allow(rule-name) <reason>
+// on the offending line or the line above.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/conventions_lib.h"
+
+namespace {
+
+int Run(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--root=", 7) == 0) {
+      root = arg + 7;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      std::printf("usage: sia_conventions [--root=DIR] [file...]\n");
+      return 0;
+    } else {
+      files.emplace_back(arg);
+    }
+  }
+
+  std::vector<sia::conventions::Finding> findings;
+  size_t scanned = 0;
+  if (files.empty()) {
+    findings = sia::conventions::LintTree(root, &scanned);
+  } else {
+    sia::conventions::Options opts;
+    {
+      std::ifstream design(root + "/DESIGN.md");
+      if (design) {
+        std::stringstream buf;
+        buf << design.rdbuf();
+        opts.catalog = sia::conventions::ExtractCatalog(buf.str());
+      }
+    }
+    for (const std::string& file : files) {
+      std::ifstream in(file);
+      if (!in) {
+        std::fprintf(stderr, "sia_conventions: cannot read %s\n",
+                     file.c_str());
+        return 2;
+      }
+      std::stringstream buf;
+      buf << in.rdbuf();
+      auto file_findings =
+          sia::conventions::LintFile(file, buf.str(), opts);
+      findings.insert(findings.end(), file_findings.begin(),
+                      file_findings.end());
+      ++scanned;
+    }
+  }
+
+  std::map<std::string, size_t> per_rule;
+  for (const std::string& rule : sia::conventions::RuleNames()) {
+    per_rule[rule] = 0;
+  }
+  for (const auto& f : findings) {
+    std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                f.rule.c_str(), f.message.c_str());
+    ++per_rule[f.rule];
+  }
+
+  std::printf("sia_conventions: %zu file%s scanned, %zu finding%s\n",
+              scanned, scanned == 1 ? "" : "s", findings.size(),
+              findings.size() == 1 ? "" : "s");
+  for (const auto& [rule, count] : per_rule) {
+    std::printf("  %-20s %zu\n", rule.c_str(), count);
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
