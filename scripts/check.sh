@@ -33,11 +33,19 @@
 # results identical to the fault-free baseline.
 #
 # `check.sh --serve-smoke` additionally runs the serving end-to-end
-# gate: start sia_serve (executing queries against generated TPC-H
-# data), drive SMOKE_QUERIES seeded workload queries through it with
-# sia_client, and require the client's digest lines to be byte-identical
-# to sia_lint --digests-out batch runs at --threads 1 AND 4; then
-# SIGTERM the daemon and require a clean drain (exit 0, DRAINED line).
+# gates:
+#   - sync mode: start sia_serve --sync-rewrite (executing queries
+#     against generated TPC-H data), drive SMOKE_QUERIES seeded workload
+#     queries through it with sia_client, and require the client's
+#     digest lines to be byte-identical to sia_lint --digests-out batch
+#     runs at --threads 1 AND 4; then SIGTERM the daemon and require a
+#     clean drain (exit 0, DRAINED line);
+#   - promotion lifecycle: start sia_serve in its default background-
+#     learning mode with --promote-after 3 --shadow-sample-rate 1,
+#     repeat the same PROMO_QUERIES-query template workload until STATS
+#     reports rewrite.promote.promoted >= 1, and require every pass's
+#     rows/content_hash to equal the batch sia_lint reference — the
+#     learning loop may never change an answer.
 #
 # `check.sh --static` additionally runs the compile-time concurrency and
 # conventions gates:
@@ -66,6 +74,10 @@
 #   SWEEP_QUERIES    queries per fault-sweep pass (default 8)
 #   SMOKE_QUERIES    queries for the --serve-smoke gate (default 200)
 #   SMOKE_SCALE      TPC-H scale factor for --serve-smoke (default 0.01)
+#   PROMO_QUERIES    template-workload size for the promotion-lifecycle
+#                    smoke (default 12)
+#   PROMO_PASSES     max repeats of the template workload while waiting
+#                    for a promotion (default 12)
 #   OBS_OVERHEAD_PCT max tolerated bench_micro slowdown, percent, of the
 #                    obs-disabled build over the obs-free build
 #                    (default 10 — the gate is one relaxed atomic load
@@ -81,6 +93,8 @@ LINT_ITERATIONS=${LINT_ITERATIONS:-3}
 SWEEP_QUERIES=${SWEEP_QUERIES:-8}
 SMOKE_QUERIES=${SMOKE_QUERIES:-200}
 SMOKE_SCALE=${SMOKE_SCALE:-0.01}
+PROMO_QUERIES=${PROMO_QUERIES:-12}
+PROMO_PASSES=${PROMO_PASSES:-12}
 OBS_OVERHEAD_PCT=${OBS_OVERHEAD_PCT:-10}
 JOBS=${JOBS:-$(nproc)}
 
@@ -232,8 +246,12 @@ if [[ "${SERVE_SMOKE}" -eq 1 ]]; then
 
   echo "== serve smoke (${SMOKE_QUERIES} queries, sf=${SMOKE_SCALE}," \
        "served vs batch-lint digests, graceful drain)"
+  # --sync-rewrite: the byte-identical digest diff below needs the
+  # synchronous ladder on the serving path (background learning answers
+  # misses with the original, so rung/sql_hash lines would differ).
   "${SERVE}" --port-file "${SMOKE_DIR}/port" --workers 4 \
     --scale "${SMOKE_SCALE}" --max-iterations "${LINT_ITERATIONS}" \
+    --sync-rewrite \
     > "${SMOKE_DIR}/serve.log" 2>&1 &
   SERVE_PID=$!
   for _ in $(seq 1 300); do
@@ -283,6 +301,127 @@ if [[ "${SERVE_SMOKE}" -eq 1 ]]; then
     exit 1
   fi
   sed -n 's/^/   /p' "${SMOKE_DIR}/serve.log"
+
+  # --- Promotion lifecycle: background learning end to end --------------
+  # Default-mode sia_serve (never synthesize on the serving path), every
+  # eligible serve shadow-checked, repeated passes of the same template
+  # workload. Required: at least one entry earns kPromoted on measured
+  # evidence, and every pass's rows/content_hash match the batch lint
+  # reference throughout — the learning loop may change rung/sql_hash
+  # lines, never an answer.
+  echo "== promotion lifecycle smoke (${PROMO_QUERIES} queries x up to" \
+       "${PROMO_PASSES} passes, --promote-after 3, shadow rate 1)"
+  SIA_METRICS=stderr "${SERVE}" --port-file "${SMOKE_DIR}/promo_port" \
+    --workers 4 --scale "${SMOKE_SCALE}" \
+    --max-iterations "${LINT_ITERATIONS}" \
+    --promote-after 3 --shadow-sample-rate 1 \
+    > "${SMOKE_DIR}/promo.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 300); do
+    [[ -s "${SMOKE_DIR}/promo_port" ]] && break
+    if ! kill -0 "${SERVE_PID}" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  if [[ ! -s "${SMOKE_DIR}/promo_port" ]]; then
+    echo "ERROR: sia_serve (promotion smoke) did not come up" >&2
+    cat "${SMOKE_DIR}/promo.log" >&2
+    exit 1
+  fi
+  PROMO_PORT=$(cat "${SMOKE_DIR}/promo_port")
+
+  "${LINT}" -q --rewrite --workload "${PROMO_QUERIES}" --threads 1 \
+    --max-iterations "${LINT_ITERATIONS}" --execute-sf "${SMOKE_SCALE}" \
+    --digests-out "${SMOKE_DIR}/promo_lint.dig" > /dev/null
+
+  PROMOTED=0
+  PASSES_RUN=0
+  for pass in $(seq 1 "${PROMO_PASSES}"); do
+    "${CLIENT}" --port "${PROMO_PORT}" --workload "${PROMO_QUERIES}" -q \
+      --digests-out "${SMOKE_DIR}/promo_pass${pass}.dig" > /dev/null
+    PASSES_RUN="${pass}"
+    "${CLIENT}" --port "${PROMO_PORT}" --stats -q \
+      > "${SMOKE_DIR}/promo_stats.out"
+    PROMOTED=$(python3 - "${SMOKE_DIR}/promo_stats.out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("{"):
+            print(int(json.loads(line).get("counters", {})
+                      .get("rewrite.promote.promoted", 0)))
+            break
+    else:
+        print(0)
+EOF
+)
+    # Keep serving a few passes after the first promotion so promoted
+    # entries are exercised (and digest-checked) on the serving path.
+    if [[ "${PROMOTED}" -ge 1 && "${pass}" -ge 4 ]]; then break; fi
+    sleep 2  # let queued background jobs land between template repeats
+  done
+  if [[ "${PROMOTED}" -lt 1 ]]; then
+    echo "ERROR: no cache entry reached kPromoted after" \
+         "${PASSES_RUN} passes" >&2
+    cat "${SMOKE_DIR}/promo_stats.out" >&2
+    cat "${SMOKE_DIR}/promo.log" >&2
+    exit 1
+  fi
+  echo "   promoted entries (counter rewrite.promote.promoted):" \
+       "${PROMOTED} after ${PASSES_RUN} passes"
+  python3 - "${PROMO_QUERIES}" "${SMOKE_DIR}/promo_lint.dig" \
+      "${SMOKE_DIR}"/promo_pass*.dig <<'EOF'
+import re, sys
+
+want = int(sys.argv[1])
+
+def digests(path):
+    """seed -> (rows, content_hash); only executed lines carry digests."""
+    out = {}
+    with open(path) as f:
+        for line in f:
+            m = re.search(r"^workload:seed(\d+).* rows=(\d+) "
+                          r"content_hash=([0-9a-f]+)", line)
+            if m:
+                out[int(m.group(1))] = (m.group(2), m.group(3))
+    return out
+
+ref = digests(sys.argv[2])
+if len(ref) != want:
+    print(f"ERROR: lint reference has {len(ref)} digest lines, want {want}",
+          file=sys.stderr)
+    sys.exit(1)
+failed = False
+for path in sys.argv[3:]:
+    got = digests(path)
+    if len(got) != want:
+        print(f"ERROR: {path}: {len(got)} digest lines, want {want}",
+              file=sys.stderr)
+        failed = True
+        continue
+    for seed, digest in got.items():
+        if ref.get(seed) != digest:
+            print(f"ERROR: {path}: seed {seed} served {digest}, batch lint "
+                  f"says {ref.get(seed)}", file=sys.stderr)
+            failed = True
+if failed:
+    print("ERROR: served digests diverged from the batch reference",
+          file=sys.stderr)
+    sys.exit(1)
+print(f"   digests: every pass == batch lint ({want} queries per pass)")
+EOF
+
+  kill -TERM "${SERVE_PID}"
+  if ! wait "${SERVE_PID}"; then
+    echo "ERROR: sia_serve (promotion smoke) did not drain cleanly" >&2
+    cat "${SMOKE_DIR}/promo.log" >&2
+    exit 1
+  fi
+  SERVE_PID=""
+  if ! grep -q '^DRAINED ' "${SMOKE_DIR}/promo.log"; then
+    echo "ERROR: promotion smoke exited without a DRAINED line" >&2
+    cat "${SMOKE_DIR}/promo.log" >&2
+    exit 1
+  fi
 fi
 
 # --- Concurrency gates ---------------------------------------------------
@@ -430,18 +569,23 @@ if [[ "${FAULT_SWEEP}" -eq 1 ]]; then
   # fault-free behavior and already ran above).
   # --list-fault-points lines are `<point> fired=N injected=M`; the
   # counts are all zero here (nothing ran) — keep only the point name.
+  # Both env-armed suites run per point: the synchronous pipeline sweep
+  # and the background-learning serving loop (which is the only consumer
+  # of the background.synth.* / promote.bad_rewrite points).
+  SWEEP_FILTER='FaultSweepTest.EnvArmedSweep'
+  SWEEP_FILTER+=':FaultSweepTest.BackgroundLearningEnvArmedSweep'
   while read -r point _counts; do
     for mode in once always; do
       echo "   -- SIA_FAULTS=${point}=${mode}"
       SIA_FAULTS="${point}=${mode}" SIA_SWEEP_QUERIES="${SWEEP_QUERIES}" \
-        "${SWEEP_BIN}" --gtest_filter='FaultSweepTest.EnvArmedSweep' \
+        "${SWEEP_BIN}" --gtest_filter="${SWEEP_FILTER}" \
         --gtest_brief=1
     done
   done < <("${LINT}" --list-fault-points)
   echo "   -- SIA_FAULTS=smt.check=prob:0.3,engine.scan=latency:5"
   SIA_FAULTS="smt.check=prob:0.3,engine.scan=latency:5" \
     SIA_SWEEP_QUERIES="${SWEEP_QUERIES}" \
-    "${SWEEP_BIN}" --gtest_filter='FaultSweepTest.EnvArmedSweep' \
+    "${SWEEP_BIN}" --gtest_filter="${SWEEP_FILTER}" \
     --gtest_brief=1
 fi
 

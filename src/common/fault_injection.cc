@@ -97,6 +97,9 @@ const std::vector<std::string>& FaultRegistry::KnownPoints() {
           "verify.check",  // the Verify implication check
           "learn.train",   // SVM training (Alg. 2)
           "engine.scan",   // executor table scans
+          "background.synth.crash",    // background synthesis job fails
+          "background.synth.latency",  // background synthesis job stalls
+          "promote.bad_rewrite",       // force-promote a wrong predicate
       };
   return *points;
 }

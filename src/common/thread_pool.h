@@ -72,6 +72,21 @@ class ThreadPool {
   // background workers the task runs inline, on the caller.
   void Submit(std::function<void()> task) SIA_EXCLUDES(mu_);
 
+  // Enqueues `task` on the low-priority background lane. Workers take
+  // from this lane only when the normal queue is empty, so latency-
+  // sensitive work (ParallelFor chunks, serving tasks) always preempts
+  // it; background tasks still queued at shutdown are dropped, not run.
+  // Returns false — and does NOT enqueue — when the pool has no
+  // background workers: running inline would put background work on the
+  // caller, which for the online learning loop is exactly the serving
+  // path this lane exists to protect. Callers own the fallback (e.g. a
+  // dedicated thread).
+  bool SubmitBackground(std::function<void()> task) SIA_EXCLUDES(mu_);
+
+  // True when the pool owns at least one background worker thread —
+  // i.e. SubmitBackground can make progress.
+  bool has_workers() const { return !workers_.empty(); }
+
  private:
   void WorkerLoop() SIA_EXCLUDES(mu_);
 
@@ -81,6 +96,9 @@ class ThreadPool {
   Mutex mu_;
   CondVar cv_;
   std::deque<std::function<void()>> queue_ SIA_GUARDED_BY(mu_);
+  // The low-priority lane (SubmitBackground). Drained only when queue_
+  // is empty; abandoned at shutdown.
+  std::deque<std::function<void()>> background_ SIA_GUARDED_BY(mu_);
   bool shutdown_ SIA_GUARDED_BY(mu_) = false;
   // Written only by the constructor, before any worker exists; read-only
   // afterwards, so unguarded reads (thread_count, Submit) are safe.

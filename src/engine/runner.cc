@@ -31,6 +31,8 @@ Result<ParanoidReport> RunRewriteParanoid(
   ParanoidReport report;
   SIA_ASSIGN_OR_RETURN(
       QueryOutput base, RunQuery(original, catalog, executor, planner_options));
+  report.original_ms = base.elapsed_ms;
+  report.original_output = base;
 
   auto cross = RunQuery(rewritten, catalog, executor, planner_options);
   if (!cross.ok()) {
@@ -41,6 +43,7 @@ Result<ParanoidReport> RunRewriteParanoid(
     report.output = std::move(base);
     return report;
   }
+  report.rewritten_ms = cross->elapsed_ms;
   if (cross->row_count != base.row_count ||
       cross->content_hash != base.content_hash) {
     SIA_COUNTER_INC("exec.paranoid.mismatch");

@@ -32,6 +32,14 @@ struct ParanoidReport {
   bool rewritten_failed = false;  // rewritten execution returned an error
   bool mismatch = false;          // rewritten result disagreed
   std::string note;               // why the rewrite was discarded, if so
+  // Per-side wall-clock times, for promotion evidence (a rewrite must
+  // win on measured runtime, not just match digests). rewritten_ms is 0
+  // when the rewritten side failed before producing an output.
+  double original_ms = 0.0;
+  double rewritten_ms = 0.0;
+  // The original plan's result, always populated — callers that shadow a
+  // quarantined rewrite serve this one regardless of the cross-check.
+  QueryOutput original_output;
 };
 
 // Paranoid mode: executes BOTH the original and the rewritten query and

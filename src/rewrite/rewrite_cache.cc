@@ -1,6 +1,22 @@
 #include "rewrite/rewrite_cache.h"
 
+#include "obs/metrics.h"
+
 namespace sia {
+
+const char* EntryStateName(EntryState state) {
+  switch (state) {
+    case EntryState::kSynthesizing:
+      return "synthesizing";
+    case EntryState::kQuarantined:
+      return "quarantined";
+    case EntryState::kPromoted:
+      return "promoted";
+    case EntryState::kDemoted:
+      return "demoted";
+  }
+  return "?";
+}
 
 std::string RewriteCache::MakeKey(const ExprPtr& bound_predicate,
                                   const std::vector<size_t>& cols) {
@@ -33,9 +49,187 @@ void RewriteCache::Insert(const ExprPtr& bound_predicate,
   entries_[key] = std::move(entry);
 }
 
+ServingDecision RewriteCache::Decide(const ExprPtr& bound_predicate,
+                                     const std::vector<size_t>& cols,
+                                     const PromotionPolicy& policy,
+                                     bool shadow_sampled, int64_t now_ms) {
+  const std::string key = MakeKey(bound_predicate, cols);
+  ServingDecision decision;
+  MutexLock lock(&mutex_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    // A legacy single-flight leader may be synthesizing this key right
+    // now; let it publish rather than double-queueing the work.
+    if (!inflight_.contains(key)) {
+      Entry marker;
+      marker.state = EntryState::kSynthesizing;
+      marker.predicate = nullptr;
+      entries_[key] = std::move(marker);
+      decision.enqueue = true;
+    }
+    decision.state = EntryState::kSynthesizing;
+    return decision;
+  }
+  ++hits_;
+  Entry& entry = it->second;
+  decision.state = entry.state;
+  switch (entry.state) {
+    case EntryState::kSynthesizing:
+      break;  // background job owns the key; serve the original
+    case EntryState::kQuarantined:
+      // Gather evidence: a sampled request paranoid-runs the candidate
+      // rewrite but still serves the original's digests.
+      if (shadow_sampled && entry.predicate != nullptr && !entry.poisoned) {
+        decision.shadow = true;
+        decision.predicate = entry.predicate;
+        decision.rung = entry.rung;
+      }
+      break;
+    case EntryState::kPromoted:
+      if (entry.predicate != nullptr) {
+        decision.serve_rewrite = true;
+        decision.predicate = entry.predicate;
+        decision.rung = entry.rung;
+        // Regression watch: sampled promoted serves stay cross-checked.
+        decision.shadow = shadow_sampled;
+      }
+      // Null predicate: a verified "nothing to learn"; the original is
+      // the promoted answer.
+      break;
+    case EntryState::kDemoted:
+      if (!entry.poisoned &&
+          now_ms - entry.demoted_at_ms >= policy.demote_ttl_ms) {
+        // TTL expired: forget the failed attempt and re-learn.
+        Entry marker;
+        marker.state = EntryState::kSynthesizing;
+        entry = std::move(marker);
+        decision.state = EntryState::kSynthesizing;
+        decision.enqueue = true;
+        SIA_COUNTER_INC("rewrite.promote.requeued");
+      }
+      break;
+  }
+  return decision;
+}
+
+Status RewriteCache::CompleteSynthesis(const ExprPtr& bound_predicate,
+                                       const std::vector<size_t>& cols,
+                                       Entry entry) {
+  const std::string key = MakeKey(bound_predicate, cols);
+  MutexLock lock(&mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("synthesis marker vanished for key '" + key +
+                            "' (aborted or cleared)");
+  }
+  if (it->second.state != EntryState::kSynthesizing) {
+    return Status::InvalidArgument(
+        std::string("illegal transition: CompleteSynthesis on a ") +
+        EntryStateName(it->second.state) + " entry");
+  }
+  entry.state = entry.predicate != nullptr ? EntryState::kQuarantined
+                                           : EntryState::kPromoted;
+  entry.wins = 0;
+  entry.losses = 0;
+  entry.shadow_runs = 0;
+  entry.poisoned = false;
+  it->second = std::move(entry);
+  return Status::OK();
+}
+
+void RewriteCache::AbortSynthesis(const ExprPtr& bound_predicate,
+                                  const std::vector<size_t>& cols) {
+  const std::string key = MakeKey(bound_predicate, cols);
+  MutexLock lock(&mutex_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.state == EntryState::kSynthesizing) {
+    entries_.erase(it);
+  }
+}
+
+Result<EntryState> RewriteCache::RecordShadow(const ExprPtr& bound_predicate,
+                                              const std::vector<size_t>& cols,
+                                              const ShadowOutcome& outcome,
+                                              const PromotionPolicy& policy,
+                                              int64_t now_ms) {
+  const std::string key = MakeKey(bound_predicate, cols);
+  MutexLock lock(&mutex_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    return Status::NotFound("no entry to record shadow evidence against");
+  }
+  Entry& entry = it->second;
+  if (entry.state == EntryState::kSynthesizing) {
+    return Status::InvalidArgument(
+        "illegal transition: RecordShadow on a synthesizing entry");
+  }
+  ++entry.shadow_runs;
+  SIA_COUNTER_INC("rewrite.promote.shadow_runs");
+
+  if (outcome.mismatch) {
+    // A wrong rewrite slipped through verification: evict it and
+    // quarantine the entry permanently. The paranoid runner already
+    // served the original's result, so no client saw the wrong answer.
+    SIA_COUNTER_INC("rewrite.promote.digest_mismatch");
+    if (entry.state == EntryState::kPromoted) {
+      SIA_COUNTER_INC("rewrite.promote.demoted");
+    }
+    entry.predicate = nullptr;
+    entry.poisoned = true;
+    entry.state = EntryState::kQuarantined;
+    return entry.state;
+  }
+
+  const bool win = !outcome.rewrite_failed &&
+                   outcome.rewritten_ms <=
+                       outcome.original_ms * policy.win_factor +
+                           policy.win_slack_ms;
+  if (win) {
+    ++entry.wins;
+    SIA_COUNTER_INC("rewrite.promote.wins");
+    if (entry.state == EntryState::kQuarantined && !entry.poisoned &&
+        entry.wins >= policy.promote_after) {
+      entry.state = EntryState::kPromoted;
+      SIA_COUNTER_INC("rewrite.promote.promoted");
+    }
+  } else {
+    ++entry.losses;
+    SIA_COUNTER_INC("rewrite.promote.losses");
+    if ((entry.state == EntryState::kPromoted ||
+         entry.state == EntryState::kQuarantined) &&
+        entry.losses >= policy.demote_after) {
+      if (entry.state == EntryState::kPromoted) {
+        SIA_COUNTER_INC("rewrite.promote.demoted");
+      }
+      entry.state = EntryState::kDemoted;
+      entry.demoted_at_ms = now_ms;
+    }
+  }
+  return entry.state;
+}
+
 RewriteCache::Stats RewriteCache::stats() const {
   MutexLock lock(&mutex_);
-  return Stats{hits_, misses_, entries_.size(), coalesced_};
+  Stats out{hits_, misses_, entries_.size(), coalesced_};
+  for (const auto& [key, entry] : entries_) {
+    switch (entry.state) {
+      case EntryState::kSynthesizing:
+        ++out.synthesizing;
+        break;
+      case EntryState::kQuarantined:
+        ++out.quarantined;
+        break;
+      case EntryState::kPromoted:
+        ++out.promoted;
+        break;
+      case EntryState::kDemoted:
+        ++out.demoted;
+        break;
+    }
+    if (entry.poisoned) ++out.poisoned;
+  }
+  return out;
 }
 
 void RewriteCache::Clear() {

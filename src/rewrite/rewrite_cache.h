@@ -17,6 +17,78 @@
 
 namespace sia {
 
+// Lifecycle of a cache entry under the online learning loop (see
+// DESIGN.md "Online learning loop" for the transition table):
+//
+//   (absent) --Decide miss--> kSynthesizing --CompleteSynthesis-->
+//   kQuarantined --RecordShadow wins>=K--> kPromoted
+//
+// kSynthesizing   a background job owns the key; serve the original.
+//                 AbortSynthesis (crash / drop / drain) erases the
+//                 marker so the key is re-queueable, never wedged.
+// kQuarantined    synthesized and paranoid-checkable, but not yet
+//                 evidence-backed; serve the original, shadow-sample
+//                 the rewrite to gather win/loss evidence.
+// kPromoted       earned trust: serve the rewrite (still shadow-sampled
+//                 for regression detection). Entries with a null
+//                 predicate ("nothing to learn") promote immediately —
+//                 the original IS the right answer.
+// kDemoted        lost trust on measured regressions; serve the
+//                 original until demote_ttl_ms passes, then the key is
+//                 re-queued for a fresh synthesis.
+//
+// A shadow digest mismatch poisons the entry: the predicate is evicted
+// and the entry is quarantined permanently (no TTL resurrection, never
+// promoted again) — a wrong rewrite gets exactly zero more chances.
+enum class EntryState {
+  kSynthesizing = 0,
+  kQuarantined,
+  kPromoted,
+  kDemoted,
+};
+
+const char* EntryStateName(EntryState state);
+
+// Evidence thresholds for the promote/demote state machine. Carried by
+// the caller (service/server flags --promote-after, --demote-after,
+// --shadow-sample-rate) and passed into Decide/RecordShadow.
+struct PromotionPolicy {
+  // Shadow wins required to promote a quarantined entry.
+  int promote_after = 3;
+  // Shadow losses that demote (quarantined or promoted) an entry.
+  int demote_after = 3;
+  // Fraction of requests on shadow-eligible entries that run the
+  // paranoid cross-check; sampling itself is the caller's job.
+  double shadow_sample_rate = 0.1;
+  // How long a demoted entry serves the original before the key is
+  // re-queued for synthesis.
+  int64_t demote_ttl_ms = 60000;
+  // A shadow run is a win when
+  //   rewritten_ms <= original_ms * win_factor + win_slack_ms.
+  // The slack keeps sub-millisecond runtimes at small scale factors
+  // from turning timer noise into losses.
+  double win_factor = 1.25;
+  double win_slack_ms = 2.0;
+};
+
+// What the serving path should do for one request, per Decide().
+struct ServingDecision {
+  bool serve_rewrite = false;  // conjoin `predicate` (kPromoted only)
+  bool enqueue = false;        // caller should enqueue background synthesis
+  bool shadow = false;         // caller should paranoid-run + RecordShadow
+  EntryState state = EntryState::kSynthesizing;
+  ExprPtr predicate;           // non-null when serve_rewrite or shadow
+  int rung = 3;                // RewriteRung ordinal; 3 == kOriginal
+};
+
+// One shadow (paranoid cross-checked) execution's evidence.
+struct ShadowOutcome {
+  bool mismatch = false;        // digests disagreed: poison the entry
+  bool rewrite_failed = false;  // rewritten side errored: counts as a loss
+  double original_ms = 0;
+  double rewritten_ms = 0;
+};
+
 // Cache of synthesis results keyed by (predicate, Cols') — the paper's
 // §6.2 deployment mode: production queries are dominated by stored
 // procedures that are "optimized only once and their query execution
@@ -29,6 +101,15 @@ namespace sia {
 // key concurrently, exactly one runs synthesize() while the others block
 // on the in-flight entry and are served its result — never N CEGIS runs
 // for one key, and never a last-writer-wins insert race.
+//
+// Two serving modes share this store and must not be mixed on one cache
+// instance:
+//  * Synchronous (GetOrSynthesize): the ladder runs on the calling
+//    thread; entries are inserted fully trusted (kPromoted) because the
+//    caller conjoined the predicate it just synthesized and validated.
+//  * Background (Decide / CompleteSynthesis / AbortSynthesis /
+//    RecordShadow): the serving path never synthesizes; entries climb
+//    the EntryState machine on measured evidence.
 class RewriteCache {
  public:
   struct Entry {
@@ -38,6 +119,17 @@ class RewriteCache {
     // the entry; stored as an int because that enum lives above this
     // header in the layering. 3 == kOriginal (no rewrite).
     int rung = 3;
+    // --- online learning loop state (background mode only) ---
+    // Synchronous inserts default to kPromoted: the sync path trusts
+    // the ladder it just ran, exactly as it did before states existed.
+    EntryState state = EntryState::kPromoted;
+    int wins = 0;
+    int losses = 0;
+    int shadow_runs = 0;
+    // A shadow digest mismatch happened: the predicate was evicted and
+    // this entry can never be promoted or re-queued again.
+    bool poisoned = false;
+    int64_t demoted_at_ms = 0;  // stamp for the kDemoted TTL
   };
 
   struct Stats {
@@ -48,6 +140,12 @@ class RewriteCache {
     // flight, blocked on it, and were served its result without running
     // their own (each such wait also counts as a hit once served).
     size_t coalesced = 0;
+    // Per-state entry counts (background mode).
+    size_t synthesizing = 0;
+    size_t quarantined = 0;
+    size_t promoted = 0;
+    size_t demoted = 0;
+    size_t poisoned = 0;
   };
 
   // Returns the cached entry, or nullopt on miss. Does not wait for
@@ -60,6 +158,50 @@ class RewriteCache {
   void Insert(const ExprPtr& bound_predicate,
               const std::vector<size_t>& cols, Entry entry)
       SIA_EXCLUDES(mutex_);
+
+  // --- Background (online learning) mode -------------------------------
+
+  // One serving-path consultation; never blocks on synthesis. On a miss
+  // (or an expired kDemoted TTL) it inserts a kSynthesizing marker and
+  // asks the caller to enqueue a background job — the marker is what
+  // dedups concurrent misses: exactly one caller sees enqueue == true
+  // per key. `shadow_sampled` is the caller's coin flip; Decide turns it
+  // into shadow == true only for entries that can use evidence.
+  // `now_ms` is any monotonic millisecond clock (injected for TTL
+  // testability).
+  ServingDecision Decide(const ExprPtr& bound_predicate,
+                         const std::vector<size_t>& cols,
+                         const PromotionPolicy& policy, bool shadow_sampled,
+                         int64_t now_ms) SIA_EXCLUDES(mutex_);
+
+  // Publishes a finished background synthesis: kSynthesizing →
+  // kQuarantined (entries with a learned predicate) or kPromoted
+  // (nothing to learn — serving the original is the verified answer).
+  // Any other current state is an illegal transition and returns
+  // kInvalidArgument; a vanished marker returns kNotFound (the job was
+  // aborted or the cache cleared while it ran).
+  [[nodiscard]] Status CompleteSynthesis(const ExprPtr& bound_predicate,
+                                         const std::vector<size_t>& cols,
+                                         Entry entry) SIA_EXCLUDES(mutex_);
+
+  // Releases a kSynthesizing marker without publishing — the crashed /
+  // dropped / drained background job path. The key becomes re-queueable
+  // (the next Decide miss enqueues again); entries in any other state
+  // are left untouched.
+  void AbortSynthesis(const ExprPtr& bound_predicate,
+                      const std::vector<size_t>& cols) SIA_EXCLUDES(mutex_);
+
+  // Folds one shadow execution's evidence into the entry and returns the
+  // resulting state. Promotion: a quarantined, unpoisoned entry reaching
+  // policy.promote_after wins. Demotion: policy.demote_after losses
+  // (stamped with now_ms for the TTL). A digest mismatch poisons the
+  // entry permanently and evicts its predicate. Recording against a
+  // missing entry returns kNotFound; against a kSynthesizing marker,
+  // kInvalidArgument (there is no predicate to have shadowed).
+  [[nodiscard]] Result<EntryState> RecordShadow(
+      const ExprPtr& bound_predicate, const std::vector<size_t>& cols,
+      const ShadowOutcome& outcome, const PromotionPolicy& policy,
+      int64_t now_ms) SIA_EXCLUDES(mutex_);
 
   // Looks up, and on a miss runs `synthesize()` — at most once per key
   // across all concurrent callers — and caches its result. `synthesize`
@@ -135,7 +277,8 @@ class RewriteCache {
 
   // Leaf lock; never held across a synthesize() call (the single-flight
   // protocol releases it around the CEGIS run and retakes it to
-  // publish), so a slow solver cannot serialize unrelated lookups.
+  // publish), so a slow solver cannot serialize unrelated lookups. The
+  // obs registry lock may be taken under it (promotion counters).
   mutable Mutex mutex_;
   CondVar inflight_cv_;
   std::map<std::string, Entry> entries_ SIA_GUARDED_BY(mutex_);

@@ -92,195 +92,38 @@ Result<RewriteOutcome> RewriteQueryImpl(const ParsedQuery& query,
   RewriteOutcome outcome;
   outcome.rewritten = query;
 
-  if (query.where == nullptr) {
-    return outcome;  // nothing to synthesize from
+  SIA_ASSIGN_OR_RETURN(RewriteKey key, MakeRewriteKey(query, catalog, options));
+  if (!key.synthesizable) {
+    return outcome;  // nothing to synthesize from; serve the original
   }
-  const bool has_target =
-      std::any_of(query.tables.begin(), query.tables.end(),
-                  [&](const std::string& t) {
-                    return EqualsIgnoreCase(t, options.target_table);
-                  });
-  if (!has_target) {
-    return Status::InvalidArgument("target table '" + options.target_table +
-                                   "' is not in the query's FROM list");
-  }
+  const ExprPtr& bound = key.bound;
+  const Schema& joint = key.joint;
+  const std::vector<size_t>& cols = key.cols;
 
-  SIA_ASSIGN_OR_RETURN(Schema joint, catalog.JointSchema(query.tables));
-  SIA_ASSIGN_OR_RETURN(ExprPtr bound, Bind(query.where, joint));
-  SIA_RETURN_IF_ERROR(
-      CheckBoundPredicate(bound, joint, "bound WHERE clause"));
-
-  // Determine Cols': explicit list, or every referenced target column.
-  std::vector<size_t> cols;
-  if (!options.target_columns.empty()) {
-    for (const std::string& name : options.target_columns) {
-      const auto idx = joint.FindColumn(name);
-      if (!idx.has_value()) {
-        return Status::NotFound("target column not found: '" + name + "'");
-      }
-      cols.push_back(*idx);
+  // Folds a finished ladder run into the outcome.
+  auto adopt_run = [&](LadderRun run) {
+    outcome.synthesis = std::move(run.synthesis);
+    outcome.learned = run.learned;
+    outcome.rung = run.rung;
+    outcome.degradation = std::move(run.degradation);
+    if (outcome.learned != nullptr) {
+      outcome.rewritten.where =
+          Expr::Logic(LogicOp::kAnd, query.where, outcome.learned);
     }
-    std::sort(cols.begin(), cols.end());
-    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
-  } else {
-    const std::set<size_t> join_keys = JoinKeyOnlyColumns(bound, joint);
-    for (const size_t c : CollectColumnIndices(bound)) {
-      if (EqualsIgnoreCase(joint.column(c).table, options.target_table) &&
-          !join_keys.contains(c)) {
-        cols.push_back(c);
-      }
-    }
-  }
-  if (cols.empty()) {
-    return outcome;  // predicate does not touch the target table
-  }
-
-  // The predicate must actually constrain columns beyond Cols' for the
-  // reduction to be interesting; if it already only uses Cols', the
-  // pushdown rule applies as-is and Sia has nothing to add.
-  const std::vector<size_t> used = CollectColumnIndices(bound);
-  if (used.size() == cols.size()) {
-    return outcome;
-  }
-
-  SynthesisOptions base_opts = options.synthesis;
-  base_opts.deadline = Deadline::Earlier(base_opts.deadline, options.deadline);
-
-  // Adopts a validated predicate as the final outcome.
-  auto adopt = [&](SynthesisResult synth, RewriteRung rung) {
-    outcome.synthesis = std::move(synth);
-    outcome.learned = outcome.synthesis.predicate;
-    outcome.rung = rung;
-    outcome.rewritten.where =
-        Expr::Logic(LogicOp::kAnd, query.where, outcome.learned);
-  };
-
-  // Snapshot of the parts of `outcome` worth caching under
-  // (bound, cols); stats and degradation notes stay with this call.
-  auto make_entry = [&]() {
-    RewriteCache::Entry entry;
-    entry.status = outcome.synthesis.status;
-    entry.predicate = outcome.learned;
-    entry.rung = static_cast<int>(outcome.rung);
-    return entry;
   };
 
   // The degradation ladder, filling `outcome` as it goes and returning
   // the cacheable entry. Runs directly, or as the single-flight miss
   // callback when options.cache is set.
   auto run_ladder = [&]() -> Result<RewriteCache::Entry> {
-    // --- Rungs 1-2: CEGIS synthesis, then a reseeded retry with halved
-    // budgets ---
-    struct RungPlan {
-      RewriteRung rung;
-      SynthesisOptions opts;
-    };
-    std::vector<RungPlan> plans;
-    plans.push_back({RewriteRung::kFull, base_opts});
-    if (options.enable_retry) {
-      SynthesisOptions retry = base_opts;
-      // A different solver seed explores a different sample trajectory;
-      // halved per-call caps and iteration count keep the retry from
-      // doubling the worst-case latency.
-      retry.samples.random_seed = base_opts.samples.random_seed + 0x9e37;
-      retry.samples.solver_timeout_ms =
-          std::max<uint32_t>(1, base_opts.samples.solver_timeout_ms / 2);
-      retry.verify.solver_timeout_ms =
-          std::max<uint32_t>(1, base_opts.verify.solver_timeout_ms / 2);
-      retry.max_iterations = std::max(1, base_opts.max_iterations / 2);
-      plans.push_back({RewriteRung::kRetry, retry});
-    }
-
-    for (const RungPlan& plan : plans) {
-      if (plan.rung != RewriteRung::kFull && base_opts.deadline.expired()) {
-        SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
-        outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
-                                      " rung skipped: deadline exhausted");
-        break;
-      }
-      obs::TraceSpan rung_span(plan.rung == RewriteRung::kFull
-                                   ? "rewrite.rung.full"
-                                   : "rewrite.rung.retry");
-      auto synth = Synthesize(bound, joint, cols, plan.opts);
-      if (!synth.ok()) {
-        if (!IsDegradable(synth.status())) return synth.status();
-        SIA_COUNTER_INC("rewrite.degraded.synthesis_failed");
-        outcome.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
-                                      " synthesis failed: " +
-                                      synth.status().ToString());
-        continue;
-      }
-      if (synth->has_predicate()) {
-        const Status valid = ValidateLearned(synth->predicate, joint);
-        if (!valid.ok()) {
-          SIA_COUNTER_INC("rewrite.degraded.predicate_discarded");
-          outcome.degradation.push_back(
-              std::string(RewriteRungName(plan.rung)) +
-              " predicate discarded: " + valid.ToString());
-          continue;
-        }
-        adopt(std::move(*synth), plan.rung);
-        return make_entry();
-      }
-      if (!synth->solver_gave_up && !synth->deadline_expired) {
-        // Legitimate kNone: the query is not symbolically relevant. No
-        // lower rung can do better, so this is not a degradation — keep
-        // the original plan and stop.
-        outcome.synthesis = std::move(*synth);
-        return make_entry();
-      }
-      SIA_COUNTER_INC("rewrite.degraded.gave_up");
-      outcome.degradation.push_back(
-          std::string(RewriteRungName(plan.rung)) + " synthesis gave up" +
-          (synth->deadline_expired
-               ? " (deadline expired in '" + synth->timeout_stage + "')"
-               : ""));
-      outcome.synthesis = std::move(*synth);  // keep the richest record
-    }
-
-    // --- Rung 3: exact single-column interval synthesis. Much cheaper
-    // than the learning loop (two OMT queries per column) and immune to
-    // SVM/learner faults, at the cost of single-column box predicates. ---
-    if (options.enable_interval_fallback) {
-      SIA_TRACE_SPAN("rewrite.rung.interval");
-      for (const size_t c : cols) {
-        if (base_opts.deadline.expired()) {
-          SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
-          outcome.degradation.push_back(
-              "interval rung skipped: deadline exhausted");
-          break;
-        }
-        const DataType type = joint.column(c).type;
-        if (!IsIntegral(type) || type == DataType::kBoolean) continue;
-        IntervalOptions iopts;
-        iopts.solver_timeout_ms = base_opts.samples.solver_timeout_ms;
-        iopts.deadline = base_opts.deadline;
-        auto iv = SynthesizeInterval(bound, joint, c, iopts);
-        if (!iv.ok()) {
-          if (!IsDegradable(iv.status())) return iv.status();
-          SIA_COUNTER_INC("rewrite.degraded.interval_failed");
-          outcome.degradation.push_back(
-              "interval synthesis on '" + joint.column(c).QualifiedName() +
-              "' failed: " + iv.status().ToString());
-          continue;
-        }
-        if (!iv->has_predicate()) continue;
-        const Status valid = ValidateLearned(iv->predicate, joint);
-        if (!valid.ok()) {
-          SIA_COUNTER_INC("rewrite.degraded.interval_discarded");
-          outcome.degradation.push_back(
-              "interval predicate on '" + joint.column(c).QualifiedName() +
-              "' discarded: " + valid.ToString());
-          continue;
-        }
-        adopt(std::move(*iv), RewriteRung::kInterval);
-        return make_entry();
-      }
-    }
-
-    // --- Rung 4: every rung failed — run the original query unchanged.
-    // outcome.rung stays kOriginal and `degradation` says why. ---
-    return make_entry();
+    SIA_ASSIGN_OR_RETURN(LadderRun run,
+                         RunSynthesisLadder(bound, joint, cols, options));
+    adopt_run(std::move(run));
+    RewriteCache::Entry entry;
+    entry.status = outcome.synthesis.status;
+    entry.predicate = outcome.learned;
+    entry.rung = static_cast<int>(outcome.rung);
+    return entry;
   };
 
   if (options.cache != nullptr) {
@@ -318,6 +161,195 @@ Result<RewriteOutcome> RewriteQueryImpl(const ParsedQuery& query,
 }
 
 }  // namespace
+
+Result<RewriteKey> MakeRewriteKey(const ParsedQuery& query,
+                                  const Catalog& catalog,
+                                  const RewriteOptions& options) {
+  RewriteKey key;
+
+  if (query.where == nullptr) {
+    return key;  // nothing to synthesize from
+  }
+  const bool has_target =
+      std::any_of(query.tables.begin(), query.tables.end(),
+                  [&](const std::string& t) {
+                    return EqualsIgnoreCase(t, options.target_table);
+                  });
+  if (!has_target) {
+    return Status::InvalidArgument("target table '" + options.target_table +
+                                   "' is not in the query's FROM list");
+  }
+
+  SIA_ASSIGN_OR_RETURN(key.joint, catalog.JointSchema(query.tables));
+  SIA_ASSIGN_OR_RETURN(ExprPtr bound, Bind(query.where, key.joint));
+  SIA_RETURN_IF_ERROR(
+      CheckBoundPredicate(bound, key.joint, "bound WHERE clause"));
+
+  // Determine Cols': explicit list, or every referenced target column.
+  std::vector<size_t> cols;
+  if (!options.target_columns.empty()) {
+    for (const std::string& name : options.target_columns) {
+      const auto idx = key.joint.FindColumn(name);
+      if (!idx.has_value()) {
+        return Status::NotFound("target column not found: '" + name + "'");
+      }
+      cols.push_back(*idx);
+    }
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  } else {
+    const std::set<size_t> join_keys = JoinKeyOnlyColumns(bound, key.joint);
+    for (const size_t c : CollectColumnIndices(bound)) {
+      if (EqualsIgnoreCase(key.joint.column(c).table, options.target_table) &&
+          !join_keys.contains(c)) {
+        cols.push_back(c);
+      }
+    }
+  }
+  if (cols.empty()) {
+    return key;  // predicate does not touch the target table
+  }
+
+  // The predicate must actually constrain columns beyond Cols' for the
+  // reduction to be interesting; if it already only uses Cols', the
+  // pushdown rule applies as-is and Sia has nothing to add.
+  const std::vector<size_t> used = CollectColumnIndices(bound);
+  if (used.size() == cols.size()) {
+    return key;
+  }
+
+  key.bound = std::move(bound);
+  key.cols = std::move(cols);
+  key.synthesizable = true;
+  return key;
+}
+
+Result<LadderRun> RunSynthesisLadder(const ExprPtr& bound, const Schema& joint,
+                                     const std::vector<size_t>& cols,
+                                     const RewriteOptions& options) {
+  LadderRun run;
+
+  SynthesisOptions base_opts = options.synthesis;
+  base_opts.deadline = Deadline::Earlier(base_opts.deadline, options.deadline);
+
+  // Adopts a validated predicate as the final run.
+  auto adopt = [&](SynthesisResult synth, RewriteRung rung) {
+    run.synthesis = std::move(synth);
+    run.learned = run.synthesis.predicate;
+    run.rung = rung;
+  };
+
+  // --- Rungs 1-2: CEGIS synthesis, then a reseeded retry with halved
+  // budgets ---
+  struct RungPlan {
+    RewriteRung rung;
+    SynthesisOptions opts;
+  };
+  std::vector<RungPlan> plans;
+  plans.push_back({RewriteRung::kFull, base_opts});
+  if (options.enable_retry) {
+    SynthesisOptions retry = base_opts;
+    // A different solver seed explores a different sample trajectory;
+    // halved per-call caps and iteration count keep the retry from
+    // doubling the worst-case latency.
+    retry.samples.random_seed = base_opts.samples.random_seed + 0x9e37;
+    retry.samples.solver_timeout_ms =
+        std::max<uint32_t>(1, base_opts.samples.solver_timeout_ms / 2);
+    retry.verify.solver_timeout_ms =
+        std::max<uint32_t>(1, base_opts.verify.solver_timeout_ms / 2);
+    retry.max_iterations = std::max(1, base_opts.max_iterations / 2);
+    plans.push_back({RewriteRung::kRetry, retry});
+  }
+
+  for (const RungPlan& plan : plans) {
+    if (plan.rung != RewriteRung::kFull && base_opts.deadline.expired()) {
+      SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
+      run.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                " rung skipped: deadline exhausted");
+      break;
+    }
+    obs::TraceSpan rung_span(plan.rung == RewriteRung::kFull
+                                 ? "rewrite.rung.full"
+                                 : "rewrite.rung.retry");
+    auto synth = Synthesize(bound, joint, cols, plan.opts);
+    if (!synth.ok()) {
+      if (!IsDegradable(synth.status())) return synth.status();
+      SIA_COUNTER_INC("rewrite.degraded.synthesis_failed");
+      run.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                " synthesis failed: " +
+                                synth.status().ToString());
+      continue;
+    }
+    if (synth->has_predicate()) {
+      const Status valid = ValidateLearned(synth->predicate, joint);
+      if (!valid.ok()) {
+        SIA_COUNTER_INC("rewrite.degraded.predicate_discarded");
+        run.degradation.push_back(std::string(RewriteRungName(plan.rung)) +
+                                  " predicate discarded: " + valid.ToString());
+        continue;
+      }
+      adopt(std::move(*synth), plan.rung);
+      return run;
+    }
+    if (!synth->solver_gave_up && !synth->deadline_expired) {
+      // Legitimate kNone: the query is not symbolically relevant. No
+      // lower rung can do better, so this is not a degradation — keep
+      // the original plan and stop.
+      run.synthesis = std::move(*synth);
+      return run;
+    }
+    SIA_COUNTER_INC("rewrite.degraded.gave_up");
+    run.degradation.push_back(
+        std::string(RewriteRungName(plan.rung)) + " synthesis gave up" +
+        (synth->deadline_expired
+             ? " (deadline expired in '" + synth->timeout_stage + "')"
+             : ""));
+    run.synthesis = std::move(*synth);  // keep the richest record
+  }
+
+  // --- Rung 3: exact single-column interval synthesis. Much cheaper
+  // than the learning loop (two OMT queries per column) and immune to
+  // SVM/learner faults, at the cost of single-column box predicates. ---
+  if (options.enable_interval_fallback) {
+    SIA_TRACE_SPAN("rewrite.rung.interval");
+    for (const size_t c : cols) {
+      if (base_opts.deadline.expired()) {
+        SIA_COUNTER_INC("rewrite.degraded.rung_skipped_deadline");
+        run.degradation.push_back("interval rung skipped: deadline exhausted");
+        break;
+      }
+      const DataType type = joint.column(c).type;
+      if (!IsIntegral(type) || type == DataType::kBoolean) continue;
+      IntervalOptions iopts;
+      iopts.solver_timeout_ms = base_opts.samples.solver_timeout_ms;
+      iopts.deadline = base_opts.deadline;
+      auto iv = SynthesizeInterval(bound, joint, c, iopts);
+      if (!iv.ok()) {
+        if (!IsDegradable(iv.status())) return iv.status();
+        SIA_COUNTER_INC("rewrite.degraded.interval_failed");
+        run.degradation.push_back(
+            "interval synthesis on '" + joint.column(c).QualifiedName() +
+            "' failed: " + iv.status().ToString());
+        continue;
+      }
+      if (!iv->has_predicate()) continue;
+      const Status valid = ValidateLearned(iv->predicate, joint);
+      if (!valid.ok()) {
+        SIA_COUNTER_INC("rewrite.degraded.interval_discarded");
+        run.degradation.push_back(
+            "interval predicate on '" + joint.column(c).QualifiedName() +
+            "' discarded: " + valid.ToString());
+        continue;
+      }
+      adopt(std::move(*iv), RewriteRung::kInterval);
+      return run;
+    }
+  }
+
+  // --- Rung 4: every rung failed — run the original query unchanged.
+  // run.rung stays kOriginal and `degradation` says why. ---
+  return run;
+}
 
 Result<RewriteOutcome> RewriteQuery(const ParsedQuery& query,
                                     const Catalog& catalog,

@@ -81,6 +81,45 @@ struct RewriteOutcome {
   bool changed() const { return learned != nullptr; }
 };
 
+// The cache coordinates of one query: the WHERE clause bound against the
+// joint FROM schema plus the derived target-column set Cols'. This is
+// everything the serving path needs to consult the RewriteCache (and
+// everything a background job needs to synthesize for the key) without
+// running any synthesis itself.
+struct RewriteKey {
+  ExprPtr bound;             // bound WHERE clause; null when !synthesizable
+  std::vector<size_t> cols;  // Cols' (column indices into `joint`)
+  Schema joint;
+  // False when there is nothing to synthesize for this query (no WHERE,
+  // no target-table columns in it, or the predicate already only uses
+  // Cols'). `bound`/`cols` are meaningless then; serve the original.
+  bool synthesizable = false;
+};
+
+// Computes the rewrite-cache key for `query` without synthesizing.
+// Errors mirror RewriteQuery's input validation (missing target table,
+// unbound columns, unknown explicit target columns).
+[[nodiscard]] Result<RewriteKey> MakeRewriteKey(const ParsedQuery& query,
+                                                const Catalog& catalog,
+                                                const RewriteOptions& options);
+
+// One full run of the degradation ladder for an already-computed key.
+struct LadderRun {
+  SynthesisResult synthesis;  // record of the rung that produced the run
+  ExprPtr learned;            // null when nothing was learned
+  RewriteRung rung = RewriteRung::kOriginal;
+  std::vector<std::string> degradation;
+};
+
+// Runs the full degradation ladder (CEGIS → reseeded retry → interval
+// fallback) for one key, honoring options.deadline — the background
+// synthesizer's entry point, also the core of RewriteQuery. Never fails
+// a query for synthesis trouble; non-degradable errors (malformed
+// input) still surface.
+[[nodiscard]] Result<LadderRun> RunSynthesisLadder(
+    const ExprPtr& bound, const Schema& joint,
+    const std::vector<size_t>& cols, const RewriteOptions& options);
+
 // Rewrites `query` (which must reference `options.target_table` in FROM).
 // Returns the outcome even when no predicate could be learned (status
 // kNone, rewritten == query); errors indicate malformed input.

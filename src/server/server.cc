@@ -47,6 +47,19 @@ struct LingeringConn {
 
 }  // namespace
 
+int64_t AdaptiveRetryHint(int64_t base_ms, size_t queue_len,
+                          size_t queue_depth, double recent_sheds) {
+  base_ms = std::max<int64_t>(1, base_ms);
+  const double fullness =
+      queue_depth == 0
+          ? 1.0
+          : static_cast<double>(queue_len) / static_cast<double>(queue_depth);
+  const double scaled =
+      static_cast<double>(base_ms) * (1.0 + fullness + recent_sheds);
+  const double cap = static_cast<double>(base_ms) * 32.0;
+  return static_cast<int64_t>(std::min(scaled, cap));
+}
+
 SiaServer::SiaServer(const ServerOptions& options)
     : options_(options),
       service_(options.service),
@@ -64,10 +77,18 @@ Result<std::unique_ptr<SiaServer>> SiaServer::Start(
                        net::Listener::Bind(opts.host, opts.port));
   obs::SetGauge("server.queue.depth", 0);
   obs::SetGauge("server.inflight", 0);
-  // A pool of size N owns N-1 background workers; each worker loop
+  // A pool of size N owns N-1 pool threads; each serving worker loop
   // occupies one for the server's lifetime, and the caller's slot is
-  // never used (the acceptor is a dedicated thread).
-  server->pool_ = std::make_unique<ThreadPool>(opts.workers + 1);
+  // never used (the acceptor is a dedicated thread). The extra +1 pool
+  // thread is the background lane's slack: the serving loops pin their
+  // own threads, so without it low-priority tasks would wait for drain.
+  // Lane priority still holds — that thread takes any queued serving
+  // task first — and serving workers are never borrowed for synthesis.
+  server->pool_ = std::make_unique<ThreadPool>(opts.workers + 2);
+  // Background learning rides the same pool's low-priority lane: a
+  // bounded, droppable job queue that can never starve admitted
+  // requests.
+  server->service_.StartBackground(server->pool_.get());
   {
     MutexLock lock(&server->drain_mu_);
     server->live_workers_ = opts.workers;
@@ -87,6 +108,9 @@ SiaServer::~SiaServer() {
 
 void SiaServer::AcceptLoop() {
   std::vector<LingeringConn> lingering;
+  // Decaying shed pressure: +1 per shed, halved per successful
+  // admission. Acceptor-thread-only state, so no lock.
+  double recent_sheds = 0.0;
   // Sweeps the parked shed connections: discard whatever the refused
   // client sent, close on EOF or deadline. Runs at the accept loop's
   // heartbeat and never blocks (the sockets are non-blocking).
@@ -130,14 +154,20 @@ void SiaServer::AcceptLoop() {
     admitted.admit_us = SteadyMicros();
     if (!queue_.TryPush(std::move(admitted))) {
       // Load shed: refuse explicitly and immediately, before reading a
-      // single request byte, with a Retry-After hint. The connection
-      // then lingers half-closed so the refused client's own request
-      // write cannot RST the SHED frame out of its receive buffer.
+      // single request byte, with a Retry-After hint that scales with
+      // how overloaded we actually are — a fixed hint resynchronizes
+      // every refused client into the next burst. The connection then
+      // lingers half-closed so the refused client's own request write
+      // cannot RST the SHED frame out of its receive buffer.
       shed_.fetch_add(1, std::memory_order_relaxed);
       SIA_COUNTER_INC("server.requests.shed");
+      recent_sheds += 1.0;
+      const int64_t hint =
+          AdaptiveRetryHint(options_.retry_after_ms, queue_.size(),
+                            options_.queue_depth, recent_sheds);
+      obs::SetGauge("server.shed.retry_hint_ms", static_cast<double>(hint));
       if (admitted.conn
-              .SendFrame(FormatShed(options_.retry_after_ms),
-                         kBestEffortWriteMillis)
+              .SendFrame(FormatShed(hint), kBestEffortWriteMillis)
               .ok()) {
         admitted.conn.ShutdownWrite();
         if (lingering.size() >= kMaxLingering) {
@@ -147,6 +177,8 @@ void SiaServer::AcceptLoop() {
         lingering.push_back(
             {std::move(admitted.conn), SteadyMicros() + kLingerMillis * 1000});
       }
+    } else {
+      recent_sheds *= 0.5;
     }
   }
   // Remaining parked connections close when `lingering` goes out of
@@ -254,6 +286,11 @@ Status SiaServer::DrainAndStop() {
     // carries its own timeout, so this terminates).
     while (live_workers_ != 0) drain_cv_.Wait(&drain_mu_);
   }
+  // Background learning drains after the workers (no new jobs can arrive
+  // once every worker exited) and strictly before the pool dies: queued
+  // jobs are aborted back to re-queueable, the in-flight one — which is
+  // occupying a live pool worker — is waited out.
+  service_.DrainBackground();
   pool_.reset();
   drain_result_ = result;
   return result;

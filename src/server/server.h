@@ -46,10 +46,21 @@ struct ServerOptions {
   int64_t io_timeout_ms = 5000;
   // Graceful-drain budget for DrainAndStop().
   int64_t drain_deadline_ms = 10000;
-  // Retry-After hint carried in SHED responses.
+  // Base Retry-After hint carried in SHED responses. The hint actually
+  // sent scales with current pressure (see AdaptiveRetryHint); this is
+  // its floor.
   int64_t retry_after_ms = 100;
   ServiceOptions service;
 };
+
+// The Retry-After hint for one SHED response: the configured base scaled
+// by how full the admission queue is and by the acceptor's recent shed
+// pressure (a decaying count of sheds since the last successful
+// admission). Clamped to [base, 32*base] so a client backoff can trust
+// the hint's order of magnitude. Pure; the acceptor owns the pressure
+// accounting.
+int64_t AdaptiveRetryHint(int64_t base_ms, size_t queue_len,
+                          size_t queue_depth, double recent_sheds);
 
 // Monotonic request accounting, valid while the server runs and after it
 // stops. accepted == shed + completed + protocol_errors once drained.
@@ -72,6 +83,10 @@ class SiaServer {
 
   uint16_t port() const { return listener_.port(); }
 
+  // The serving brains; valid for the server's lifetime. Exposed so
+  // tests and tools can read cache/background state after a drain.
+  QueryService& service() { return service_; }
+
   // Stop accepting, refuse new admissions, finish all admitted requests.
   // Idempotent. Returns kTimeout when the backlog outlived
   // drain_deadline_ms; OK otherwise.
@@ -91,7 +106,9 @@ class SiaServer {
   QueryService service_;
   net::Listener listener_;
   AdmissionQueue queue_;
-  std::unique_ptr<ThreadPool> pool_;  // workers_ + 1 (caller-counting pool)
+  // workers + 2 (caller-counting pool): one pool thread per serving
+  // loop plus one left free for the low-priority background lane.
+  std::unique_ptr<ThreadPool> pool_;
   Thread acceptor_;
 
   std::atomic<bool> stopping_{false};

@@ -12,14 +12,18 @@
 // either immutable after construction (catalog, tables) or internally
 // synchronized (RewriteCache single-flight, Executor's shared pool).
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
 #include "catalog/catalog.h"
+#include "common/thread_pool.h"
 #include "engine/executor.h"
 #include "engine/tpch_gen.h"
+#include "rewrite/background_synthesizer.h"
 #include "rewrite/rewrite_cache.h"
 #include "rewrite/sia_rewriter.h"
 #include "server/protocol.h"
@@ -39,6 +43,22 @@ struct ServiceOptions {
   // rewritten query, reporting result digests in the response.
   double scale_factor = 0;
   uint64_t data_seed = 42;
+
+  // --- background learning loop ("never synthesize on the serving
+  // path") ------------------------------------------------------------
+  // When true (and StartBackground was called), a cache miss is answered
+  // immediately with the original query and the key is queued for
+  // background synthesis; entries then earn promotion on measured shadow
+  // evidence. When false, the legacy synchronous ladder runs on the
+  // serving path (sia_serve --sync-rewrite), which is what byte-exact
+  // digest comparisons against batch runs need.
+  bool background_learning = true;
+  int promote_after = 3;           // shadow wins required to promote
+  int demote_after = 3;            // shadow losses that demote
+  double shadow_sample_rate = 0.1; // fraction of eligible serves shadowed
+  int64_t demote_ttl_ms = 60000;   // demoted -> re-queue after this long
+  int64_t background_budget_ms = 2000;  // per-job synthesis budget
+  size_t background_queue_depth = 64;   // queued jobs beyond this drop
 };
 
 // Renders the protocol reply fields for a rewrite outcome. Shared with
@@ -54,9 +74,22 @@ QueryReply ReplyFromOutcome(const RewriteOutcome& outcome);
 class QueryService {
  public:
   explicit QueryService(const ServiceOptions& options);
+  ~QueryService();
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
+
+  // Turns the background learning loop on (when the options ask for it):
+  // misses stop synthesizing inline and enqueue onto `pool`'s background
+  // lane instead. `pool` may be null — a dedicated drainer thread is
+  // used then. Call before the first concurrent Handle(); the server
+  // calls it at startup.
+  void StartBackground(ThreadPool* pool);
+
+  // Stops the background lane: queued jobs are aborted (their keys
+  // become re-queueable), the in-flight one finishes. Idempotent; the
+  // server's drain path calls it before tearing down the pool.
+  void DrainBackground();
 
   // Serves one request; never throws and always returns a well-formed
   // response payload (failures become ERROR frames). `queue_us` is the
@@ -66,15 +99,39 @@ class QueryService {
   bool executes() const { return data_.has_value(); }
   const Catalog& catalog() const { return catalog_; }
   RewriteCache& cache() { return cache_; }
+  // Null until StartBackground; stable afterwards.
+  BackgroundSynthesizer* background() { return synthesizer_.get(); }
 
  private:
   std::string HandleQuery(const std::string& sql, int64_t queue_us);
+  // The background-learning serving path for a synthesizable query:
+  // consult the cache state machine, maybe enqueue, never synthesize.
+  std::string HandleQueryLearning(const ParsedQuery& parsed,
+                                  const RewriteKey& key, int64_t queue_us,
+                                  int64_t rewrite_start_us);
+  // Paranoid-executes `rewritten` against `original`, folds the evidence
+  // into the cache entry for (bound, cols), and fills `reply` with the
+  // servable digests (the rewrite's only when `serve_rewrite` and the
+  // cross-check passed; the original's otherwise).
+  [[nodiscard]] Status ShadowExecute(const ParsedQuery& original,
+                                     const ParsedQuery& rewritten,
+                                     bool serve_rewrite, const ExprPtr& bound,
+                                     const std::vector<size_t>& cols,
+                                     QueryReply* reply);
+  // Deterministic Bernoulli(shadow_sample_rate) over the request ticket
+  // sequence — no RNG state on the hot path.
+  bool SampleShadow();
 
   ServiceOptions options_;
+  PromotionPolicy policy_;
   Catalog catalog_;
   RewriteCache cache_;
   std::optional<TpchData> data_;
   Executor executor_;  // used only when data_ is populated
+  // Set once by StartBackground before concurrent serving, then only
+  // read — no lock needed on the request path.
+  std::unique_ptr<BackgroundSynthesizer> synthesizer_;
+  std::atomic<uint64_t> shadow_ticket_{0};
 };
 
 }  // namespace sia::server

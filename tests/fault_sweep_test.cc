@@ -12,8 +12,11 @@
 //    scripts/check.sh --fault-sweep): one pass over a larger workload
 //    with the environment's fault spec re-armed; SIA_SWEEP_QUERIES
 //    overrides the query count.
+#include <chrono>
 #include <cstdlib>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -26,6 +29,8 @@
 #include "engine/tpch_gen.h"
 #include "parser/parser.h"
 #include "rewrite/sia_rewriter.h"
+#include "server/protocol.h"
+#include "server/service.h"
 #include "workload/querygen.h"
 
 namespace sia {
@@ -200,6 +205,60 @@ TEST_F(FaultSweepTest, ParanoidModeDiscardsAWrongRewrite) {
   EXPECT_EQ(paranoid->output.content_hash, base->content_hash);
 }
 
+TEST_F(FaultSweepTest, BackgroundLearningNeverWedgesUnderFaults) {
+  // The background lane's robustness contract, per fault: every request
+  // is still answered OK with the same digests on every serve (clients
+  // never see a learning-loop failure), and after a drain no key is left
+  // wedged in kSynthesizing — a crashed job releases its marker and the
+  // key stays re-queueable.
+  server::ServiceOptions options;
+  options.scale_factor = 0.002;
+  options.max_iterations = 6;
+  options.background_learning = true;
+  options.shadow_sample_rate = 1.0;
+  options.promote_after = 1;
+  options.background_budget_ms = 5000;
+
+  auto queries = GenerateWorkload(catalog_, 3);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+
+  for (const char* spec : {"background.synth.crash=always",
+                           "background.synth.latency=latency:50",
+                           "promote.bad_rewrite=always"}) {
+    SCOPED_TRACE(spec);
+    FaultRegistry::Instance().DisarmAll();
+    ASSERT_TRUE(FaultRegistry::Instance().ArmFromSpec(spec).ok());
+
+    server::QueryService service(options);
+    service.StartBackground(nullptr);
+    std::vector<server::QueryReply> first(queries->size());
+    for (int pass = 0; pass < 3; ++pass) {
+      for (size_t i = 0; i < queries->size(); ++i) {
+        auto parsed = server::ParseResponse(
+            service.Handle("QUERY\n" + (*queries)[i].sql, 0));
+        ASSERT_TRUE(parsed.ok());
+        ASSERT_EQ(parsed->kind, server::ResponseKind::kOk)
+            << parsed->error.ToString();
+        ASSERT_TRUE(parsed->query.has_value());
+        if (pass == 0) {
+          first[i] = *parsed->query;
+          ASSERT_TRUE(first[i].executed);
+        } else {
+          EXPECT_EQ(parsed->query->rows, first[i].rows);
+          EXPECT_EQ(parsed->query->content_hash, first[i].content_hash);
+        }
+      }
+      // Let background jobs land between passes so later serves actually
+      // meet published (or force-promoted) entries.
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    service.DrainBackground();
+    EXPECT_EQ(service.cache().stats().synthesizing, 0u)
+        << "a key wedged in kSynthesizing";
+  }
+  FaultRegistry::Instance().DisarmAll();
+}
+
 TEST_F(FaultSweepTest, EnvArmedSweep) {
   const char* env = std::getenv("SIA_FAULTS");
   if (env == nullptr || env[0] == '\0') {
@@ -220,6 +279,62 @@ TEST_F(FaultSweepTest, EnvArmedSweep) {
   ASSERT_TRUE(FaultRegistry::Instance().ArmFromSpec(env).ok())
       << "bad SIA_FAULTS: " << env;
   SweepPass(*queries, baselines, std::string("env:") + env);
+}
+
+TEST_F(FaultSweepTest, BackgroundLearningEnvArmedSweep) {
+  // The background-learning serving loop under the environment's fault
+  // spec (scripts/check.sh --fault-sweep drives every known point
+  // through here): requests either succeed with digests identical to
+  // their first serve or surface the injected failure as a clean ERROR
+  // frame, and a drain leaves no key wedged in kSynthesizing.
+  const char* env = std::getenv("SIA_FAULTS");
+  if (env == nullptr || env[0] == '\0') {
+    GTEST_SKIP() << "SIA_FAULTS not set";
+  }
+
+  server::ServiceOptions options;
+  options.scale_factor = 0.002;
+  options.max_iterations = 6;
+  options.background_learning = true;
+  options.shadow_sample_rate = 1.0;
+  options.promote_after = 1;
+  options.background_budget_ms = 5000;
+
+  auto queries = GenerateWorkload(catalog_, 2);
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+
+  // Service construction (data generation) runs fault-free; the serving
+  // loop, background jobs, and the drain all run under the spec.
+  server::QueryService service(options);
+  service.StartBackground(nullptr);
+  ASSERT_TRUE(FaultRegistry::Instance().ArmFromSpec(env).ok())
+      << "bad SIA_FAULTS: " << env;
+
+  std::vector<std::optional<server::QueryReply>> first(queries->size());
+  for (int pass = 0; pass < 3; ++pass) {
+    for (size_t i = 0; i < queries->size(); ++i) {
+      auto parsed = server::ParseResponse(
+          service.Handle("QUERY\n" + (*queries)[i].sql, 0));
+      ASSERT_TRUE(parsed.ok());
+      if (parsed->kind != server::ResponseKind::kOk) {
+        // Execution-side faults may fail the request; it must surface as
+        // a clean ERROR frame, never a crash or a wrong answer.
+        ASSERT_EQ(parsed->kind, server::ResponseKind::kError);
+        continue;
+      }
+      ASSERT_TRUE(parsed->query.has_value());
+      if (!first[i].has_value()) {
+        first[i] = *parsed->query;
+      } else if (parsed->query->executed && first[i]->executed) {
+        EXPECT_EQ(parsed->query->rows, first[i]->rows);
+        EXPECT_EQ(parsed->query->content_hash, first[i]->content_hash);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  service.DrainBackground();
+  EXPECT_EQ(service.cache().stats().synthesizing, 0u)
+      << "a key wedged in kSynthesizing under " << env;
 }
 
 }  // namespace

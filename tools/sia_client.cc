@@ -13,8 +13,9 @@
 //     --stats             after the workload, fetch STATS and print the
 //                         metrics JSON to stdout
 //     --concurrency C     client threads (default 1)
-//     --retries R         on SHED, honor the server's retry_after_ms and
-//                         retry up to R times (default 0: record the shed)
+//     --retries R         on SHED, back off for the server's
+//                         retry_after_ms jittered by [0.5,1.5) and retry
+//                         up to R times (default 0: record the shed)
 //     --timeout-ms N      per-operation connect/read/write budget
 //                         (default 60000)
 //     --digests-out F     write digest lines (workload order) to F
@@ -37,6 +38,7 @@
 
 #include "catalog/catalog.h"
 #include "common/net.h"
+#include "common/rng.h"
 #include "common/sync.h"
 #include "server/protocol.h"
 #include "workload/querygen.h"
@@ -107,8 +109,18 @@ QueryRecord SendQuery(const ClientOptions& options, const std::string& sql) {
         return record;
       case sia::server::ResponseKind::kShed:
         if (attempt < options.retries) {
-          std::this_thread::sleep_for(std::chrono::milliseconds(
-              std::max<int64_t>(1, response->retry_after_ms)));
+          // Honor the server's (pressure-scaled) hint, jittered by
+          // [0.5, 1.5): refused clients that all sleep the literal hint
+          // reconverge into one synchronized retry burst and get shed
+          // again together.
+          static std::atomic<uint64_t> backoff_seed{0xC11E57u};
+          thread_local sia::Rng rng{
+              backoff_seed.fetch_add(0x9E3779B97F4A7C15ull)};
+          const int64_t base = std::max<int64_t>(1, response->retry_after_ms);
+          const int64_t sleep_ms = std::max<int64_t>(
+              1, static_cast<int64_t>(static_cast<double>(base) *
+                                      (0.5 + rng.NextDouble())));
+          std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
           continue;
         }
         record.result = QueryResult::kShed;

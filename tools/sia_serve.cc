@@ -25,6 +25,19 @@
 //     --target TABLE      rewrite target table (default lineitem)
 //     --max-iterations N  synthesis iteration budget (default:
 //                         synthesizer default)
+//     --sync-rewrite      synthesize on the serving path (legacy mode:
+//                         a miss blocks its request on the ladder).
+//                         Default is background learning: misses serve
+//                         the original immediately and the predicate is
+//                         synthesized on the pool's background lane,
+//                         then promoted on measured shadow evidence
+//     --promote-after N   shadow wins required to promote (default 3)
+//     --demote-after N    shadow losses that demote (default 3)
+//     --shadow-sample-rate R  fraction of eligible requests that
+//                         paranoid-cross-check the rewrite (default 0.1)
+//     --background-budget-ms N  per-job synthesis budget on the
+//                         background lane (default 2000); background
+//                         jobs never inherit a request's deadline
 //
 // Prints exactly one line to stdout once serving:
 //   LISTENING port=<p> workers=<n> queue_depth=<n> exec=<0|1>
@@ -52,7 +65,9 @@ int Usage(const char* argv0) {
                "          [--queue-depth N] [--deadline-ms N] [--drain-ms N]\n"
                "          [--retry-after-ms N] [--io-timeout-ms N]\n"
                "          [--scale SF] [--data-seed S] [--target TABLE]\n"
-               "          [--max-iterations N]\n",
+               "          [--max-iterations N] [--sync-rewrite]\n"
+               "          [--promote-after N] [--demote-after N]\n"
+               "          [--shadow-sample-rate R] [--background-budget-ms N]\n",
                argv0);
   return 2;
 }
@@ -92,6 +107,16 @@ int main(int argc, char** argv) {
       options.service.target_table = v;
     } else if (arg == "--max-iterations" && (v = next()) != nullptr) {
       options.service.max_iterations = std::atoi(v);
+    } else if (arg == "--sync-rewrite") {
+      options.service.background_learning = false;
+    } else if (arg == "--promote-after" && (v = next()) != nullptr) {
+      options.service.promote_after = std::atoi(v);
+    } else if (arg == "--demote-after" && (v = next()) != nullptr) {
+      options.service.demote_after = std::atoi(v);
+    } else if (arg == "--shadow-sample-rate" && (v = next()) != nullptr) {
+      options.service.shadow_sample_rate = std::atof(v);
+    } else if (arg == "--background-budget-ms" && (v = next()) != nullptr) {
+      options.service.background_budget_ms = std::atoll(v);
     } else if (arg == "--help" || arg == "-h") {
       Usage(argv[0]);
       return 0;
