@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# Serving-path benchmark: regenerates BENCH_serve.json.
+#
+# Starts sia_serve in its default background-learning mode, drives the
+# seeded template workload through it with sia_client for WARM_PASSES
+# passes (enough for the learning loop to synthesize, shadow-verify and
+# promote the hot templates), then measures one timed pass and reports,
+# from STATS counter/histogram deltas across that pass:
+#
+#   qps                 completed queries / wall-clock seconds
+#   shed_rate           shed / (accepted + shed) over the measured pass
+#   hit_latency_us      p50/p99 of server.handle.hit_us — requests served
+#                       by a promoted cached rewrite
+#   miss_latency_us     p50/p99 of server.handle.miss_us — requests that
+#                       executed the original plan
+#   request_latency_us  p50/p95/p99 of server.request.latency_us
+#                       (admission to response written)
+#
+# The hit/miss split is the amortization story in one file: misses pay
+# the original-plan cost, hits collect the learned-predicate payoff.
+# Caveat: at SHADOW_RATE 1 (the default, so warm passes gather
+# promotion evidence quickly) every sampled promoted serve also pays
+# the paranoid cross-check — a second full execution — which inflates
+# hit latency; regenerate with SHADOW_RATE=0.1 WARM_PASSES=40 for a
+# production-flavored profile.
+#
+# Usage: scripts/bench_serve.sh [out.json]
+#   (default out: BENCH_serve.json at the repo root; "-" for stdout)
+#
+# Environment overrides:
+#   BUILD_DIR    build directory with sia_serve/sia_client (default build)
+#   QUERIES      template-workload size per pass (default 64)
+#   SCALE        TPC-H scale factor (default 0.01)
+#   WORKERS      sia_serve worker threads (default 4)
+#   CONCURRENCY  sia_client driver threads (default 8)
+#   WARM_PASSES  learning passes before the measured one (default 6)
+#   SHADOW_RATE  --shadow-sample-rate for the daemon (default 1)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+QUERIES=${QUERIES:-64}
+SCALE=${SCALE:-0.01}
+WORKERS=${WORKERS:-4}
+CONCURRENCY=${CONCURRENCY:-8}
+WARM_PASSES=${WARM_PASSES:-6}
+SHADOW_RATE=${SHADOW_RATE:-1}
+OUT=${1:-BENCH_serve.json}
+
+SERVE="${BUILD_DIR}/tools/sia_serve"
+CLIENT="${BUILD_DIR}/tools/sia_client"
+for bin in "${SERVE}" "${CLIENT}"; do
+  if [[ ! -x "${bin}" ]]; then
+    echo "ERROR: ${bin} not built (cmake --build ${BUILD_DIR} first)" >&2
+    exit 2
+  fi
+done
+
+WORK_DIR=$(mktemp -d)
+SERVE_PID=""
+trap '[[ -n "${SERVE_PID}" ]] && kill "${SERVE_PID}" 2>/dev/null;
+      rm -rf "${WORK_DIR}"' EXIT
+
+"${SERVE}" --port-file "${WORK_DIR}/port" --workers "${WORKERS}" \
+  --scale "${SCALE}" --promote-after 3 \
+  --shadow-sample-rate "${SHADOW_RATE}" \
+  > "${WORK_DIR}/serve.log" 2>&1 &
+SERVE_PID=$!
+for _ in $(seq 1 300); do
+  [[ -s "${WORK_DIR}/port" ]] && break
+  if ! kill -0 "${SERVE_PID}" 2>/dev/null; then break; fi
+  sleep 0.1
+done
+if [[ ! -s "${WORK_DIR}/port" ]]; then
+  echo "ERROR: sia_serve did not come up" >&2
+  cat "${WORK_DIR}/serve.log" >&2
+  exit 1
+fi
+PORT=$(cat "${WORK_DIR}/port")
+
+echo "warming: ${WARM_PASSES} passes x ${QUERIES} queries" \
+     "(sf=${SCALE}, ${WORKERS} workers, promote-after 3)" >&2
+for pass in $(seq 1 "${WARM_PASSES}"); do
+  "${CLIENT}" --port "${PORT}" --workload "${QUERIES}" \
+    --concurrency "${CONCURRENCY}" -q > /dev/null
+  sleep 1  # let queued background synthesis land between repeats
+done
+
+stats() { "${CLIENT}" --port "${PORT}" --stats -q | grep -m1 '^{' > "$1"; }
+
+stats "${WORK_DIR}/s0.json"
+T0=$(date +%s%N)
+"${CLIENT}" --port "${PORT}" --workload "${QUERIES}" \
+  --concurrency "${CONCURRENCY}" -q > /dev/null
+T1=$(date +%s%N)
+stats "${WORK_DIR}/s1.json"
+
+kill -TERM "${SERVE_PID}"
+wait "${SERVE_PID}" || true
+SERVE_PID=""
+
+python3 - "${WORK_DIR}/s0.json" "${WORK_DIR}/s1.json" "$((T1 - T0))" \
+    "${QUERIES}" "${SCALE}" "${WORKERS}" "${CONCURRENCY}" \
+    "${WARM_PASSES}" "${SHADOW_RATE}" > "${WORK_DIR}/bench.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    s0 = json.load(f)
+with open(sys.argv[2]) as f:
+    s1 = json.load(f)
+elapsed_s = int(sys.argv[3]) / 1e9
+
+def counter(name):
+    return (s1.get("counters", {}).get(name, 0) -
+            s0.get("counters", {}).get(name, 0))
+
+def hist_delta(name):
+    h0 = s0.get("histograms", {}).get(name)
+    h1 = s1.get("histograms", {}).get(name)
+    if h1 is None:
+        return None
+    b0 = h0["buckets"] if h0 else [0] * len(h1["buckets"])
+    return [max(0, b - a) for a, b in zip(b0, h1["buckets"])]
+
+def pct(delta, q):
+    # Bucket scheme from src/obs/metrics.cc: bucket 0 is [0,1),
+    # bucket i is [2^(i-1), 2^i); interpolate by rank within a bucket.
+    total = sum(delta)
+    if total == 0:
+        return None
+    target = q * total
+    cumulative = 0
+    for i, n in enumerate(delta):
+        if n == 0:
+            continue
+        if cumulative + n >= target:
+            lower = 0.0 if i == 0 else float(1 << (i - 1))
+            upper = 1.0 if i == 0 else float(1 << i)
+            return round(lower + (target - cumulative) / n * (upper - lower))
+        cumulative += n
+    return None
+
+def summary(name, quantiles):
+    delta = hist_delta(name)
+    if delta is None or sum(delta) == 0:
+        return {"count": 0}
+    out = {"count": sum(delta)}
+    for q in quantiles:
+        out[f"p{int(q * 100)}"] = pct(delta, q)
+    return out
+
+accepted = counter("server.requests.accepted")
+shed = counter("server.requests.shed")
+offered = accepted + shed
+result = {
+    "bench": "serve",
+    "config": {
+        "queries_per_pass": int(sys.argv[4]),
+        "scale_factor": float(sys.argv[5]),
+        "workers": int(sys.argv[6]),
+        "client_concurrency": int(sys.argv[7]),
+        "warm_passes": int(sys.argv[8]),
+        "promote_after": 3,
+        "shadow_sample_rate": float(sys.argv[9]),
+    },
+    "measured_pass": {
+        "elapsed_s": round(elapsed_s, 3),
+        "qps": round(accepted / elapsed_s, 1) if elapsed_s > 0 else None,
+        "shed_rate": round(shed / offered, 4) if offered else 0.0,
+        "cache_hits": counter("rewrite.cache.hit"),
+        "cache_misses": counter("rewrite.cache.miss"),
+        "hit_latency_us": summary("server.handle.hit_us", (0.5, 0.99)),
+        "miss_latency_us": summary("server.handle.miss_us", (0.5, 0.99)),
+        "request_latency_us":
+            summary("server.request.latency_us", (0.5, 0.95, 0.99)),
+    },
+    "lifetime": {
+        "promoted": s1.get("counters", {})
+                      .get("rewrite.promote.promoted", 0),
+        "demoted": s1.get("counters", {}).get("rewrite.promote.demoted", 0),
+        "digest_mismatches": s1.get("counters", {})
+                               .get("rewrite.promote.digest_mismatch", 0),
+    },
+}
+print(json.dumps(result, indent=2))
+EOF
+
+if [[ "${OUT}" == "-" ]]; then
+  cat "${WORK_DIR}/bench.json"
+else
+  cp "${WORK_DIR}/bench.json" "${OUT}"
+  echo "wrote ${OUT}" >&2
+fi

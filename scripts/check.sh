@@ -45,7 +45,19 @@
 #     repeat the same PROMO_QUERIES-query template workload until STATS
 #     reports rewrite.promote.promoted >= 1, and require every pass's
 #     rows/content_hash to equal the batch sia_lint reference — the
-#     learning loop may never change an answer.
+#     learning loop may never change an answer. A 10 Hz sia_top poller
+#     runs throughout, the OBSERVE verb is fetched raw mid-burst and
+#     must parse as the documented JSON schema, and the SIA_TRACE
+#     Chrome export written at drain must contain at least one trace ID
+#     whose spans link admission -> background synthesis -> promotion
+#     decision;
+#   - OBSERVE overhead: a fresh server with a deterministic injected
+#     per-scan latency floor serves the same warm workload in two quiet
+#     and two 10 Hz sia_top-polled passes (interleaved); every pass's
+#     digests must be byte-identical while the best-of-two polled p99
+#     request latency (lifetime-histogram bucket deltas between STATS
+#     snapshots) stays within OBSERVE_OVERHEAD_PCT of the best-of-two
+#     quiet p99.
 #
 # `check.sh --static` additionally runs the compile-time concurrency and
 # conventions gates:
@@ -82,6 +94,12 @@
 #                    obs-disabled build over the obs-free build
 #                    (default 10 — the gate is one relaxed atomic load
 #                    per site, so real regressions blow well past this)
+#   OBSERVE_OVERHEAD_PCT max tolerated p99 latency delta, percent, of a
+#                    10 Hz OBSERVE-polled serving pass over a quiet one
+#                    (default 5; the injected latency floor makes the
+#                    comparison deterministic enough for that bound)
+#   OBS_GUARD_QUERIES workload size per OBSERVE-overhead pass
+#                    (default 96)
 #   JOBS             parallel build/test jobs (default nproc)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -96,6 +114,8 @@ SMOKE_SCALE=${SMOKE_SCALE:-0.01}
 PROMO_QUERIES=${PROMO_QUERIES:-12}
 PROMO_PASSES=${PROMO_PASSES:-12}
 OBS_OVERHEAD_PCT=${OBS_OVERHEAD_PCT:-10}
+OBSERVE_OVERHEAD_PCT=${OBSERVE_OVERHEAD_PCT:-5}
+OBS_GUARD_QUERIES=${OBS_GUARD_QUERIES:-96}
 JOBS=${JOBS:-$(nproc)}
 
 FAULT_SWEEP=0
@@ -240,7 +260,9 @@ if [[ "${SERVE_SMOKE}" -eq 1 ]]; then
   CLIENT="${BUILD_DIR}/tools/sia_client"
   SMOKE_DIR=$(mktemp -d)
   SERVE_PID=""
+  TOP_PID=""
   trap 'rm -f "${COMPILE_OK_SRC}" "${COMPILE_FAIL_SRC}";
+        [[ -n "${TOP_PID}" ]] && kill "${TOP_PID}" 2>/dev/null;
         [[ -n "${SERVE_PID}" ]] && kill "${SERVE_PID}" 2>/dev/null;
         rm -rf "${SMOKE_DIR}"' EXIT
 
@@ -310,8 +332,13 @@ if [[ "${SERVE_SMOKE}" -eq 1 ]]; then
   # reference throughout — the learning loop may change rung/sql_hash
   # lines, never an answer.
   echo "== promotion lifecycle smoke (${PROMO_QUERIES} queries x up to" \
-       "${PROMO_PASSES} passes, --promote-after 3, shadow rate 1)"
-  SIA_METRICS=stderr "${SERVE}" --port-file "${SMOKE_DIR}/promo_port" \
+       "${PROMO_PASSES} passes, --promote-after 3, shadow rate 1," \
+       "10 Hz sia_top poller throughout)"
+  # SIA_TRACE: the drain flushes a Chrome trace export; the chain check
+  # below requires one trace ID to link admission -> synthesis ->
+  # promotion decision across it.
+  SIA_METRICS=stderr SIA_TRACE="${SMOKE_DIR}/promo_trace.json" \
+    "${SERVE}" --port-file "${SMOKE_DIR}/promo_port" \
     --workers 4 --scale "${SMOKE_SCALE}" \
     --max-iterations "${LINT_ITERATIONS}" \
     --promote-after 3 --shadow-sample-rate 1 \
@@ -329,6 +356,13 @@ if [[ "${SERVE_SMOKE}" -eq 1 ]]; then
   fi
   PROMO_PORT=$(cat "${SMOKE_DIR}/promo_port")
 
+  # The live console view polls OBSERVE at 10 Hz for the whole smoke:
+  # every reply must render (sia_top exits 1 on any malformed frame).
+  TOP="${BUILD_DIR}/tools/sia_top"
+  "${TOP}" --port "${PROMO_PORT}" --interval-ms 100 \
+    > "${SMOKE_DIR}/promo_top.out" 2>&1 &
+  TOP_PID=$!
+
   "${LINT}" -q --rewrite --workload "${PROMO_QUERIES}" --threads 1 \
     --max-iterations "${LINT_ITERATIONS}" --execute-sf "${SMOKE_SCALE}" \
     --digests-out "${SMOKE_DIR}/promo_lint.dig" > /dev/null
@@ -339,6 +373,42 @@ if [[ "${SERVE_SMOKE}" -eq 1 ]]; then
     "${CLIENT}" --port "${PROMO_PORT}" --workload "${PROMO_QUERIES}" -q \
       --digests-out "${SMOKE_DIR}/promo_pass${pass}.dig" > /dev/null
     PASSES_RUN="${pass}"
+    if [[ "${pass}" -eq 1 ]]; then
+      # Raw OBSERVE mid-burst: one frame over the wire, parsed against
+      # the documented schema (DESIGN.md "Live telemetry") — the tool
+      # above exercises the rendering; this asserts the contract.
+      python3 - "${PROMO_PORT}" <<'EOF'
+import json, socket, struct, sys
+
+with socket.create_connection(("127.0.0.1", int(sys.argv[1])), 10) as s:
+    s.settimeout(10)
+    s.sendall(struct.pack(">I", len(b"OBSERVE")) + b"OBSERVE")
+    raw = b""
+    while len(raw) < 4:
+        raw += s.recv(4 - len(raw))
+    (n,) = struct.unpack(">I", raw)
+    body = b""
+    while len(body) < n:
+        chunk = s.recv(n - len(body))
+        if not chunk:
+            sys.exit("ERROR: OBSERVE reply truncated")
+        body += chunk
+text = body.decode()
+status, _, payload = text.partition("\n")
+if status.split()[0] != "OK":
+    sys.exit(f"ERROR: OBSERVE replied {status!r}, want OK")
+snap = json.loads(payload)
+missing = [k for k in ("now_us", "windows", "events", "cache")
+           if k not in snap]
+if missing:
+    sys.exit(f"ERROR: OBSERVE snapshot missing keys {missing}")
+for win in ("1s", "10s", "60s"):
+    if win not in snap["windows"]:
+        sys.exit(f"ERROR: OBSERVE windows missing {win!r}")
+print(f"   OBSERVE mid-burst: OK, schema valid "
+      f"({len(snap['events'])} events, {len(snap['cache'])} cache entries)")
+EOF
+    fi
     "${CLIENT}" --port "${PROMO_PORT}" --stats -q \
       > "${SMOKE_DIR}/promo_stats.out"
     PROMOTED=$(python3 - "${SMOKE_DIR}/promo_stats.out" <<'EOF'
@@ -410,6 +480,19 @@ if failed:
 print(f"   digests: every pass == batch lint ({want} queries per pass)")
 EOF
 
+  # Stop the poller before the drain so its last OBSERVE isn't racing
+  # the listener shutdown; by now it has rendered dozens of frames.
+  kill "${TOP_PID}" 2>/dev/null || true
+  wait "${TOP_PID}" 2>/dev/null || true
+  TOP_PID=""
+  if ! grep -q 'win  *qps' "${SMOKE_DIR}/promo_top.out"; then
+    echo "ERROR: sia_top rendered no frames during the promotion smoke" >&2
+    cat "${SMOKE_DIR}/promo_top.out" >&2
+    exit 1
+  fi
+  TOP_FRAMES=$(grep -c 'now_us=' "${SMOKE_DIR}/promo_top.out" || true)
+  echo "   sia_top: ${TOP_FRAMES} frames rendered at 10 Hz, none malformed"
+
   kill -TERM "${SERVE_PID}"
   if ! wait "${SERVE_PID}"; then
     echo "ERROR: sia_serve (promotion smoke) did not drain cleanly" >&2
@@ -422,6 +505,203 @@ EOF
     cat "${SMOKE_DIR}/promo.log" >&2
     exit 1
   fi
+
+  # The drain flushed SIA_TRACE: one request's trace ID must link its
+  # admission span, the background synthesis job its miss queued, and
+  # the promotion decision folded from a later shadow run — three spans
+  # on three threads, one trace.
+  python3 - "${SMOKE_DIR}/promo_trace.json" <<'EOF'
+import json, sys
+from collections import defaultdict
+
+with open(sys.argv[1]) as f:
+    events = json.load(f)["traceEvents"]
+names_by_trace = defaultdict(set)
+for ev in events:
+    tid = (ev.get("args") or {}).get("trace_id", 0)
+    if tid:
+        names_by_trace[tid].add(ev.get("name"))
+need = {"server.accept", "rewrite.background.synthesize",
+        "rewrite.promote.decision"}
+linked = [t for t, names in names_by_trace.items() if need <= names]
+if not linked:
+    partial = {t: sorted(n & need) for t, n in names_by_trace.items()
+               if n & need}
+    print(f"ERROR: no trace ID links {sorted(need)}; partial chains: "
+          f"{partial}", file=sys.stderr)
+    sys.exit(1)
+print(f"   trace chain: {len(linked)} trace ID(s) link admission -> "
+      f"synthesis -> promotion decision (e.g. trace_id={linked[0]})")
+EOF
+
+  # --- OBSERVE overhead: polling must not perturb the serving path ------
+  # A deterministic injected per-scan latency floor (engine.scan
+  # latency:20) dominates request latency, so the quiet-vs-polled p99
+  # comparison below is stable enough for a tight bound. Shadow sampling
+  # is off: after the warm pass the cache is fully populated and the
+  # background loop idle, so both measured passes do identical work.
+  echo "== OBSERVE overhead guard (${OBS_GUARD_QUERIES} queries/pass," \
+       "quiet vs 10 Hz sia_top poll, p99 delta <= ${OBSERVE_OVERHEAD_PCT}%)"
+  SIA_FAULTS="engine.scan=latency:20" \
+    "${SERVE}" --port-file "${SMOKE_DIR}/guard_port" \
+    --workers 4 --scale "${SMOKE_SCALE}" \
+    --max-iterations "${LINT_ITERATIONS}" \
+    --shadow-sample-rate 0 \
+    > "${SMOKE_DIR}/guard.log" 2>&1 &
+  SERVE_PID=$!
+  for _ in $(seq 1 300); do
+    [[ -s "${SMOKE_DIR}/guard_port" ]] && break
+    if ! kill -0 "${SERVE_PID}" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  if [[ ! -s "${SMOKE_DIR}/guard_port" ]]; then
+    echo "ERROR: sia_serve (OBSERVE overhead guard) did not come up" >&2
+    cat "${SMOKE_DIR}/guard.log" >&2
+    exit 1
+  fi
+  GUARD_PORT=$(cat "${SMOKE_DIR}/guard_port")
+
+  # Warm pass: populate the cache and queue every synthesis job, then
+  # wait for the learning loop to go fully quiescent so the measured
+  # passes compete with nothing. The queue-depth gauge is not enough —
+  # it reads 0 while the final dequeued job is still synthesizing — so
+  # wait until every enqueued job is accounted for.
+  "${CLIENT}" --port "${GUARD_PORT}" --workload "${OBS_GUARD_QUERIES}" \
+    --concurrency 4 -q > /dev/null
+  for _ in $(seq 1 120); do
+    "${CLIENT}" --port "${GUARD_PORT}" --stats -q \
+      > "${SMOKE_DIR}/guard_depth.out"
+    PENDING=$(python3 - "${SMOKE_DIR}/guard_depth.out" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    for line in f:
+        line = line.strip()
+        if line.startswith("{"):
+            c = json.loads(line).get("counters", {})
+            print(int(c.get("rewrite.background.enqueued", 0)) -
+                  int(c.get("rewrite.background.completed", 0)) -
+                  int(c.get("rewrite.background.failed", 0)) -
+                  int(c.get("rewrite.background.dropped", 0)))
+            break
+    else:
+        print(0)
+EOF
+)
+    [[ "${PENDING}" -le 0 ]] && break
+    sleep 0.5
+  done
+
+  guard_stats() { # <out-file>
+    "${CLIENT}" --port "${GUARD_PORT}" --stats -q |
+      grep -m1 '^{' > "$1"
+  }
+
+  # Interleave two quiet and two polled passes and gate on the best of
+  # each: min-of-two filters one-off scheduler noise (this also runs
+  # under ASan on loaded CI boxes) while a real per-request OBSERVE cost
+  # would tax both polled passes alike.
+  guard_stats "${SMOKE_DIR}/guard_s0.json"
+  for rep in 1 2; do
+    "${CLIENT}" --port "${GUARD_PORT}" --workload "${OBS_GUARD_QUERIES}" \
+      --concurrency 4 -q \
+      --digests-out "${SMOKE_DIR}/guard_quiet${rep}.dig" > /dev/null
+    guard_stats "${SMOKE_DIR}/guard_q${rep}.json"
+
+    "${TOP}" --port "${GUARD_PORT}" --interval-ms 100 \
+      >> "${SMOKE_DIR}/guard_top.out" 2>&1 &
+    TOP_PID=$!
+    "${CLIENT}" --port "${GUARD_PORT}" --workload "${OBS_GUARD_QUERIES}" \
+      --concurrency 4 -q \
+      --digests-out "${SMOKE_DIR}/guard_polled${rep}.dig" > /dev/null
+    guard_stats "${SMOKE_DIR}/guard_p${rep}.json"
+    kill "${TOP_PID}" 2>/dev/null || true
+    wait "${TOP_PID}" 2>/dev/null || true
+    TOP_PID=""
+  done
+  if ! grep -q 'now_us=' "${SMOKE_DIR}/guard_top.out"; then
+    echo "ERROR: sia_top rendered no frames during the polled passes" >&2
+    cat "${SMOKE_DIR}/guard_top.out" >&2
+    exit 1
+  fi
+
+  for dig in "${SMOKE_DIR}"/guard_quiet2.dig \
+             "${SMOKE_DIR}"/guard_polled1.dig \
+             "${SMOKE_DIR}"/guard_polled2.dig; do
+    if ! diff -u "${SMOKE_DIR}/guard_quiet1.dig" "${dig}"; then
+      echo "ERROR: digests changed under 10 Hz OBSERVE polling (${dig})" >&2
+      exit 1
+    fi
+  done
+  echo "   digests: polled passes == quiet passes" \
+       "(${OBS_GUARD_QUERIES} lines x 4)"
+
+  python3 - "${OBSERVE_OVERHEAD_PCT}" "${OBS_GUARD_QUERIES}" \
+      "${SMOKE_DIR}/guard_s0.json" \
+      "${SMOKE_DIR}/guard_q1.json" "${SMOKE_DIR}/guard_p1.json" \
+      "${SMOKE_DIR}/guard_q2.json" "${SMOKE_DIR}/guard_p2.json" <<'EOF'
+import json, sys
+
+tolerance_pct = float(sys.argv[1])
+queries = int(sys.argv[2])
+HIST = "server.request.latency_us"
+
+def buckets(path):
+    with open(path) as f:
+        snap = json.load(f)
+    h = snap.get("histograms", {}).get(HIST)
+    if h is None:
+        sys.exit(f"ERROR: {path} has no {HIST} histogram")
+    return h["buckets"]
+
+def p99(delta):
+    # Same bucket scheme as src/obs/metrics.cc: bucket 0 is [0,1),
+    # bucket i is [2^(i-1), 2^i); interpolate by rank within a bucket.
+    total = sum(delta)
+    if total == 0:
+        sys.exit("ERROR: empty histogram delta (no requests recorded?)")
+    target = 0.99 * total
+    cumulative = 0
+    for i, n in enumerate(delta):
+        if n == 0:
+            continue
+        if cumulative + n >= target:
+            lower = 0.0 if i == 0 else float(1 << (i - 1))
+            upper = 1.0 if i == 0 else float(1 << i)
+            frac = (target - cumulative) / n
+            return lower + frac * (upper - lower)
+        cumulative += n
+    return 0.0
+
+snaps = [buckets(p) for p in sys.argv[3:8]]
+passes = []  # (label, p99) in run order: q1, p1, q2, p2
+for label, older, newer in (("quiet1", 0, 1), ("polled1", 1, 2),
+                            ("quiet2", 2, 3), ("polled2", 3, 4)):
+    delta = [b - a for a, b in zip(snaps[older], snaps[newer])]
+    if any(d < 0 for d in delta):
+        sys.exit(f"ERROR: non-monotonic bucket counts in the {label} delta")
+    if sum(delta) < queries:
+        sys.exit(f"ERROR: {label} pass recorded {sum(delta)} requests, "
+                 f"want >= {queries}")
+    passes.append((label, p99(delta)))
+q99 = min(v for label, v in passes if label.startswith("quiet"))
+p99v = min(v for label, v in passes if label.startswith("polled"))
+limit = q99 * (1.0 + tolerance_pct / 100.0)
+detail = ", ".join(f"{label} {v:.0f}us" for label, v in passes)
+print(f"   p99 request latency: {detail}")
+print(f"   best-of-2: quiet {q99:.0f}us, polled {p99v:.0f}us "
+      f"(limit {limit:.0f}us at +{tolerance_pct:g}%)")
+if p99v > limit:
+    sys.exit(f"ERROR: OBSERVE polling moved best-of-2 p99 from {q99:.0f}us "
+             f"to {p99v:.0f}us (> +{tolerance_pct:g}%)")
+EOF
+
+  kill -TERM "${SERVE_PID}"
+  if ! wait "${SERVE_PID}"; then
+    echo "ERROR: sia_serve (OBSERVE overhead guard) did not drain cleanly" >&2
+    cat "${SMOKE_DIR}/guard.log" >&2
+    exit 1
+  fi
+  SERVE_PID=""
 fi
 
 # --- Concurrency gates ---------------------------------------------------

@@ -100,6 +100,7 @@ const std::vector<std::string>& FaultRegistry::KnownPoints() {
           "background.synth.crash",    // background synthesis job fails
           "background.synth.latency",  // background synthesis job stalls
           "promote.bad_rewrite",       // force-promote a wrong predicate
+          "obs.observe.latency",       // OBSERVE handler stalls/fails
       };
   return *points;
 }

@@ -1,0 +1,85 @@
+#include "obs/event_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace sia::obs {
+
+EventLog& EventLog::Instance() {
+  static EventLog* const instance = new EventLog();
+  return *instance;
+}
+
+void EventLog::Record(std::string_view kind, std::string_view detail) {
+  Event event;
+  event.ts_us = Tracer::Instance().NowMicros();
+  event.trace_id = CurrentTraceId();
+  event.kind.assign(kind.data(), kind.size());
+  event.detail.assign(detail.data(), detail.size());
+  MutexLock lock(&mu_);
+  if (!wrapped_ && ring_.size() < kCapacity) {
+    ring_.push_back(std::move(event));
+    if (ring_.size() == kCapacity) {
+      next_ = 0;
+      wrapped_ = true;
+    }
+    return;
+  }
+  ring_[next_] = std::move(event);
+  next_ = (next_ + 1) % kCapacity;
+  ++dropped_;
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<Event> out;
+  const size_t count = wrapped_ ? kCapacity : ring_.size();
+  const size_t start = wrapped_ ? next_ : 0;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(ring_[(start + i) % kCapacity]);
+  }
+  return out;
+}
+
+uint64_t EventLog::DroppedCount() const {
+  MutexLock lock(&mu_);
+  return dropped_;
+}
+
+void EventLog::Clear() {
+  MutexLock lock(&mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+  dropped_ = 0;
+}
+
+std::string EventLog::Json() const {
+  using internal::JsonEscape;
+  const std::vector<Event> events = Snapshot();
+  std::string out = "[";
+  bool first = true;
+  char buf[32];
+  for (const Event& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"ts_us\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, event.ts_us);
+    out += buf;
+    out += ",\"trace_id\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, event.trace_id);
+    out += buf;
+    out += ",\"kind\":\"";
+    out += JsonEscape(event.kind);
+    out += "\",\"detail\":\"";
+    out += JsonEscape(event.detail);
+    out += "\"}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace sia::obs

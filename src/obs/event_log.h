@@ -1,0 +1,91 @@
+#ifndef SIA_OBS_EVENT_LOG_H_
+#define SIA_OBS_EVENT_LOG_H_
+
+// Bounded in-memory log of notable serving events — sheds, demotions,
+// shadow digest mismatches, promotions, slow requests — with ring
+// eviction: the newest kCapacity events win, older ones are overwritten
+// and counted as dropped. OBSERVE reports the ring's contents so an
+// operator polling sia_top sees *why* the windowed numbers moved, not
+// just that they did.
+//
+// Cost discipline matches the registry: a disabled site costs one
+// relaxed atomic load (the SIA_EVENT macro gates on
+// MetricsRegistry::Enabled() and compiles out under -DSIA_OBS_DISABLED).
+// Recording takes one leaf mutex; events carry the recording thread's
+// CurrentTraceId() so they link into the request's trace.
+//
+// Standard-library-only, like the rest of src/obs.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace sia::obs {
+
+struct Event {
+  uint64_t ts_us = 0;     // tracer-epoch microseconds
+  uint64_t trace_id = 0;  // CurrentTraceId() at the recording site
+  std::string kind;       // dotted lowercase, e.g. "server.shed"
+  std::string detail;     // free-form, one line
+};
+
+class EventLog {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  static EventLog& Instance();
+
+  // Appends one event (stamped with the tracer clock and the calling
+  // thread's trace ID), evicting the oldest when full. Callers should
+  // gate on MetricsRegistry::Enabled() — SIA_EVENT does.
+  void Record(std::string_view kind, std::string_view detail)
+      SIA_EXCLUDES(mu_);
+
+  // Oldest-to-newest copy of the ring.
+  std::vector<Event> Snapshot() const SIA_EXCLUDES(mu_);
+
+  // Events evicted by ring overwrite since the last Clear().
+  uint64_t DroppedCount() const SIA_EXCLUDES(mu_);
+
+  void Clear() SIA_EXCLUDES(mu_);
+
+  // [{"ts_us":...,"trace_id":...,"kind":"...","detail":"..."},...]
+  std::string Json() const SIA_EXCLUDES(mu_);
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+ private:
+  EventLog() = default;
+
+  // Leaf lock, same standing as the registry's: component locks may be
+  // held at a recording site, and nothing here calls back out of
+  // src/obs (the tracer clock and trace ID are lock-free reads).
+  mutable Mutex mu_;
+  std::vector<Event> ring_ SIA_GUARDED_BY(mu_);
+  size_t next_ SIA_GUARDED_BY(mu_) = 0;
+  bool wrapped_ SIA_GUARDED_BY(mu_) = false;
+  uint64_t dropped_ SIA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace sia::obs
+
+#ifdef SIA_OBS_DISABLED
+#define SIA_EVENT(kind, detail) static_cast<void>(0)
+#else
+// `detail` may be a runtime-built string; it is only evaluated when the
+// registry is enabled, so disabled sites pay one relaxed load and never
+// build the string.
+#define SIA_EVENT(kind, detail)                                   \
+  do {                                                            \
+    if (::sia::obs::MetricsRegistry::Enabled()) {                 \
+      ::sia::obs::EventLog::Instance().Record((kind), (detail));  \
+    }                                                             \
+  } while (0)
+#endif  // SIA_OBS_DISABLED
+
+#endif  // SIA_OBS_EVENT_LOG_H_

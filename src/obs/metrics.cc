@@ -224,65 +224,148 @@ std::string JsonNumber(double value) {
 
 }  // namespace internal
 
-std::string MetricsRegistry::SnapshotJson() const {
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Same bucket-interpolation algorithm as the live Histogram, against
+  // the snapshot's frozen fields.
+  const double target_rank = q * static_cast<double>(count);
+  uint64_t cumulative = 0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const uint64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target_rank) {
+      const double lower = Histogram::BucketLowerBound(i);
+      double upper = Histogram::BucketUpperBound(i);
+      if (std::isinf(upper)) upper = max;
+      if (upper < lower) upper = lower;
+      const double fraction = (target_rank - static_cast<double>(cumulative)) /
+                              static_cast<double>(in_bucket);
+      double result = lower + fraction * (upper - lower);
+      if (result < min) result = min;
+      if (result > max) result = max;
+      return result;
+    }
+    cumulative += in_bucket;
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& older) const {
+  HistogramSnapshot delta;
+  delta.count = count >= older.count ? count - older.count : 0;
+  delta.sum = sum >= older.sum ? sum - older.sum : 0.0;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const auto idx = static_cast<size_t>(i);
+    delta.buckets[idx] =
+        buckets[idx] >= older.buckets[idx] ? buckets[idx] - older.buckets[idx]
+                                           : 0;
+  }
+  // A window's extrema are unknowable from bucket deltas; the occupied
+  // buckets' bounds are the honest stand-in (the overflow bucket's upper
+  // bound falls back to the lifetime max).
+  bool any = false;
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    if (delta.buckets[static_cast<size_t>(i)] == 0) continue;
+    if (!any) delta.min = Histogram::BucketLowerBound(i);
+    any = true;
+    double upper = Histogram::BucketUpperBound(i);
+    if (std::isinf(upper)) upper = max;
+    delta.max = upper;
+  }
+  return delta;
+}
+
+std::string FormatSnapshotJson(const MetricsSnapshot& snapshot,
+                               std::string_view extra_fields) {
   using internal::JsonEscape;
   using internal::JsonNumber;
-  MutexLock lock(&mu_);
-  std::string out = "{\"counters\":{";
+  std::string out = "{";
+  out += extra_fields;
+  out += "\"counters\":{";
   bool first = true;
-  for (const auto& [name, counter] : counters_) {
+  char buf[32];
+  for (const auto& [name, value] : snapshot.counters) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += JsonEscape(name);
     out += "\":";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, counter->Value());
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
     out += buf;
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, gauge] : gauges_) {
+  for (const auto& [name, value] : snapshot.gauges) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += JsonEscape(name);
     out += "\":";
-    out += JsonNumber(gauge->Value());
+    out += JsonNumber(value);
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, histogram] : histograms_) {
+  for (const auto& [name, h] : snapshot.histograms) {
     if (!first) out += ',';
     first = false;
     out += '"';
     out += JsonEscape(name);
     out += "\":{\"count\":";
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%" PRIu64, histogram->Count());
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, h.count);
     out += buf;
     out += ",\"sum\":";
-    out += JsonNumber(histogram->Sum());
+    out += JsonNumber(h.sum);
     out += ",\"min\":";
-    out += JsonNumber(histogram->Min());
+    out += JsonNumber(h.min);
     out += ",\"max\":";
-    out += JsonNumber(histogram->Max());
+    out += JsonNumber(h.max);
     out += ",\"p50\":";
-    out += JsonNumber(histogram->Percentile(0.50));
+    out += JsonNumber(h.Percentile(0.50));
     out += ",\"p95\":";
-    out += JsonNumber(histogram->Percentile(0.95));
+    out += JsonNumber(h.Percentile(0.95));
     out += ",\"p99\":";
-    out += JsonNumber(histogram->Percentile(0.99));
+    out += JsonNumber(h.Percentile(0.99));
     out += ",\"buckets\":[";
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       if (i > 0) out += ',';
-      std::snprintf(buf, sizeof(buf), "%" PRIu64, histogram->BucketCountAt(i));
+      std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                    h.buckets[static_cast<size_t>(i)]);
       out += buf;
     }
     out += "]}";
   }
   out += "}}";
   return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  MutexLock lock(&mu_);
+  for (const auto& [name, counter] : counters_) {
+    out.counters.emplace(name, counter->Value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out.gauges.emplace(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot h;
+    h.count = histogram->Count();
+    h.sum = histogram->Sum();
+    h.min = histogram->Min();
+    h.max = histogram->Max();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      h.buckets[static_cast<size_t>(i)] = histogram->BucketCountAt(i);
+    }
+    out.histograms.emplace(name, std::move(h));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::SnapshotJson() const {
+  return FormatSnapshotJson(Snapshot());
 }
 
 bool MetricsRegistry::WriteSnapshot(std::string_view dest,

@@ -103,6 +103,42 @@ class Histogram {
   Histogram();
 };
 
+// Point-in-time copy of one histogram: the monotonic fields (count, sum,
+// buckets) subtract cleanly between two snapshots, which is what the
+// windowed aggregation in window.h does. Percentile() runs the same
+// bucket-interpolation algorithm as the live Histogram, clamped to the
+// snapshot's [min, max].
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<uint64_t, Histogram::kBuckets> buckets{};
+
+  double Percentile(double q) const;
+  // this - older, field-wise, for the monotonic fields; min/max are
+  // re-derived from the delta buckets' bounds (a window has no exact
+  // extrema — only the lifetime histogram tracks those).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& older) const;
+};
+
+// Structured point-in-time copy of the whole registry. The one shared
+// snapshot-to-JSON formatter (FormatSnapshotJson) renders it for STATS,
+// OBSERVE, sia_lint --metrics-out, and the windowed deltas alike.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, double, std::less<>> gauges;
+  std::map<std::string, HistogramSnapshot, std::less<>> histograms;
+};
+
+// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
+//  p50,p95,p99,buckets:[...]}}} with names in sorted order.
+// `extra_fields` is raw JSON spliced verbatim right after the opening
+// brace (e.g. "\"span_us\":1000000," — trailing comma included); empty
+// means none.
+std::string FormatSnapshotJson(const MetricsSnapshot& snapshot,
+                               std::string_view extra_fields = {});
+
 // Leaky process-wide singleton. Metric objects are created on first use
 // and never destroyed or erased — ResetAll() zeroes values but keeps every
 // entry, so references cached by the macros below stay valid forever.
@@ -129,8 +165,10 @@ class MetricsRegistry {
   // Zero every value; never removes entries (cached references stay valid).
   void ResetAll() SIA_EXCLUDES(mu_);
 
-  // {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,min,max,
-  //  p50,p95,p99,buckets:[...]}}} with names in sorted order.
+  // Structured copy of every metric's current value.
+  MetricsSnapshot Snapshot() const SIA_EXCLUDES(mu_);
+
+  // FormatSnapshotJson(Snapshot()) — kept for the many existing callers.
   std::string SnapshotJson() const SIA_EXCLUDES(mu_);
 
   // dest is "stderr" or a file path. Returns false and sets *error (if

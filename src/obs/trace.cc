@@ -21,6 +21,12 @@ thread_local int tls_depth = 0;
 
 thread_local std::shared_ptr<internal::ThreadRing> tls_ring;
 
+// The request-scoped trace ID installed on this thread (0 = none).
+thread_local uint64_t tls_trace_id = 0;
+
+// IDs start at 1 so 0 can mean "no context" everywhere.
+std::atomic<uint64_t> g_next_trace_id{1};
+
 }  // namespace
 
 namespace internal {
@@ -84,6 +90,18 @@ void ThreadRing::Push(TraceEvent event) {
 }
 
 }  // namespace internal
+
+uint64_t MintTraceId() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t CurrentTraceId() { return tls_trace_id; }
+
+TraceContext::TraceContext(uint64_t trace_id) : saved_(tls_trace_id) {
+  tls_trace_id = trace_id;
+}
+
+TraceContext::~TraceContext() { tls_trace_id = saved_; }
 
 Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -174,6 +192,9 @@ std::string Tracer::ExportChromeJson() const {
     out += ",\"args\":{\"depth\":";
     std::snprintf(buf, sizeof(buf), "%d", event.depth);
     out += buf;
+    out += ",\"trace_id\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, event.trace_id);
+    out += buf;
     out += "}}";
   }
   out += "],\"displayTimeUnit\":\"ms\"}";
@@ -201,6 +222,7 @@ TraceSpan::TraceSpan(std::string_view name) {
   active_ = true;
   name_ = name;
   depth_ = tls_depth++;
+  trace_id_ = tls_trace_id;
   start_us_ = Tracer::Instance().NowMicros();
 }
 
@@ -214,6 +236,7 @@ TraceSpan::~TraceSpan() {
   event.ts_us = start_us_;
   event.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
   event.depth = depth_;
+  event.trace_id = trace_id_;
   tracer.ThisThreadRing().Push(std::move(event));
 }
 

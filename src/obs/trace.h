@@ -33,13 +33,17 @@ namespace sia::obs {
 
 // A completed span. Timestamps are microseconds since the tracer's epoch
 // (first use in the process); `depth` is the span-nesting depth on its
-// thread at the time the span opened (0 = top level).
+// thread at the time the span opened (0 = top level). `trace_id` is the
+// request-scoped ID installed by a TraceContext (0 = no request context),
+// which is how one query's admission, background synthesis, and
+// promotion decision link up across threads in the Chrome export.
 struct TraceEvent {
   std::string name;
   uint64_t ts_us = 0;
   uint64_t dur_us = 0;
   int tid = 0;
   int depth = 0;
+  uint64_t trace_id = 0;
 };
 
 namespace internal {
@@ -124,6 +128,37 @@ class Tracer {
   static std::atomic<bool> enabled_;
 };
 
+// --- Request-scoped trace context ------------------------------------
+//
+// A trace ID is minted once per admitted request (MintTraceId, never 0)
+// and installed on whichever thread is currently doing that request's
+// work via a TraceContext — the worker serving the connection, then the
+// background lane running its synthesis job, then the thread recording
+// its promotion evidence. Every TraceSpan opened while a context is
+// installed stamps the ID into its event, so the whole journey is one
+// linked trace. Installation is two thread-local stores, no atomics —
+// cheap enough to run unconditionally, traced or not.
+
+// Process-unique, monotonically increasing, never 0.
+uint64_t MintTraceId();
+
+// The calling thread's installed trace ID (0 = none).
+uint64_t CurrentTraceId();
+
+// RAII: installs `trace_id` for the scope, restoring the previous ID on
+// exit (contexts nest; the innermost wins).
+class TraceContext {
+ public:
+  explicit TraceContext(uint64_t trace_id);
+  ~TraceContext();
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+ private:
+  uint64_t saved_ = 0;
+};
+
 // RAII span: captures the start time at construction and records a
 // completed TraceEvent at destruction. Inert (one relaxed load) when
 // tracing is disabled at construction time. `name` must outlive the span
@@ -139,6 +174,7 @@ class TraceSpan {
  private:
   std::string_view name_;
   uint64_t start_us_ = 0;
+  uint64_t trace_id_ = 0;  // CurrentTraceId() at construction
   int depth_ = 0;
   bool active_ = false;
 };

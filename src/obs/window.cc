@@ -1,0 +1,102 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sia::obs {
+
+WindowedStats::WindowedStats(Options options) : options_(options) {}
+
+void WindowedStats::Tick(uint64_t now_us) {
+  {
+    MutexLock lock(&mu_);
+    if (!ring_.empty() &&
+        now_us < ring_.back().ts_us + options_.interval_us) {
+      return;  // rate limit: at most one sample per interval
+    }
+  }
+  // Snapshot outside mu_ so the registry's lock is never nested under it.
+  Sample sample;
+  sample.ts_us = now_us;
+  sample.snapshot = MetricsRegistry::Instance().Snapshot();
+  MutexLock lock(&mu_);
+  // Re-check under the lock: a racing Tick may have sampled meanwhile.
+  if (!ring_.empty() &&
+      sample.ts_us < ring_.back().ts_us + options_.interval_us) {
+    return;
+  }
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > std::max<size_t>(2, options_.slots)) {
+    ring_.pop_front();
+  }
+}
+
+WindowedStats::Window WindowedStats::DeltaBetween(const Sample& older,
+                                                  const Sample& newer) {
+  Window window;
+  window.span_us = newer.ts_us - older.ts_us;
+  for (const auto& [name, value] : newer.snapshot.counters) {
+    const auto it = older.snapshot.counters.find(name);
+    const uint64_t before = it == older.snapshot.counters.end() ? 0 : it->second;
+    window.delta.counters.emplace(name,
+                                  value >= before ? value - before : 0);
+  }
+  // Gauges are instantaneous — the newest sample IS the windowed value.
+  window.delta.gauges = newer.snapshot.gauges;
+  for (const auto& [name, h] : newer.snapshot.histograms) {
+    const auto it = older.snapshot.histograms.find(name);
+    if (it == older.snapshot.histograms.end()) {
+      window.delta.histograms.emplace(name, h.DeltaSince(HistogramSnapshot{}));
+    } else {
+      window.delta.histograms.emplace(name, h.DeltaSince(it->second));
+    }
+  }
+  return window;
+}
+
+WindowedStats::Window WindowedStats::WindowOver(uint64_t span_us) const {
+  MutexLock lock(&mu_);
+  if (ring_.size() < 2) return Window{};
+  const Sample& newest = ring_.back();
+  // The oldest sample still inside the window start; when the ring does
+  // not reach back that far, the oldest sample it holds bounds the span.
+  const uint64_t start_us =
+      newest.ts_us >= span_us ? newest.ts_us - span_us : 0;
+  const Sample* older = &ring_.front();
+  for (const Sample& candidate : ring_) {
+    if (candidate.ts_us > start_us) break;
+    older = &candidate;
+  }
+  if (older == &newest) older = &ring_[ring_.size() - 2];
+  return DeltaBetween(*older, newest);
+}
+
+std::string WindowedStats::WindowsJson() const {
+  struct Named {
+    const char* name;
+    uint64_t span_us;
+  };
+  static constexpr Named kWindows[] = {
+      {"1s", 1'000'000}, {"10s", 10'000'000}, {"60s", 60'000'000}};
+  std::string out = "{";
+  bool first = true;
+  for (const Named& w : kWindows) {
+    const Window window = WindowOver(w.span_us);
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += w.name;
+    out += "\":";
+    std::string extra = "\"span_us\":" + std::to_string(window.span_us) + ",";
+    out += FormatSnapshotJson(window.delta, extra);
+  }
+  out += "}";
+  return out;
+}
+
+size_t WindowedStats::sample_count() const {
+  MutexLock lock(&mu_);
+  return ring_.size();
+}
+
+}  // namespace sia::obs

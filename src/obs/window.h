@@ -1,0 +1,87 @@
+#ifndef SIA_OBS_WINDOW_H_
+#define SIA_OBS_WINDOW_H_
+
+// Time-windowed aggregation over the metrics registry, built entirely on
+// the *pull* side: a ring of timestamped MetricsSnapshots sampled by the
+// readers (STATS / OBSERVE handlers call Tick()), with windows computed
+// as deltas between the newest sample and the sample nearest the window
+// start. The serving hot path is never touched — counters and histogram
+// buckets are monotonic, so two registry snapshots subtract into exact
+// per-window totals, and windowed p50/p95/p99 fall out of the delta
+// buckets via the same interpolation the lifetime histogram uses.
+//
+// Sampling is rate-limited to one snapshot per interval however often
+// Tick() is called, so a 10 Hz OBSERVE poller costs at most one registry
+// snapshot per second. With only one sample (or a disabled registry)
+// every window is legitimately empty: span_us == 0, all maps empty.
+//
+// The clock is injected (tracer-epoch microseconds in production,
+// anything monotonic in tests). Standard-library-only, like the rest of
+// src/obs.
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/sync.h"
+#include "obs/metrics.h"
+
+namespace sia::obs {
+
+class WindowedStats {
+ public:
+  struct Options {
+    // Sampling cadence; also the finest window the ring can resolve.
+    uint64_t interval_us = 1'000'000;
+    // Ring capacity: 61 one-second samples cover the 60s window with one
+    // slot of slack for the newest sample.
+    size_t slots = 61;
+  };
+
+  // One computed window: every counter/histogram value is the delta over
+  // the covered span; gauges are the newest sample's instantaneous value.
+  struct Window {
+    uint64_t span_us = 0;  // actual covered duration (0 = empty window)
+    MetricsSnapshot delta;
+  };
+
+  WindowedStats() : WindowedStats(Options{}) {}
+  explicit WindowedStats(Options options);
+
+  // Samples the registry if at least one interval passed since the last
+  // sample (or none exists yet). Cheap no-op otherwise. Thread-safe.
+  void Tick(uint64_t now_us) SIA_EXCLUDES(mu_);
+
+  // The delta window covering approximately the trailing `span_us`
+  // (clamped to what the ring holds). Empty when fewer than two samples
+  // exist.
+  Window WindowOver(uint64_t span_us) const SIA_EXCLUDES(mu_);
+
+  // {"1s":{"span_us":...,"counters":{...},...},"10s":{...},"60s":{...}}
+  // — each window rendered through the shared FormatSnapshotJson.
+  std::string WindowsJson() const SIA_EXCLUDES(mu_);
+
+  size_t sample_count() const SIA_EXCLUDES(mu_);
+
+  WindowedStats(const WindowedStats&) = delete;
+  WindowedStats& operator=(const WindowedStats&) = delete;
+
+ private:
+  struct Sample {
+    uint64_t ts_us = 0;
+    MetricsSnapshot snapshot;
+  };
+
+  static Window DeltaBetween(const Sample& older, const Sample& newer);
+
+  const Options options_;
+  // Leaf among this class's concerns: held while copying ring entries
+  // only. Tick() takes the registry snapshot *before* locking, so the
+  // registry's own (leaf) lock is never nested under mu_.
+  mutable Mutex mu_;
+  std::deque<Sample> ring_ SIA_GUARDED_BY(mu_);
+};
+
+}  // namespace sia::obs
+
+#endif  // SIA_OBS_WINDOW_H_

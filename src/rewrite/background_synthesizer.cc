@@ -5,6 +5,7 @@
 #include "common/deadline.h"
 #include "common/fault_injection.h"
 #include "common/stopwatch.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -33,6 +34,7 @@ bool BackgroundSynthesizer::Enqueue(BackgroundJob job) {
       // Shedding a job must release its kSynthesizing marker, or the key
       // would wedge until process exit.
       SIA_COUNTER_INC("rewrite.background.dropped");
+      SIA_EVENT("rewrite.background.dropped", "queue full or draining");
       cache_->AbortSynthesis(job.bound, job.cols);
       return false;
     }
@@ -149,6 +151,8 @@ void BackgroundSynthesizer::DrainAndStop() {
 }
 
 void BackgroundSynthesizer::RunJob(const BackgroundJob& job) {
+  // Continue the admitting request's trace on the background lane.
+  obs::TraceContext trace_ctx(job.trace_id);
   obs::TraceSpan span("rewrite.background.synthesize");
   Stopwatch timer;
 

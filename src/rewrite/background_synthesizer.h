@@ -25,6 +25,10 @@ struct BackgroundJob {
   std::vector<size_t> cols;  // Cols' (the cache key)
   Schema joint;
   ParsedQuery query;
+  // The admitting request's trace ID (obs::CurrentTraceId() at enqueue):
+  // RunJob reinstalls it so the synthesis and evidence spans link into
+  // the trace of the miss that queued them. 0 = untraced.
+  uint64_t trace_id = 0;
 };
 
 // Runs the synthesis ladder off the serving path, on the shared thread

@@ -1,6 +1,8 @@
 #include "rewrite/rewrite_cache.h"
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sia {
 
@@ -59,12 +61,14 @@ ServingDecision RewriteCache::Decide(const ExprPtr& bound_predicate,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++misses_;
+    SIA_COUNTER_INC("rewrite.cache.miss");
     // A legacy single-flight leader may be synthesizing this key right
     // now; let it publish rather than double-queueing the work.
     if (!inflight_.contains(key)) {
       Entry marker;
       marker.state = EntryState::kSynthesizing;
       marker.predicate = nullptr;
+      marker.origin_trace_id = obs::CurrentTraceId();
       entries_[key] = std::move(marker);
       decision.enqueue = true;
     }
@@ -72,6 +76,7 @@ ServingDecision RewriteCache::Decide(const ExprPtr& bound_predicate,
     return decision;
   }
   ++hits_;
+  SIA_COUNTER_INC("rewrite.cache.hit");
   Entry& entry = it->second;
   decision.state = entry.state;
   switch (entry.state) {
@@ -103,6 +108,7 @@ ServingDecision RewriteCache::Decide(const ExprPtr& bound_predicate,
         // TTL expired: forget the failed attempt and re-learn.
         Entry marker;
         marker.state = EntryState::kSynthesizing;
+        marker.origin_trace_id = obs::CurrentTraceId();
         entry = std::move(marker);
         decision.state = EntryState::kSynthesizing;
         decision.enqueue = true;
@@ -134,6 +140,9 @@ Status RewriteCache::CompleteSynthesis(const ExprPtr& bound_predicate,
   entry.losses = 0;
   entry.shadow_runs = 0;
   entry.poisoned = false;
+  // The marker remembers which request's miss started this lifecycle;
+  // the published entry keeps that link for the promotion decision.
+  entry.origin_trace_id = it->second.origin_trace_id;
   it->second = std::move(entry);
   return Status::OK();
 }
@@ -160,6 +169,15 @@ Result<EntryState> RewriteCache::RecordShadow(const ExprPtr& bound_predicate,
     return Status::NotFound("no entry to record shadow evidence against");
   }
   Entry& entry = it->second;
+  // The promotion decision links back to the request whose miss created
+  // this entry: reinstalling its trace ID puts the decision span (and
+  // any promotion/demotion events below) in the same exported trace as
+  // that request's admission span and the background synthesis job.
+  // Sync-mode entries never had a marker; they keep the caller's trace.
+  obs::TraceContext origin_ctx(entry.origin_trace_id != 0
+                                   ? entry.origin_trace_id
+                                   : obs::CurrentTraceId());
+  SIA_TRACE_SPAN("rewrite.promote.decision");
   if (entry.state == EntryState::kSynthesizing) {
     return Status::InvalidArgument(
         "illegal transition: RecordShadow on a synthesizing entry");
@@ -172,6 +190,7 @@ Result<EntryState> RewriteCache::RecordShadow(const ExprPtr& bound_predicate,
     // quarantine the entry permanently. The paranoid runner already
     // served the original's result, so no client saw the wrong answer.
     SIA_COUNTER_INC("rewrite.promote.digest_mismatch");
+    SIA_EVENT("rewrite.digest_mismatch", key);
     if (entry.state == EntryState::kPromoted) {
       SIA_COUNTER_INC("rewrite.promote.demoted");
     }
@@ -192,6 +211,8 @@ Result<EntryState> RewriteCache::RecordShadow(const ExprPtr& bound_predicate,
         entry.wins >= policy.promote_after) {
       entry.state = EntryState::kPromoted;
       SIA_COUNTER_INC("rewrite.promote.promoted");
+      SIA_EVENT("rewrite.promoted",
+                key + " wins=" + std::to_string(entry.wins));
     }
   } else {
     ++entry.losses;
@@ -204,6 +225,8 @@ Result<EntryState> RewriteCache::RecordShadow(const ExprPtr& bound_predicate,
       }
       entry.state = EntryState::kDemoted;
       entry.demoted_at_ms = now_ms;
+      SIA_EVENT("rewrite.demoted",
+                key + " losses=" + std::to_string(entry.losses));
     }
   }
   return entry.state;
@@ -228,6 +251,24 @@ RewriteCache::Stats RewriteCache::stats() const {
         break;
     }
     if (entry.poisoned) ++out.poisoned;
+  }
+  return out;
+}
+
+std::vector<RewriteCache::EntryInfo> RewriteCache::EntryInfos() const {
+  MutexLock lock(&mutex_);
+  std::vector<EntryInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    EntryInfo info;
+    info.key = key;
+    info.state = entry.state;
+    info.rung = entry.rung;
+    info.wins = entry.wins;
+    info.losses = entry.losses;
+    info.shadow_runs = entry.shadow_runs;
+    info.poisoned = entry.poisoned;
+    out.push_back(std::move(info));
   }
   return out;
 }

@@ -130,6 +130,11 @@ class RewriteCache {
     // this entry can never be promoted or re-queued again.
     bool poisoned = false;
     int64_t demoted_at_ms = 0;  // stamp for the kDemoted TTL
+    // Trace ID of the request whose miss created this entry (0 when
+    // untraced or sync-inserted). RecordShadow reinstalls it so the
+    // promotion decision lands in the same exported trace as the
+    // admission span and background synthesis job that led to it.
+    uint64_t origin_trace_id = 0;
   };
 
   struct Stats {
@@ -246,6 +251,21 @@ class RewriteCache {
 
   Stats stats() const SIA_EXCLUDES(mutex_);
   void Clear() SIA_EXCLUDES(mutex_);
+
+  // One entry's observable lifecycle state, for OBSERVE / sia_top.
+  struct EntryInfo {
+    std::string key;  // MakeKey's canonical form
+    EntryState state = EntryState::kSynthesizing;
+    int rung = 3;
+    int wins = 0;
+    int losses = 0;
+    int shadow_runs = 0;
+    bool poisoned = false;
+  };
+
+  // Snapshot of every entry's state, sorted by key (map order). Intended
+  // for polling introspection, not the serving path.
+  std::vector<EntryInfo> EntryInfos() const SIA_EXCLUDES(mutex_);
 
  private:
   static std::string MakeKey(const ExprPtr& bound_predicate,

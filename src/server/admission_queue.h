@@ -22,10 +22,13 @@
 namespace sia::server {
 
 // A connection the acceptor admitted, stamped with its admission time
-// (tracer-epoch microseconds) so the worker can record queue wait.
+// (tracer-epoch microseconds) so the worker can record queue wait, and
+// with the trace ID minted at admission so the worker (and everything
+// downstream — background synthesis, promotion) joins the same trace.
 struct AdmittedConn {
   net::Socket conn;
   uint64_t admit_us = 0;
+  uint64_t trace_id = 0;
 };
 
 class AdmissionQueue {

@@ -71,7 +71,7 @@ Result<Request> ParseRequest(std::string_view payload) {
   const std::string verb = ToUpper(verb_line);
   Request request;
   request.verb = verb;
-  if (verb == kVerbPing || verb == kVerbStats) {
+  if (verb == kVerbPing || verb == kVerbStats || verb == kVerbObserve) {
     return request;
   }
   if (verb == kVerbQuery) {

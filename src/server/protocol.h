@@ -7,7 +7,11 @@
 // followed by a body:
 //
 //   PING                     liveness probe
-//   STATS                    src/obs metrics snapshot (JSON)
+//   STATS                    src/obs metrics snapshot (JSON), lifetime
+//                            totals plus rolling 1s/10s/60s windows
+//   OBSERVE                  live-telemetry snapshot (JSON): windowed
+//                            metrics, recent events, per-entry cache
+//                            states — what sia_top polls
 //   QUERY\n<sql>             rewrite (and, when the server holds data,
 //                            execute) one SELECT statement
 //
@@ -42,6 +46,7 @@ namespace sia::server {
 // Request verbs.
 inline constexpr std::string_view kVerbPing = "PING";
 inline constexpr std::string_view kVerbStats = "STATS";
+inline constexpr std::string_view kVerbObserve = "OBSERVE";
 inline constexpr std::string_view kVerbQuery = "QUERY";
 
 struct Request {

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <vector>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -146,12 +147,18 @@ void SiaServer::AcceptLoop() {
       std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptPollMillis));
       continue;
     }
+    // The request's trace is born here: every span and event on this
+    // connection's journey — admission, queue, rewrite, background
+    // synthesis, promotion — carries this ID.
+    const uint64_t trace_id = obs::MintTraceId();
+    obs::TraceContext trace_ctx(trace_id);
     SIA_TRACE_SPAN("server.accept");
     accepted_.fetch_add(1, std::memory_order_relaxed);
     SIA_COUNTER_INC("server.requests.accepted");
     AdmittedConn admitted;
     admitted.conn = std::move(*conn);
     admitted.admit_us = SteadyMicros();
+    admitted.trace_id = trace_id;
     if (!queue_.TryPush(std::move(admitted))) {
       // Load shed: refuse explicitly and immediately, before reading a
       // single request byte, with a Retry-After hint that scales with
@@ -166,6 +173,9 @@ void SiaServer::AcceptLoop() {
           AdaptiveRetryHint(options_.retry_after_ms, queue_.size(),
                             options_.queue_depth, recent_sheds);
       obs::SetGauge("server.shed.retry_hint_ms", static_cast<double>(hint));
+      SIA_EVENT("server.shed",
+                "retry_after_ms=" + std::to_string(hint) +
+                    " queue=" + std::to_string(queue_.size()));
       if (admitted.conn
               .SendFrame(FormatShed(hint), kBestEffortWriteMillis)
               .ok()) {
@@ -205,6 +215,10 @@ void SiaServer::WorkerLoop() {
 }
 
 void SiaServer::ServeConn(AdmittedConn admitted) {
+  // Rejoin the trace minted at admission: spans and events recorded on
+  // this worker (and the background job the request may enqueue) link to
+  // the acceptor's server.accept span.
+  obs::TraceContext trace_ctx(admitted.trace_id);
   obs::AddGauge("server.inflight", 1);
   const int64_t queue_us =
       static_cast<int64_t>(SteadyMicros() - admitted.admit_us);
@@ -243,8 +257,14 @@ void SiaServer::ServeConn(AdmittedConn admitted) {
       SIA_COUNTER_INC("server.requests.protocol_errors");
     }
   }
-  SIA_HISTOGRAM_RECORD("server.request.latency_us",
-                       SteadyMicros() - admitted.admit_us);
+  const uint64_t latency_us = SteadyMicros() - admitted.admit_us;
+  SIA_HISTOGRAM_RECORD("server.request.latency_us", latency_us);
+  if (options_.slow_request_us > 0 &&
+      latency_us > static_cast<uint64_t>(options_.slow_request_us)) {
+    SIA_EVENT("server.slow_query",
+              "latency_us=" + std::to_string(latency_us) +
+                  " queue_us=" + std::to_string(queue_us));
+  }
   obs::AddGauge("server.inflight", -1);
 }
 

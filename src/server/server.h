@@ -50,6 +50,9 @@ struct ServerOptions {
   // sent scales with current pressure (see AdaptiveRetryHint); this is
   // its floor.
   int64_t retry_after_ms = 100;
+  // Requests slower than this (accept-to-response, queue wait included)
+  // land in the OBSERVE event log as server.slow_query. 0 disables.
+  int64_t slow_request_us = 100000;
   ServiceOptions service;
 };
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 
+#include "common/fault_injection.h"
 #include "common/strings.h"
 #include "engine/runner.h"
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parser/parser.h"
@@ -122,9 +124,56 @@ std::string QueryService::Handle(std::string_view payload, int64_t queue_us) {
   if (!request.ok()) return FormatError(request.status());
   if (request->verb == kVerbPing) return FormatOkPing();
   if (request->verb == kVerbStats) {
-    return FormatOkStats(obs::MetricsRegistry::Instance().SnapshotJson());
+    // Lifetime totals plus the rolling windows, all through the one
+    // shared snapshot-to-JSON formatter (sia_lint --metrics-out renders
+    // the same snapshot without the windows).
+    windows_.Tick(obs::Tracer::Instance().NowMicros());
+    const std::string extra = "\"windows\":" + windows_.WindowsJson() + ",";
+    return FormatOkStats(obs::FormatSnapshotJson(
+        obs::MetricsRegistry::Instance().Snapshot(), extra));
   }
+  if (request->verb == kVerbObserve) return HandleObserve();
   return HandleQuery(request->body, queue_us);
+}
+
+std::string QueryService::HandleObserve() {
+  SIA_TRACE_SPAN("server.observe");
+  if (FaultRegistry::Enabled()) {
+    // Proves a slow/failing OBSERVE poller is contained here: a latency
+    // fault stalls only this handler's worker slot, an error fault turns
+    // into an ERROR frame — admission and drain never notice either way.
+    const Status injected =
+        FaultRegistry::Instance().Fire("obs.observe.latency");
+    if (!injected.ok()) return FormatError(injected);
+  }
+  const uint64_t now_us = obs::Tracer::Instance().NowMicros();
+  windows_.Tick(now_us);
+  obs::EventLog& events = obs::EventLog::Instance();
+  std::string json = "{\"now_us\":" + std::to_string(now_us);
+  json += ",\"windows\":";
+  json += windows_.WindowsJson();
+  json += ",\"events\":";
+  json += events.Json();
+  json += ",\"events_dropped\":" + std::to_string(events.DroppedCount());
+  json += ",\"cache\":{\"entries\":[";
+  bool first = true;
+  for (const RewriteCache::EntryInfo& info : cache_.EntryInfos()) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"key\":\"";
+    json += obs::internal::JsonEscape(info.key);
+    json += "\",\"state\":\"";
+    json += EntryStateName(info.state);
+    json += "\",\"rung\":" + std::to_string(info.rung);
+    json += ",\"wins\":" + std::to_string(info.wins);
+    json += ",\"losses\":" + std::to_string(info.losses);
+    json += ",\"shadow_runs\":" + std::to_string(info.shadow_runs);
+    json += ",\"poisoned\":";
+    json += info.poisoned ? "true" : "false";
+    json += "}";
+  }
+  json += "]}}";
+  return FormatOkStats(json);
 }
 
 std::string QueryService::HandleQuery(const std::string& sql,
@@ -181,6 +230,13 @@ std::string QueryService::HandleQuery(const std::string& sql,
     if (!executed.ok()) return FormatError(executed);
     fields.exec_us = ElapsedMicros(exec_start);
   }
+  if (fields.from_cache) {
+    SIA_HISTOGRAM_RECORD("server.handle.hit_us",
+                         fields.rewrite_us + fields.exec_us);
+  } else {
+    SIA_HISTOGRAM_RECORD("server.handle.miss_us",
+                         fields.rewrite_us + fields.exec_us);
+  }
   return FormatOkQuery(fields);
 }
 
@@ -204,6 +260,7 @@ std::string QueryService::HandleQueryLearning(const ParsedQuery& parsed,
       job.cols = key.cols;
       job.joint = key.joint;
       job.query = parsed;
+      job.trace_id = obs::CurrentTraceId();
       (void)synthesizer_->Enqueue(std::move(job));
     }
     if (decision.serve_rewrite) {
@@ -240,6 +297,16 @@ std::string QueryService::HandleQueryLearning(const ParsedQuery& parsed,
     }
     if (!executed.ok()) return FormatError(executed);
     fields.exec_us = ElapsedMicros(exec_start);
+  }
+  // Hit = a promoted rewrite served from the cache; miss = everything
+  // else (the original was served, learning may be in flight). The split
+  // is what the bench and sia_top read as the amortization payoff.
+  if (fields.from_cache) {
+    SIA_HISTOGRAM_RECORD("server.handle.hit_us",
+                         fields.rewrite_us + fields.exec_us);
+  } else {
+    SIA_HISTOGRAM_RECORD("server.handle.miss_us",
+                         fields.rewrite_us + fields.exec_us);
   }
   return FormatOkQuery(fields);
 }

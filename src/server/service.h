@@ -23,6 +23,7 @@
 #include "common/thread_pool.h"
 #include "engine/executor.h"
 #include "engine/tpch_gen.h"
+#include "obs/window.h"
 #include "rewrite/background_synthesizer.h"
 #include "rewrite/rewrite_cache.h"
 #include "rewrite/sia_rewriter.h"
@@ -103,6 +104,10 @@ class QueryService {
   BackgroundSynthesizer* background() { return synthesizer_.get(); }
 
  private:
+  // The OBSERVE verb: windowed metrics + recent events + per-entry cache
+  // states as one JSON document. Pull-side only — it samples and
+  // renders, never touching serving state beyond read-only snapshots.
+  std::string HandleObserve();
   std::string HandleQuery(const std::string& sql, int64_t queue_us);
   // The background-learning serving path for a synthesizable query:
   // consult the cache state machine, maybe enqueue, never synthesize.
@@ -132,6 +137,9 @@ class QueryService {
   // read — no lock needed on the request path.
   std::unique_ptr<BackgroundSynthesizer> synthesizer_;
   std::atomic<uint64_t> shadow_ticket_{0};
+  // Rolling 1s/10s/60s windows over the registry, sampled by the STATS
+  // and OBSERVE readers (never by the serving path).
+  obs::WindowedStats windows_;
 };
 
 }  // namespace sia::server

@@ -330,6 +330,14 @@ TEST_F(FaultSweepTest, BackgroundLearningEnvArmedSweep) {
         EXPECT_EQ(parsed->query->content_hash, first[i]->content_hash);
       }
     }
+    // OBSERVE runs under the same spec: an armed obs.observe.latency
+    // stalls or fails the telemetry read, which must surface as a slow
+    // OK or a clean ERROR frame — never a crash, never a wedged loop.
+    auto observed = server::ParseResponse(service.Handle("OBSERVE", 0));
+    ASSERT_TRUE(observed.ok());
+    EXPECT_TRUE(observed->kind == server::ResponseKind::kOk ||
+                observed->kind == server::ResponseKind::kError)
+        << "OBSERVE under " << env;
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   service.DrainBackground();

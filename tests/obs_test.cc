@@ -4,6 +4,7 @@
 // ring-buffer overflow accounting, and the validity of both JSON
 // exports. Links only sia_obs + GTest — no Z3, no sia umbrella.
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -16,9 +17,11 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/event_log.h"
 #include "obs/metrics.h"
 #include "common/sync.h"
 #include "obs/trace.h"
+#include "obs/window.h"
 #include "obs_json_util.h"
 
 namespace sia::obs {
@@ -353,6 +356,294 @@ TEST_F(ObsTest, WriteSnapshotToFileAndBadPath) {
   std::remove(path.c_str());
   EXPECT_FALSE(reg().WriteSnapshot("/nonexistent-dir/metrics.json", &error));
   EXPECT_FALSE(error.empty());
+}
+
+// --- Windowed aggregation ---
+
+TEST_F(ObsTest, WindowsAreEmptyUntilTwoSamples) {
+  WindowedStats windows;
+  // No samples at all.
+  EXPECT_EQ(windows.sample_count(), 0u);
+  EXPECT_EQ(windows.WindowOver(1'000'000).span_us, 0u);
+  // One sample is not a window either: a delta needs two endpoints.
+  reg().GetCounter("test.win.lonely").Increment(5);
+  windows.Tick(0);
+  EXPECT_EQ(windows.sample_count(), 1u);
+  const WindowedStats::Window w = windows.WindowOver(1'000'000);
+  EXPECT_EQ(w.span_us, 0u);
+  EXPECT_TRUE(w.delta.counters.empty());
+  // The JSON rendering of empty windows is still valid JSON.
+  const std::string json = windows.WindowsJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"1s\""), std::string::npos);
+  EXPECT_NE(json.find("\"span_us\":0"), std::string::npos);
+}
+
+TEST_F(ObsTest, WindowDeltaExcludesHistoryBeforeTheWindow) {
+  WindowedStats windows(WindowedStats::Options{1'000'000, 61});
+  Counter& c = reg().GetCounter("test.win.delta");
+  c.Increment(100);  // history from "before monitoring started"
+  windows.Tick(0);
+  c.Increment(7);
+  windows.Tick(1'000'000);
+  ASSERT_EQ(windows.sample_count(), 2u);
+  const WindowedStats::Window w = windows.WindowOver(1'000'000);
+  EXPECT_EQ(w.span_us, 1'000'000u);
+  ASSERT_EQ(w.delta.counters.count("test.win.delta"), 1u);
+  // The window sees only the 7 increments inside it, not the 100 before.
+  EXPECT_EQ(w.delta.counters.at("test.win.delta"), 7u);
+  EXPECT_EQ(c.Value(), 107u);  // lifetime total untouched
+}
+
+TEST_F(ObsTest, TickIsRateLimitedToOnePerInterval) {
+  WindowedStats windows(WindowedStats::Options{1'000'000, 61});
+  windows.Tick(0);
+  windows.Tick(1);
+  windows.Tick(999'999);
+  EXPECT_EQ(windows.sample_count(), 1u);
+  windows.Tick(1'000'000);
+  EXPECT_EQ(windows.sample_count(), 2u);
+}
+
+TEST_F(ObsTest, WindowRingEvictsBeyondSlots) {
+  WindowedStats windows(WindowedStats::Options{100, 4});
+  for (uint64_t i = 0; i < 10; ++i) windows.Tick(i * 100);
+  EXPECT_EQ(windows.sample_count(), 4u);
+  // The span clamps to what the evicted ring still covers: samples at
+  // 600..900 remain, so the widest window is 300us.
+  EXPECT_EQ(windows.WindowOver(60'000'000).span_us, 300u);
+}
+
+TEST_F(ObsTest, WindowedHistogramIsDeltaNotLifetime) {
+  WindowedStats windows(WindowedStats::Options{1'000'000, 61});
+  Histogram& h = reg().GetHistogram("test.win.hist");
+  // A slow era entirely before the window.
+  for (int i = 0; i < 100; ++i) h.Record(100'000.0);
+  windows.Tick(0);
+  // A fast era inside the window.
+  for (int i = 0; i < 50; ++i) h.Record(10.0);
+  windows.Tick(1'000'000);
+  const WindowedStats::Window w = windows.WindowOver(1'000'000);
+  ASSERT_EQ(w.delta.histograms.count("test.win.hist"), 1u);
+  const HistogramSnapshot& d = w.delta.histograms.at("test.win.hist");
+  EXPECT_EQ(d.count, 50u);
+  EXPECT_DOUBLE_EQ(d.sum, 500.0);
+  // Windowed p99 reflects the fast era only (delta min/max come from
+  // occupied delta buckets, so they are bucket bounds, not exact values).
+  EXPECT_LT(d.Percentile(0.99), 100.0);
+  EXPECT_GT(h.Percentile(0.5), 1000.0);  // lifetime still slow-dominated
+}
+
+TEST_F(ObsTest, WindowedGaugesAreInstantaneous) {
+  WindowedStats windows(WindowedStats::Options{1'000'000, 61});
+  Gauge& g = reg().GetGauge("test.win.gauge");
+  g.Set(5.0);
+  windows.Tick(0);
+  g.Set(9.0);
+  windows.Tick(1'000'000);
+  const WindowedStats::Window w = windows.WindowOver(1'000'000);
+  ASSERT_EQ(w.delta.gauges.count("test.win.gauge"), 1u);
+  EXPECT_DOUBLE_EQ(w.delta.gauges.at("test.win.gauge"), 9.0);
+}
+
+TEST_F(ObsTest, HistogramDeltaGuardsAgainstNonMonotonicInput) {
+  // A registry reset between samples makes the "newer" snapshot smaller
+  // than the older one; deltas must clamp to zero, not wrap.
+  HistogramSnapshot older;
+  older.count = 10;
+  older.sum = 1000.0;
+  older.buckets[5] = 10;
+  HistogramSnapshot newer;
+  newer.count = 3;
+  newer.sum = 30.0;
+  newer.buckets[5] = 3;
+  const HistogramSnapshot d = newer.DeltaSince(older);
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_DOUBLE_EQ(d.Percentile(0.99), 0.0);
+}
+
+// The TSan pass in scripts/check.sh builds this binary: concurrent
+// increments racing window rollover must be clean.
+TEST_F(ObsTest, ConcurrentIncrementsDuringWindowRollover) {
+  WindowedStats windows(WindowedStats::Options{10, 8});
+  Counter& c = reg().GetCounter("test.win.race");
+  Histogram& h = reg().GetHistogram("test.win.race_hist");
+  std::atomic<bool> stop{false};
+  std::vector<Thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.Increment();
+        h.Record(42.0);
+      }
+    });
+  }
+  Thread ticker([&]() {
+    for (uint64_t now = 0; now < 4000; now += 10) {
+      windows.Tick(now);
+      (void)windows.WindowOver(100);
+    }
+  });
+  Thread reader([&]() {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_TRUE(IsValidJson(windows.WindowsJson()));
+    }
+  });
+  ticker.Join();
+  reader.Join();
+  stop.store(true, std::memory_order_relaxed);
+  for (Thread& w : writers) w.Join();
+  EXPECT_LE(windows.sample_count(), 8u);
+  // Each sample is internally consistent even mid-race: deltas never
+  // go negative (guarded), counts are monotone between samples.
+  // Record bumps the bucket and the total with two separate relaxed
+  // RMWs, so a snapshot can see one side of a writer's in-flight
+  // Record without the other — at most one record per writer thread.
+  const WindowedStats::Window w = windows.WindowOver(4000);
+  if (w.span_us > 0 && w.delta.histograms.count("test.win.race_hist") > 0) {
+    const HistogramSnapshot& d = w.delta.histograms.at("test.win.race_hist");
+    uint64_t bucket_total = 0;
+    for (const uint64_t b : d.buckets) bucket_total += b;
+    const uint64_t skew = bucket_total > d.count ? bucket_total - d.count
+                                                 : d.count - bucket_total;
+    EXPECT_LE(skew, 4u * 2u);  // 4 writers, 2 samples bound the delta
+  }
+}
+
+// --- Event log ---
+
+TEST_F(ObsTest, EventLogRecordsInOrder) {
+  EventLog& log = EventLog::Instance();
+  log.Clear();
+  SIA_EVENT("test.first", "a");
+  SIA_EVENT("test.second", "b");
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, "test.first");
+  EXPECT_EQ(events[1].kind, "test.second");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+  EXPECT_EQ(log.DroppedCount(), 0u);
+}
+
+TEST_F(ObsTest, EventLogRingEvictsOldest) {
+  EventLog& log = EventLog::Instance();
+  log.Clear();
+  const size_t total = EventLog::kCapacity + 44;
+  for (size_t i = 0; i < total; ++i) {
+    log.Record("test.flood", std::to_string(i));
+  }
+  const std::vector<Event> events = log.Snapshot();
+  ASSERT_EQ(events.size(), EventLog::kCapacity);
+  EXPECT_EQ(log.DroppedCount(), 44u);
+  // Oldest 44 are gone; the ring starts at event #44 and ends at the last.
+  EXPECT_EQ(events.front().detail, "44");
+  EXPECT_EQ(events.back().detail, std::to_string(total - 1));
+}
+
+TEST_F(ObsTest, EventLogIsInertWhenMetricsDisabled) {
+  EventLog& log = EventLog::Instance();
+  log.Clear();
+  MetricsRegistry::SetEnabled(false);
+  SIA_EVENT("test.ghost", "never recorded");
+  MetricsRegistry::SetEnabled(true);
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST_F(ObsTest, EventLogJsonSurvivesHostileDetails) {
+  EventLog& log = EventLog::Instance();
+  log.Clear();
+  log.Record("test.\"quoted\"", "line1\nline2\t\"x\\y\"");
+  const std::string json = log.Json();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  log.Clear();
+}
+
+// --- Trace context propagation ---
+
+TEST_F(ObsTest, MintTraceIdNeverReturnsZeroAndIsUnique) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::vector<uint64_t>> minted(kThreads);
+  std::vector<Thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&minted, t]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        minted[t].push_back(MintTraceId());
+      }
+    });
+  }
+  for (Thread& t : threads) t.Join();
+  std::vector<uint64_t> all;
+  for (const auto& v : minted) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_NE(all.front(), 0u);
+  EXPECT_EQ(std::adjacent_find(all.begin(), all.end()), all.end());
+}
+
+TEST_F(ObsTest, TraceContextInstallsAndRestores) {
+  EXPECT_EQ(CurrentTraceId(), 0u);
+  {
+    TraceContext outer(17);
+    EXPECT_EQ(CurrentTraceId(), 17u);
+    {
+      TraceContext inner(99);
+      EXPECT_EQ(CurrentTraceId(), 99u);
+    }
+    EXPECT_EQ(CurrentTraceId(), 17u);
+  }
+  EXPECT_EQ(CurrentTraceId(), 0u);
+}
+
+TEST_F(ObsTest, SpansAndEventsCarryTheAmbientTraceId) {
+  EventLog::Instance().Clear();
+  const uint64_t id = MintTraceId();
+  {
+    TraceContext ctx(id);
+    TraceSpan span("test.traced");
+    SIA_EVENT("test.traced_event", "detail");
+  }
+  { TraceSpan span("test.untraced"); }
+  bool saw_traced = false;
+  bool saw_untraced = false;
+  for (const TraceEvent& e : Tracer::Instance().CollectEvents()) {
+    if (e.name == "test.traced") {
+      saw_traced = true;
+      EXPECT_EQ(e.trace_id, id);
+    }
+    if (e.name == "test.untraced") {
+      saw_untraced = true;
+      EXPECT_EQ(e.trace_id, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_traced);
+  EXPECT_TRUE(saw_untraced);
+  const std::vector<Event> events = EventLog::Instance().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, id);
+  // The Chrome export carries the ID as a span arg so a chain is
+  // greppable in the exported file.
+  const std::string json = Tracer::Instance().ExportChromeJson();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"trace_id\":" + std::to_string(id)),
+            std::string::npos);
+  EventLog::Instance().Clear();
+}
+
+TEST_F(ObsTest, TraceContextCrossesThreadsExplicitly) {
+  // The ID is thread-local: a worker inherits nothing implicitly and
+  // everything explicitly — exactly how BackgroundJob carries it.
+  const uint64_t id = MintTraceId();
+  uint64_t seen_without = 99;
+  uint64_t seen_with = 0;
+  TraceContext ctx(id);
+  Thread worker([&]() {
+    seen_without = CurrentTraceId();
+    TraceContext handoff(id);
+    seen_with = CurrentTraceId();
+  });
+  worker.Join();
+  EXPECT_EQ(seen_without, 0u);
+  EXPECT_EQ(seen_with, id);
 }
 
 }  // namespace

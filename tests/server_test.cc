@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstring>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -24,6 +25,8 @@
 #include "common/sync.h"
 #include "common/strings.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs_json_util.h"
 #include "server/admission_queue.h"
 #include "server/protocol.h"
 #include "server/server.h"
@@ -649,6 +652,212 @@ TEST(ServiceTest, BadRewriteDemotedBeforeThirdServe) {
   FaultRegistry::Instance().DisarmAll();
   service.DrainBackground();
   EXPECT_EQ(service.cache().stats().synthesizing, 0u);
+}
+
+// --- live telemetry -----------------------------------------------------
+
+// The tentpole acceptance test: one trace ID, minted at admission, links
+// the miss request's accept span, the background synthesis job it
+// enqueued, and the promotion decision that job's predicate eventually
+// earned — three spans, three threads, one trace.
+TEST(ServerTest, TraceChainLinksAdmissionSynthesisAndPromotion) {
+  obs::MetricsRegistry::SetEnabled(true);
+  obs::Tracer::SetEnabled(true);
+  obs::Tracer::Instance().Clear();
+
+  ServerOptions options = FastServerOptions();
+  options.queue_depth = 128;
+  options.service.scale_factor = 0.002;
+  // Deep enough to actually learn predicates: a null-predicate entry
+  // promotes straight from CompleteSynthesis and never meets
+  // RecordShadow, which is the span under test.
+  options.service.max_iterations = 6;
+  options.service.background_learning = true;
+  options.service.shadow_sample_rate = 1.0;  // every serve gathers evidence
+  options.service.promote_after = 1;
+  options.service.background_budget_ms = 5000;
+  auto server = SiaServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  const Catalog catalog = Catalog::TpchCatalog();
+  auto queries = GenerateWorkload(catalog, 8, {});
+  ASSERT_TRUE(queries.ok());
+
+  // Pass 1 misses and enqueues; later passes shadow-run the quarantined
+  // candidates until at least one earns promotion *through evidence*
+  // (the rewrite.promote.promoted counter only moves inside
+  // RecordShadow — null-predicate entries that promote straight from
+  // CompleteSynthesis don't count).
+  obs::Counter& promoted =
+      obs::MetricsRegistry::Instance().GetCounter("rewrite.promote.promoted");
+  const uint64_t promoted_before = promoted.Value();
+  for (int pass = 0; pass < 30; ++pass) {
+    for (const GeneratedQuery& q : *queries) {
+      auto parsed = RoundTrip(port, "QUERY\n" + q.sql);
+      ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+      ASSERT_EQ(parsed->kind, ResponseKind::kOk)
+          << parsed->error.ToString();
+    }
+    if (promoted.Value() > promoted_before) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  ASSERT_GT(promoted.Value(), promoted_before)
+      << "no entry earned an evidence-based promotion";
+  EXPECT_TRUE((*server)->DrainAndStop().ok());
+
+  // Every promotion decision must link back to a trace that also holds
+  // the originating request's admission span and its synthesis job.
+  std::set<uint64_t> accept_traces, synth_traces, decision_traces;
+  for (const obs::TraceEvent& e : obs::Tracer::Instance().CollectEvents()) {
+    if (e.trace_id == 0) continue;
+    if (e.name == "server.accept") accept_traces.insert(e.trace_id);
+    if (e.name == "rewrite.background.synthesize") {
+      synth_traces.insert(e.trace_id);
+    }
+    if (e.name == "rewrite.promote.decision") {
+      decision_traces.insert(e.trace_id);
+    }
+  }
+  ASSERT_FALSE(synth_traces.empty()) << "no traced synthesis job";
+  ASSERT_FALSE(decision_traces.empty()) << "no traced promotion decision";
+  bool chained = false;
+  for (const uint64_t id : decision_traces) {
+    if (accept_traces.contains(id) && synth_traces.contains(id)) {
+      chained = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(chained)
+      << "no single trace ID links admission -> synthesis -> decision";
+  // Background jobs only ever run with a requester's context: a
+  // synthesis span without an admission span would mean the ID was
+  // minted somewhere other than accept.
+  for (const uint64_t id : synth_traces) {
+    EXPECT_TRUE(accept_traces.contains(id))
+        << "synthesis trace " << id << " has no admission span";
+  }
+  obs::Tracer::SetEnabled(false);
+}
+
+// OBSERVE is a read-only probe: polling it at 10 Hz through a concurrent
+// burst must not change a single answer digest, and every reply must be
+// well-formed JSON. (The p99-latency overhead guard lives in
+// scripts/check.sh --serve-smoke, where timing is not sanitizer-skewed.)
+TEST(ServerTest, ObservePollingDoesNotPerturbAnswers) {
+  obs::MetricsRegistry::SetEnabled(true);
+
+  const Catalog catalog = Catalog::TpchCatalog();
+  auto queries = GenerateWorkload(catalog, 32, {});
+  ASSERT_TRUE(queries.ok());
+
+  struct Digest {
+    uint64_t rows = 0;
+    uint64_t content_hash = 0;
+    uint64_t order_hash = 0;
+  };
+  // One concurrent pass over the workload against a fresh server;
+  // when `poll` is set, a 10 Hz OBSERVE poller runs throughout.
+  const auto run = [&](bool poll, std::vector<Digest>* digests) {
+    ServerOptions options = FastServerOptions();
+    options.queue_depth = 128;
+    options.service.scale_factor = 0.002;
+    options.service.background_learning = true;
+    auto server = SiaServer::Start(options);
+    ASSERT_TRUE(server.ok()) << server.status().ToString();
+    const uint16_t port = (*server)->port();
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> polls{0};
+    std::atomic<int> poll_failures{0};
+    Thread poller([&]() {
+      while (!poll || !stop.load(std::memory_order_relaxed)) {
+        if (!poll) return;
+        auto parsed = RoundTrip(port, "OBSERVE");
+        if (!parsed.ok() || parsed->kind != ResponseKind::kOk ||
+            !sia::test_json::IsValidJson(parsed->body)) {
+          poll_failures.fetch_add(1);
+        }
+        polls.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    });
+
+    digests->assign(queries->size(), Digest{});
+    std::vector<Thread> threads;
+    threads.reserve(queries->size());
+    for (size_t i = 0; i < queries->size(); ++i) {
+      threads.emplace_back([&, i] {
+        auto parsed = RoundTrip(port, "QUERY\n" + (*queries)[i].sql);
+        ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+        ASSERT_EQ(parsed->kind, ResponseKind::kOk)
+            << parsed->error.ToString();
+        ASSERT_TRUE(parsed->query.has_value());
+        ASSERT_TRUE(parsed->query->executed);
+        (*digests)[i] = Digest{parsed->query->rows,
+                               parsed->query->content_hash,
+                               parsed->query->order_hash};
+      });
+    }
+    for (Thread& t : threads) t.Join();
+    stop.store(true, std::memory_order_relaxed);
+    poller.Join();
+    if (poll) {
+      EXPECT_GT(polls.load(), 0);
+      EXPECT_EQ(poll_failures.load(), 0);
+    }
+    EXPECT_TRUE((*server)->DrainAndStop().ok());
+  };
+
+  std::vector<Digest> quiet, polled;
+  run(false, &quiet);
+  run(true, &polled);
+  for (size_t i = 0; i < queries->size(); ++i) {
+    EXPECT_EQ(polled[i].rows, quiet[i].rows) << i;
+    EXPECT_EQ(polled[i].content_hash, quiet[i].content_hash) << i;
+    EXPECT_EQ(polled[i].order_hash, quiet[i].order_hash) << i;
+  }
+}
+
+// A stalled OBSERVE (obs.observe.latency) occupies one worker slot and
+// nothing else: admission keeps admitting, other workers keep serving,
+// and the drain completes. The telemetry path may be slow; the serving
+// path must not notice.
+TEST(ServerTest, SlowObserveNeverStallsServing) {
+  obs::MetricsRegistry::SetEnabled(true);
+  ASSERT_TRUE(FaultRegistry::Instance()
+                  .ArmFromSpec("obs.observe.latency=latency:1000")
+                  .ok());
+
+  ServerOptions options = FastServerOptions();
+  options.workers = 2;
+  auto server = SiaServer::Start(options);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  const uint16_t port = (*server)->port();
+
+  // The observer sleeps 1s inside the handler on one worker...
+  Thread observer([&]() {
+    auto parsed = RoundTrip(port, "OBSERVE");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->kind, ResponseKind::kOk);
+  });
+  // ...while the other worker answers pings the entire time.
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < 5; ++i) {
+    auto pong = RoundTrip(port, "PING");
+    ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+    EXPECT_EQ(pong->kind, ResponseKind::kOk);
+  }
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Five pings through the free worker finish well inside the 1000ms
+  // the observer spends asleep (generous bound for sanitizer noise).
+  EXPECT_LT(elapsed_ms, 900) << "serving stalled behind a slow OBSERVE";
+  observer.Join();
+  FaultRegistry::Instance().DisarmAll();
+  EXPECT_TRUE((*server)->DrainAndStop().ok());
 }
 
 }  // namespace
